@@ -1,0 +1,12 @@
+"""Benchmark: fluid vs packet substrate cross-validation."""
+
+from benchmarks.conftest import bench_scale
+from repro.experiments import crossval
+
+
+def test_crossval(once):
+    result = once(crossval.run, scale=bench_scale(), seed=0)
+    print()
+    print(result.render())
+    assert result.data["mark_rank_correlation"] > 0.5
+    assert result.data["queue_rank_correlation"] > 0.5

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 1 (example 2 s aggregator trace)."""
+
+from benchmarks.conftest import fleet_scale
+from repro.experiments import fig1
+
+
+def test_fig1(once):
+    result = once(fig1.run, scale=fleet_scale(), seed=17)
+    print()
+    print(result.render())
+    # Paper headline: low average utilization, line-rate bursts, most
+    # traffic inside bursts.
+    assert result.data["mean_utilization"] < 0.35
+    assert result.data["burst_traffic_share"] > 0.5

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 2 (burst frequency/duration/flow CDFs)."""
+
+from benchmarks.conftest import fleet_scale
+from repro.experiments import fig2
+
+
+def test_fig2(once):
+    result = once(fig2.run, scale=fleet_scale(), seed=0)
+    print()
+    print(result.render())
+    flows = result.data["flow_cdfs"]
+    # Paper: p99 incast degree reaches 200-500 for the big services.
+    assert flows["video"].percentile(99) > 200
+    assert flows["aggregator"].percentile(99) > 200

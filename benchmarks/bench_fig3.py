@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 3 (temporal and cross-host stability)."""
+
+from benchmarks.conftest import fleet_scale
+from repro.experiments import fig3
+
+
+def test_fig3(once):
+    # Full scale = 108 snapshots x 20 hosts (the paper's 18-hour study).
+    result = once(fig3.run, scale=0.5 * fleet_scale(), seed=0)
+    print()
+    print(result.render())
+    for service, report in result.data["temporal"].items():
+        assert report.cov_of_means < 0.3, service
+    assert result.data["cross_host"].is_stable()

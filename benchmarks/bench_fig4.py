@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 4 (queueing/ECN/retransmission CDFs)."""
+
+from benchmarks.conftest import fleet_scale
+from repro.experiments import fig4
+
+
+def test_fig4(once):
+    result = once(fig4.run, scale=fleet_scale(), seed=0)
+    print()
+    print(result.render())
+    marks = result.data["mark_cdfs"]
+    assert marks["aggregator"].percentile(90) > 0.6
+    retx = result.data["retx_cdfs"]
+    assert retx["aggregator"].percentile(99.9) < 0.25

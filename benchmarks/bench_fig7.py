@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 7 (per-flow in-flight skew)."""
+
+from benchmarks.conftest import bench_scale
+from repro.experiments import fig7
+
+
+def test_fig7(once):
+    result = once(fig7.run, scale=bench_scale(), seed=0)
+    print()
+    print(result.render())
+    report = result.data["report"]
+    # Paper: a long tail of flows holds several times the average.
+    assert report.tail_skew > 1.5

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 1 (service inventory + fleet character)."""
+
+from benchmarks.conftest import fleet_scale
+from repro.experiments import table1
+
+
+def test_table1(once):
+    result = once(table1.run, scale=fleet_scale(), seed=0)
+    print()
+    print(result.render())
+    assert len(result.data["rows"]) == 5

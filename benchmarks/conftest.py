@@ -1,0 +1,39 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints the
+rows the paper reports (run with ``-s`` to see them). Simulation-backed
+figures accept a scale factor through the ``REPRO_BENCH_SCALE`` environment
+variable: 1.0 reproduces the paper's full configuration (15 ms bursts, 11
+bursts per run); the default keeps the full flow counts — which determine
+the operating modes — while shortening bursts so the whole suite finishes
+in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale(default: float = 0.35) -> float:
+    """Scale factor for simulation-backed benchmarks."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def fleet_scale(default: float = 1.0) -> float:
+    """Scale factor for fleet (Section 3) benchmarks; full scale is cheap."""
+    return float(os.environ.get("REPRO_BENCH_FLEET_SCALE", default))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (simulations are too
+    expensive for pytest-benchmark's default calibration) and return its
+    result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                  iterations=1)
+
+    return runner

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""DCTCP's three operating modes under incast (the Section 4.1 diagnosis).
+
+Sweeps incast degree across the three regimes the paper identifies and
+prints, for each, the analytic prediction next to the simulated behaviour:
+
+- Mode 1 (healthy): the queue oscillates around the ECN threshold.
+- Mode 2 (degenerate): every flow pinned at 1 MSS; queue = K - BDP.
+- Mode 3 (timeouts): the burst's first window overflows; BCT ~ RTO.
+
+Run:  python examples/dctcp_modes.py [--duration-ms 5]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.experiments.environment import IncastSimConfig, run_incast_sim
+from repro.netsim.topology import DumbbellConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration-ms", type=float, default=5.0,
+                        help="burst duration (paper Figure 5 uses 15)")
+    parser.add_argument("--bursts", type=int, default=4,
+                        help="bursts per run (paper: 11)")
+    args = parser.parse_args()
+
+    cases = [
+        ("Mode 1", 100, None),
+        ("Mode 2", 500, None),
+        ("Mode 3", 1000, 2_000_000),  # shared 2 MB buffer (Section 4.1.1)
+    ]
+    rows = []
+    for label, n_flows, shared in cases:
+        config = IncastSimConfig(
+            n_flows=n_flows,
+            burst_duration_ns=units.msec(args.duration_ms),
+            n_bursts=args.bursts,
+            dumbbell=DumbbellConfig(shared_buffer_bytes=shared),
+            max_sim_time_ns=units.sec(60.0),
+        )
+        model = config.mode_model()
+        print(f"{label}: {n_flows} flows "
+              f"({'shared buffer' if shared else 'private queues'}) ...")
+        result = run_incast_sim(config)
+        finite = result.aligned_queue_packets[
+            np.isfinite(result.aligned_queue_packets)]
+        rows.append([
+            label,
+            n_flows,
+            model.predict(n_flows).name,
+            result.mode.name,
+            round(result.mean_bct_ms, 1),
+            round(float(finite.mean()), 0) if finite.size else 0,
+            round(model.expected_standing_queue_packets(n_flows), 0),
+            result.steady_drops,
+            result.steady_rtos,
+        ])
+
+    print()
+    print(format_table(
+        ["case", "flows", "predicted", "observed", "BCT ms",
+         "mean queue", "expected queue", "drops", "RTOs"],
+        rows,
+        title="DCTCP operating modes: analytic model vs packet simulation"))
+    print(f"\nDegenerate point K* = "
+          f"{IncastSimConfig().mode_model().degenerate_point} flows; "
+          f"private-queue overflow at K > "
+          f"{IncastSimConfig().mode_model().overflow_point}.")
+
+
+if __name__ == "__main__":
+    main()

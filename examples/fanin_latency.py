@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fan-in degree vs query latency: the paper's motivating tension.
+
+Service architects size partition/aggregate fan-in by worker CPU capacity,
+"often creating situations where hundreds or thousands of workers interact
+with a single coordinator". This example runs the full request-response
+loop (coordinator requests -> worker service time -> synchronized
+responses) at increasing fan-in and reports query completion time (QCT):
+parallelism helps until the response incast congests the coordinator's
+downlink, after which the tail degrades.
+
+Run:  python examples/fanin_latency.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.netsim.topology import DumbbellConfig, build_dumbbell
+from repro.simcore.kernel import Simulator
+from repro.tcp.cca.dctcp import Dctcp
+from repro.tcp.config import TcpConfig
+from repro.workloads.partition_aggregate import (PartitionAggregateConfig,
+                                                 PartitionAggregateWorkload)
+
+TOTAL_RESPONSE_BYTES = 2_000_000  # work is fixed; fan-in divides it
+
+
+def run(fan_in: int) -> tuple[float, float, int, int]:
+    sim = Simulator()
+    net = build_dumbbell(sim, DumbbellConfig(n_senders=fan_in))
+    tcp = TcpConfig()
+    workload = PartitionAggregateWorkload(
+        sim, net,
+        PartitionAggregateConfig(
+            n_queries=6,
+            response_bytes=max(1, TOTAL_RESPONSE_BYTES // fan_in)),
+        tcp, lambda: Dctcp(tcp), np.random.default_rng(1))
+    workload.start()
+    sim.run(until_ns=units.sec(30))
+    assert workload.done
+    pcts = workload.qct_percentiles((50.0, 99.0))
+    stats = net.bottleneck_queue.stats
+    return (pcts[50.0], pcts[99.0], stats.max_len_packets,
+            stats.dropped_packets)
+
+
+def main() -> None:
+    rows = []
+    for fan_in in (4, 16, 64, 128, 256, 512, 1024):
+        print(f"fan-in {fan_in} ...")
+        p50, p99, peak, drops = run(fan_in)
+        rows.append([fan_in, round(p50, 2), round(p99, 2), peak, drops])
+    print()
+    print(format_table(
+        ["fan-in", "QCT p50 (ms)", "QCT p99 (ms)", "peak queue (pkts)",
+         "drops"],
+        rows,
+        title=f"Partition/aggregate query latency vs fan-in "
+              f"({TOTAL_RESPONSE_BYTES // 1000} KB of responses per "
+              f"query)"))
+    print("\nThe work per query is constant; fan-in divides it across more "
+          "workers. Latency\nimproves until the synchronized response "
+          "incast congests the coordinator's downlink.")
+
+
+if __name__ == "__main__":
+    main()

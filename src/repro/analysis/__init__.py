@@ -1,0 +1,16 @@
+"""Analysis utilities: empirical CDFs, percentile series, and the ASCII
+table/figure rendering the experiment runners print."""
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.series import percentile_bands, resample_mean
+from repro.analysis.tables import (format_figure_series, format_table,
+                                   render_cdf_table)
+
+__all__ = [
+    "EmpiricalCdf",
+    "percentile_bands",
+    "resample_mean",
+    "format_table",
+    "format_figure_series",
+    "render_cdf_table",
+]

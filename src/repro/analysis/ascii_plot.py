@@ -1,0 +1,138 @@
+"""ASCII plotting for terminal-rendered figures.
+
+The experiment runners print each figure's numeric series; for a reader at
+a terminal, a coarse picture of the *shape* (the Mode 1 sawtooth vs the
+Mode 2 plateau vs the Mode 3 overflow) is often more useful than rows of
+numbers. This module renders:
+
+- :func:`line_plot` — a y-vs-x character plot with axis labels;
+- :func:`sparkline` — a one-line unicode summary of a series;
+- :func:`cdf_plot` — an overlay line plot of several CDFs.
+
+All output is plain text; no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Iterable[float], width: int = 60) -> str:
+    """One-line sketch of a series, resampled to ``width`` characters."""
+    data = np.asarray([v for v in values if not math.isnan(v)],
+                      dtype=np.float64)
+    if data.size == 0:
+        return ""
+    if data.size > width:
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.asarray([data[a:b].mean() if b > a else data[min(a, data.size - 1)]
+                           for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(data.min()), float(data.max())
+    if hi == lo:
+        return SPARK_LEVELS[0] * len(data)
+    scaled = (data - lo) / (hi - lo) * (len(SPARK_LEVELS) - 1)
+    return "".join(SPARK_LEVELS[int(round(s))] for s in scaled)
+
+
+def line_plot(x: Sequence[float], y: Sequence[float], width: int = 68,
+              height: int = 14, title: str = "", x_label: str = "",
+              y_label: str = "",
+              y_max: Optional[float] = None) -> str:
+    """Character-grid line plot of ``y`` against ``x``.
+
+    NaN values leave gaps. ``y_max`` pins the top of the axis (useful to
+    show a queue-capacity ceiling).
+    """
+    xs = np.asarray(x, dtype=np.float64)
+    ys = np.asarray(y, dtype=np.float64)
+    if xs.shape != ys.shape:
+        raise ValueError("x and y must have the same shape")
+    valid = ~np.isnan(ys)
+    if not valid.any():
+        return f"{title}\n(no data)"
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo = min(0.0, float(ys[valid].min()))
+    y_hi = y_max if y_max is not None else float(ys[valid].max())
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(xs[valid], ys[valid]):
+        col = int((xi - x_lo) / (x_hi - x_lo) * (width - 1))
+        yi_clamped = min(max(yi, y_lo), y_hi)
+        row = int((yi_clamped - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    label_width = max(len(f"{y_hi:g}"), len(f"{y_lo:g}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = f"{y_hi:g}".rjust(label_width)
+        elif index == height - 1:
+            label = f"{y_lo:g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * (label_width + 2) + x_axis)
+    footer = []
+    if x_label:
+        footer.append(f"x: {x_label}")
+    if y_label:
+        footer.append(f"y: {y_label}")
+    if footer:
+        lines.append(" " * (label_width + 2) + "   ".join(footer))
+    return "\n".join(lines)
+
+
+def cdf_plot(cdfs: dict[str, tuple[Sequence[float], Sequence[float]]],
+             width: int = 68, height: int = 12, title: str = "",
+             x_label: str = "") -> str:
+    """Overlay plot of several CDF curves, one marker letter per curve.
+
+    ``cdfs`` maps name -> ``(x, F(x))`` as produced by
+    :meth:`repro.analysis.cdf.EmpiricalCdf.curve`.
+    """
+    curves = {name: (np.asarray(cx, dtype=np.float64),
+                     np.asarray(cy, dtype=np.float64))
+              for name, (cx, cy) in cdfs.items() if len(cx)}
+    if not curves:
+        return f"{title}\n(no data)"
+    x_lo = min(float(cx.min()) for cx, _ in curves.values())
+    x_hi = max(float(cx.max()) for cx, _ in curves.values())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, (cx, cy)) in enumerate(curves.items()):
+        marker = chr(ord("a") + index % 26)
+        legend.append(f"{marker}={name}")
+        for xi, yi in zip(cx, cy):
+            col = int((xi - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int(yi * (height - 1))
+            cell = grid[height - 1 - row][col]
+            grid[height - 1 - row][col] = "+" if cell not in (" ", marker) \
+                else marker
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        label = "1.0" if index == 0 else ("0.0" if index == height - 1
+                                          else "   ")
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append("    +" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append("     " + x_axis)
+    suffix = f"   ({x_label})" if x_label else ""
+    lines.append("     " + "  ".join(legend) + suffix)
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""JSON export of experiment results.
+
+``python -m repro.experiments --all --json-dir results/`` writes one JSON
+document per experiment so runs can be archived, diffed across versions,
+and post-processed by external plotting tools. Only JSON-representable
+content is exported: rendered sections always; ``data`` entries when they
+are plain scalars/lists/dicts or numpy arrays (converted), with everything
+else summarized by type name.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.experiments.result import ExperimentResult
+
+_MAX_ARRAY_EXPORT = 100_000
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of ``value`` into JSON-compatible data.
+
+    Numpy scalars and arrays convert to Python numbers and lists (arrays
+    beyond a size cap are summarized); dicts/lists/tuples convert
+    recursively; anything else becomes a ``"<TypeName>"`` placeholder.
+    """
+    # Numpy scalar checks come first: np.float64 *is* a float subclass,
+    # and NaN must map to None either way (JSON has no NaN).
+    if isinstance(value, (np.bool_, np.integer)):
+        return value.item()
+    if isinstance(value, (float, np.floating)):
+        out = float(value)
+        return None if np.isnan(out) else out
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, np.ndarray):
+        if value.size > _MAX_ARRAY_EXPORT:
+            return {"__array_summary__": True, "shape": list(value.shape),
+                    "dtype": str(value.dtype),
+                    "mean": float(np.nanmean(value.astype(np.float64)))}
+        return [jsonable(item) for item in value.tolist()]
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    return f"<{type(value).__name__}>"
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Flatten an :class:`ExperimentResult` into a JSON-compatible dict."""
+    return {
+        "name": result.name,
+        "description": result.description,
+        "sections": list(result.sections),
+        "data": {key: jsonable(value) for key, value in result.data.items()},
+    }
+
+
+def write_result(result: ExperimentResult, directory: Path) -> Path:
+    """Write one experiment's JSON document; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle, indent=2,
+                  allow_nan=False, default=lambda o: f"<{type(o).__name__}>")
+    return path

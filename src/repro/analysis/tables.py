@@ -1,0 +1,78 @@
+"""ASCII rendering of tables and figure series.
+
+The experiment runners print each reproduced table and figure as text: a
+table renders as aligned columns; a "figure" renders as the numeric series
+behind it (e.g. a CDF sampled at the percentiles the paper quotes). The
+benchmark harnesses print the same rows, so paper-vs-measured comparisons
+in EXPERIMENTS.md trace directly to runnable output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCdf
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has "
+                f"{len(headers)} columns")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float) or isinstance(cell, np.floating):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 100 or float(cell).is_integer():
+            return f"{cell:.0f}"
+        if magnitude >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def format_figure_series(name: str, x_label: str, y_label: str,
+                         x: Iterable[object],
+                         y: Iterable[object]) -> str:
+    """Render one figure's data series as a two-column table."""
+    rows = list(zip(x, y))
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def render_cdf_table(cdfs: dict[str, EmpiricalCdf],
+                     percentiles: Sequence[float],
+                     value_label: str, title: str = "") -> str:
+    """Render several CDFs side by side at fixed percentiles.
+
+    One row per percentile, one column per CDF — the textual equivalent of
+    the paper's multi-service CDF figures.
+    """
+    names = list(cdfs)
+    headers = ["pct"] + names
+    rows = []
+    for p in percentiles:
+        rows.append([f"p{p:g}"] + [cdfs[name].percentile(p)
+                                   for name in names])
+    caption = title or f"CDF of {value_label}"
+    return format_table(headers, rows, title=caption)

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: incast burst characterization and
+congestion-control diagnosis.
+
+- :mod:`repro.core.bursts` — burst detection over Millisampler traces (the
+  paper's definition: contiguous 1 ms intervals above 50% of line rate).
+- :mod:`repro.core.metrics` — per-burst metrics (duration, flows, marking,
+  retransmissions, queueing) and per-trace summaries.
+- :mod:`repro.core.incast` — incast classification (>= 25 flows), degree
+  distributions, bimodality.
+- :mod:`repro.core.stability` — temporal and cross-host stability of
+  incast-degree distributions (Section 3.3).
+- :mod:`repro.core.modes` — DCTCP operating-mode model: the degenerate
+  point and Mode 1/2/3 classification (Section 4.1).
+- :mod:`repro.core.divergence` — burst-boundary divergence: straggler
+  identification and unfairness metrics (Section 4.3).
+- :mod:`repro.core.predictor` — incast-degree prediction from burst history
+  and guardrail recommendation (Sections 3.3 and 5.1).
+"""
+
+from repro.core.bursts import Burst, burst_frequency_hz, detect_bursts
+from repro.core.incast import (INCAST_FLOW_THRESHOLD, incast_fraction,
+                               is_incast)
+from repro.core.metrics import BurstMetrics, TraceSummary, summarize_trace
+from repro.core.modes import (DctcpMode, ModeModel, classify_queue_trace,
+                              degenerate_flow_count)
+from repro.core.divergence import (DivergenceReport, analyze_divergence,
+                                   jains_index)
+from repro.core.predictor import (GuardrailAdvisor, IncastDegreePredictor,
+                                  QuantileTracker)
+from repro.core.stability import (StabilityReport, cross_host_stability,
+                                  temporal_stability)
+from repro.core.trains import (TrainStats, analyze_trains,
+                               burstiness_coefficient, group_trains,
+                               inter_burst_gaps_ms)
+
+__all__ = [
+    "Burst",
+    "detect_bursts",
+    "burst_frequency_hz",
+    "INCAST_FLOW_THRESHOLD",
+    "is_incast",
+    "incast_fraction",
+    "BurstMetrics",
+    "TraceSummary",
+    "summarize_trace",
+    "DctcpMode",
+    "ModeModel",
+    "classify_queue_trace",
+    "degenerate_flow_count",
+    "DivergenceReport",
+    "analyze_divergence",
+    "jains_index",
+    "GuardrailAdvisor",
+    "IncastDegreePredictor",
+    "QuantileTracker",
+    "StabilityReport",
+    "temporal_stability",
+    "cross_host_stability",
+    "TrainStats",
+    "analyze_trains",
+    "burstiness_coefficient",
+    "group_trains",
+    "inter_burst_gaps_ms",
+]

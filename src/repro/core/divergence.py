@@ -1,0 +1,126 @@
+"""Burst-boundary divergence analysis (Section 4.3, Figure 7).
+
+Within a large incast, unfairness develops: some flows finish early, the
+stragglers ramp their windows up on the freed capacity, and at the next
+burst those inflated windows dump into the queue all at once. This module
+quantifies that cycle from per-flow in-flight samples:
+
+- percentile bands of in-flight data across *active* flows over time (the
+  exact series Figure 7 plots: median, average, p95, p100);
+- tail skew (p100/mean), the signature of straggler ramp-up;
+- end-of-burst ramp ratio — how much the average in-flight of active flows
+  rises in the burst's tail relative to its middle;
+- Jain's fairness index across active flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def jains_index(values: np.ndarray) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = maximally unfair.
+
+    Zero-valued entries participate (an idle flow counts as receiving no
+    service). Returns 1.0 for an empty or all-zero input.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    if x.size == 0:
+        return 1.0
+    total = x.sum()
+    squares = (x * x).sum()
+    if squares == 0.0:
+        return 1.0
+    return float(total * total / (x.size * squares))
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Per-sample percentile bands plus scalar divergence signatures."""
+
+    times_ns: np.ndarray
+    mean_inflight: np.ndarray
+    median_inflight: np.ndarray
+    p95_inflight: np.ndarray
+    p100_inflight: np.ndarray
+    active_flows: np.ndarray
+    min_jains_index: float
+    tail_skew: float
+    end_ramp_ratio: float
+
+    @property
+    def has_stragglers(self) -> bool:
+        """Heuristic: straggler divergence shows up either as a pronounced
+        in-flight tail (p100 well above the mean) accompanied by end-of-burst
+        ramp-up, or as a strong ramp alone (when only the stragglers remain
+        active, the percentile bands collapse onto them)."""
+        return ((self.tail_skew >= 2.0 and self.end_ramp_ratio >= 1.2)
+                or self.end_ramp_ratio >= 2.0)
+
+
+def analyze_divergence(times_ns: np.ndarray, inflight: np.ndarray,
+                       active: np.ndarray,
+                       tail_fraction: float = 0.15) -> DivergenceReport:
+    """Compute Figure 7's series and divergence signatures.
+
+    Args:
+        times_ns: Sample times, shape ``(T,)``.
+        inflight: Per-flow in-flight bytes, shape ``(T, N)``.
+        active: Per-flow activity mask, shape ``(T, N)``; percentiles are
+            taken across active flows only, as in the paper.
+        tail_fraction: Fraction of the active span treated as the burst's
+            tail when computing the end-ramp ratio.
+    """
+    times_ns = np.asarray(times_ns, dtype=np.int64)
+    inflight = np.asarray(inflight, dtype=np.float64)
+    active = np.asarray(active, dtype=bool)
+    if inflight.shape != active.shape or len(times_ns) != inflight.shape[0]:
+        raise ValueError("times/inflight/active shapes disagree")
+
+    n_samples = inflight.shape[0]
+    mean = np.zeros(n_samples)
+    median = np.zeros(n_samples)
+    p95 = np.zeros(n_samples)
+    p100 = np.zeros(n_samples)
+    counts = active.sum(axis=1)
+    min_jain = 1.0
+    for i in range(n_samples):
+        live = inflight[i, active[i]]
+        if live.size == 0:
+            continue
+        mean[i] = live.mean()
+        median[i], p95[i], p100[i] = np.percentile(live, [50, 95, 100])
+        if live.size > 1:
+            min_jain = min(min_jain, jains_index(live))
+
+    busy = np.flatnonzero(counts > 0)
+    tail_skew = 0.0
+    end_ramp = 0.0
+    if busy.size >= 4:
+        lo, hi = busy[0], busy[-1] + 1
+        span = hi - lo
+        tail_start = hi - max(1, int(round(span * tail_fraction)))
+        mid = slice(lo + span // 4, max(lo + span // 4 + 1, tail_start))
+        with np.errstate(invalid="ignore"):
+            mid_mean = float(mean[mid][mean[mid] > 0].mean()) \
+                if (mean[mid] > 0).any() else 0.0
+        tail_mean = float(mean[tail_start:hi][mean[tail_start:hi] > 0].mean()) \
+            if (mean[tail_start:hi] > 0).any() else 0.0
+        if mid_mean > 0:
+            end_ramp = tail_mean / mid_mean
+            skews = p100[lo:hi][mean[lo:hi] > 0] / mean[lo:hi][mean[lo:hi] > 0]
+            tail_skew = float(skews.max()) if skews.size else 0.0
+
+    return DivergenceReport(
+        times_ns=times_ns,
+        mean_inflight=mean,
+        median_inflight=median,
+        p95_inflight=p95,
+        p100_inflight=p100,
+        active_flows=counts,
+        min_jains_index=min_jain,
+        tail_skew=tail_skew,
+        end_ramp_ratio=end_ramp,
+    )

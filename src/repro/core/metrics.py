@@ -1,0 +1,132 @@
+"""Per-burst and per-trace metric aggregation.
+
+Collects the figures of merit that the paper's evaluation plots:
+frequency, duration, flow count (Figure 2); queueing, ECN marking, and
+retransmission behaviour (Figure 4); plus trace-level utilization and
+incast fractions used in the prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bursts import Burst, burst_frequency_hz, detect_bursts
+from repro.core.incast import incast_fraction, low_mode_fraction
+from repro.measurement.records import HostTrace
+
+
+@dataclass(frozen=True)
+class BurstMetrics:
+    """Flat record of one burst's figures of merit.
+
+    ``peak_queue_frac`` is the burst's own ground-truth peak occupancy;
+    ``watermark_frac`` is what the production measurement would attribute
+    to the burst — the switch's high-watermark counter, which is shared by
+    every burst in the counter's window (Section 3.4 explains that ToRs
+    record a per-minute high watermark; Figure 4a plots that value).
+    """
+
+    duration_ms: float
+    max_active_flows: int
+    mean_utilization: float
+    marked_fraction: float
+    retransmit_fraction: float
+    peak_queue_frac: float
+    watermark_frac: float
+    total_bytes: int
+
+    @classmethod
+    def from_burst(cls, burst: Burst,
+                   watermark_frac: float = 0.0) -> "BurstMetrics":
+        """Extract metrics from a detected burst."""
+        return cls(
+            duration_ms=burst.duration_ms,
+            max_active_flows=burst.max_active_flows,
+            mean_utilization=burst.mean_utilization,
+            marked_fraction=burst.marked_fraction,
+            retransmit_fraction=burst.retransmit_fraction_of_line_rate,
+            peak_queue_frac=burst.peak_queue_frac,
+            watermark_frac=watermark_frac,
+            total_bytes=burst.total_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """One capture's burst-level summary."""
+
+    service: str
+    host_id: int
+    snapshot_index: int
+    n_bursts: int
+    burst_frequency_hz: float
+    mean_utilization: float
+    incast_fraction: float
+    low_mode_fraction: float
+    bursts: tuple[BurstMetrics, ...]
+
+    @property
+    def flow_counts(self) -> np.ndarray:
+        """Per-burst peak flow counts."""
+        return np.asarray([b.max_active_flows for b in self.bursts])
+
+    @property
+    def durations_ms(self) -> np.ndarray:
+        """Per-burst durations in milliseconds."""
+        return np.asarray([b.duration_ms for b in self.bursts])
+
+    @property
+    def marked_fractions(self) -> np.ndarray:
+        """Per-burst ECN-marked byte fractions."""
+        return np.asarray([b.marked_fraction for b in self.bursts])
+
+    @property
+    def retransmit_fractions(self) -> np.ndarray:
+        """Per-burst retransmitted fractions of line rate."""
+        return np.asarray([b.retransmit_fraction for b in self.bursts])
+
+    @property
+    def peak_queue_fracs(self) -> np.ndarray:
+        """Per-burst peak queue occupancy fractions (ground truth)."""
+        return np.asarray([b.peak_queue_frac for b in self.bursts])
+
+    @property
+    def watermark_fracs(self) -> np.ndarray:
+        """Per-burst queue occupancy as a high-watermark counter reports it
+        (Figure 4a's semantics)."""
+        return np.asarray([b.watermark_frac for b in self.bursts])
+
+    def mean_flow_count(self) -> float:
+        """Mean per-burst flow count (Figure 3's y-axis)."""
+        flows = self.flow_counts
+        return float(flows.mean()) if flows.size else 0.0
+
+    def p99_flow_count(self) -> float:
+        """99th-percentile per-burst flow count (Figure 3b)."""
+        flows = self.flow_counts
+        return float(np.percentile(flows, 99)) if flows.size else 0.0
+
+
+def summarize_trace(trace: HostTrace) -> TraceSummary:
+    """Detect bursts in ``trace`` and aggregate their metrics."""
+    bursts = detect_bursts(trace)
+    # High-watermark semantics: every burst in the counter window reports
+    # the window's maximum occupancy (the trace sits inside one window).
+    if trace.queue_frac is not None and len(trace.queue_frac):
+        watermark = float(np.max(trace.queue_frac))
+    else:
+        watermark = max((b.peak_queue_frac for b in bursts), default=0.0)
+    return TraceSummary(
+        service=trace.meta.service,
+        host_id=trace.meta.host_id,
+        snapshot_index=trace.meta.snapshot_index,
+        n_bursts=len(bursts),
+        burst_frequency_hz=burst_frequency_hz(trace, bursts),
+        mean_utilization=trace.mean_utilization(),
+        incast_fraction=incast_fraction(bursts),
+        low_mode_fraction=low_mode_fraction(bursts),
+        bursts=tuple(BurstMetrics.from_burst(b, watermark_frac=watermark)
+                     for b in bursts),
+    )

@@ -1,0 +1,140 @@
+"""DCTCP operating modes (Section 4.1).
+
+The paper identifies three regimes, parameterized by the incast degree K,
+the switch ECN threshold, the path BDP, and the queue capacity (all in
+segments):
+
+- **Mode 1 — healthy** (K below the degenerate point): flows can back off
+  enough that the queue oscillates around the marking threshold, with
+  periods of no marking that let DCTCP ramp back up.
+- **Mode 2 — degenerate** (K at least the degenerate point, but standing
+  queue within capacity): every flow is pinned at the 1-MSS floor, so the
+  queue is simply ``K - BDP`` segments, permanently above the threshold;
+  senders have no recourse. BCT stays near optimal but delay is high.
+- **Mode 3 — timeouts** (first-window spike or standing queue beyond
+  capacity): drops with windows too small for triple-dupACK recovery, so
+  losses surface as RTOs and BCT explodes by an order of magnitude.
+
+:class:`ModeModel` provides the analytic prediction;
+:func:`classify_queue_trace` classifies an observed queue-length series the
+way the paper's Figure 5 panels are read.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class DctcpMode(enum.IntEnum):
+    """The three operating modes of Figure 5."""
+
+    HEALTHY = 1
+    DEGENERATE = 2
+    TIMEOUT = 3
+
+
+def degenerate_flow_count(ecn_threshold_packets: int,
+                          bdp_packets: float) -> int:
+    """K*: the smallest flow count at which the queue can no longer drain
+    below the ECN threshold even with every flow at a 1-MSS window.
+
+    At minimum windows, total in-flight data is K segments; the network
+    "absorbs" the BDP and the queue holds the rest, so the queue stays at
+    or above the threshold once ``K >= threshold + BDP`` (Section 4.1.2).
+    """
+    return int(np.ceil(ecn_threshold_packets + bdp_packets))
+
+
+@dataclass(frozen=True)
+class ModeModel:
+    """Analytic mode prediction for a given bottleneck configuration.
+
+    Attributes (all in packets/segments):
+        ecn_threshold_packets: Switch marking threshold.
+        queue_capacity_packets: Queue capacity (effective, if shared).
+        bdp_packets: Bandwidth-delay product of the path.
+        healthy_margin: Empirical slack on the degenerate point below which
+            DCTCP still regulates. The strict arithmetic says the queue is
+            pinned once K segments exceed threshold + BDP (K* = 90 in the
+            paper's setup), but flows hover between 1 and 2 MSS rather than
+            sitting exactly at the floor, so in practice regulation only
+            breaks down around ~1.6 K* — the paper's "≈150 flows in this
+            configuration" observation.
+    """
+
+    ecn_threshold_packets: int
+    queue_capacity_packets: int
+    bdp_packets: float
+    healthy_margin: float = 1.6
+
+    @property
+    def degenerate_point(self) -> int:
+        """K* — the Mode 1 / Mode 2 boundary."""
+        return degenerate_flow_count(self.ecn_threshold_packets,
+                                     self.bdp_packets)
+
+    @property
+    def overflow_point(self) -> int:
+        """The flow count beyond which even minimum windows overflow the
+        queue: ``K > capacity + BDP`` guarantees steady-state loss (the
+        Mode 2 / Mode 3 boundary for perfectly converged flows)."""
+        return int(np.floor(self.queue_capacity_packets + self.bdp_packets))
+
+    def predict(self, n_flows: int,
+                start_spike_factor: float = 1.0) -> DctcpMode:
+        """Predicted mode for an incast of ``n_flows``.
+
+        ``start_spike_factor`` scales the burst-start window dump: straggler
+        divergence (Section 4.3) makes flows begin a burst with more than
+        the 1-MSS floor in flight, which moves the loss boundary down —
+        the reason the paper observes Mode 3 at 1000 flows even though the
+        converged standing queue would fit.
+        """
+        if n_flows <= 0:
+            raise ValueError("n_flows must be positive")
+        spike = n_flows * max(start_spike_factor, 1.0)
+        if spike > self.overflow_point:
+            return DctcpMode.TIMEOUT
+        if n_flows < self.degenerate_point * self.healthy_margin:
+            return DctcpMode.HEALTHY
+        return DctcpMode.DEGENERATE
+
+    def expected_standing_queue_packets(self, n_flows: int) -> float:
+        """Expected steady-state queue length during the burst.
+
+        Mode 1 sits near the marking threshold; Mode 2 is pinned at
+        ``K - BDP`` (clamped to capacity)."""
+        if n_flows < self.degenerate_point:
+            return float(self.ecn_threshold_packets)
+        return float(min(n_flows - self.bdp_packets,
+                         self.queue_capacity_packets))
+
+
+def classify_queue_trace(queue_packets: np.ndarray, model: ModeModel,
+                         drops: int = 0,
+                         healthy_dip_fraction: float = 0.15
+                         ) -> DctcpMode:
+    """Classify an observed bottleneck queue series into a mode.
+
+    Reads the trace the way the paper reads Figure 5: losses (or the queue
+    riding capacity) mean Mode 3; a queue that regularly returns to the
+    marking-threshold *region* means Mode 1 (DCTCP observes no-marking
+    periods and can regulate); a queue pinned far above the threshold means
+    Mode 2. The healthy region extends one BDP above the threshold — the
+    paper's Figure 5a oscillation band ("it takes ~90 packets in flight to
+    trigger ECN marks" = threshold + BDP) — because a queue riding within
+    that band still gives DCTCP unmarked windows.
+    """
+    queue = np.asarray(queue_packets, dtype=np.float64)
+    if queue.size == 0:
+        raise ValueError("empty queue trace")
+    if drops > 0 or queue.max() >= model.queue_capacity_packets:
+        return DctcpMode.TIMEOUT
+    band_top = model.ecn_threshold_packets + model.bdp_packets
+    dips = float((queue < band_top).mean())
+    if dips >= healthy_dip_fraction:
+        return DctcpMode.HEALTHY
+    return DctcpMode.DEGENERATE

@@ -1,0 +1,104 @@
+"""Temporal structure of bursts: inter-arrival statistics and trains.
+
+The paper reports burst *frequency*; a companion question for anyone
+acting on bursts (e.g. the predictor, or a scheduler deciding whether to
+keep windows clamped between bursts) is how bursts cluster in time:
+
+- :func:`inter_burst_gaps_ms` — idle gaps between consecutive bursts;
+- :func:`burstiness_coefficient` — coefficient of variation of those gaps
+  (1 for a Poisson process, larger when bursts arrive in clumps);
+- :func:`group_trains` / :func:`analyze_trains` — group bursts separated
+  by less than a threshold into *trains*, the natural unit over which
+  carried-over CWND state (Section 4.3) stays relevant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.core.bursts import Burst
+from repro.measurement.records import HostTrace
+
+
+def inter_burst_gaps_ms(bursts: list[Burst]) -> np.ndarray:
+    """Idle time between the end of each burst and the start of the next,
+    in milliseconds (empty for fewer than two bursts)."""
+    if len(bursts) < 2:
+        return np.zeros(0)
+    gaps = []
+    for earlier, later in zip(bursts, bursts[1:]):
+        interval_ms = earlier.trace.interval_ns / units.NS_PER_MS
+        gaps.append((later.start - earlier.end) * interval_ms)
+    return np.asarray(gaps, dtype=np.float64)
+
+
+def burstiness_coefficient(gaps_ms: np.ndarray) -> float:
+    """Coefficient of variation of inter-burst gaps.
+
+    ~1 for Poisson arrivals; > 1 indicates clumped (trainlike) arrivals;
+    0 for perfectly periodic bursts or insufficient data.
+    """
+    gaps_ms = np.asarray(gaps_ms, dtype=np.float64)
+    if gaps_ms.size < 2 or gaps_ms.mean() == 0:
+        return 0.0
+    return float(gaps_ms.std() / gaps_ms.mean())
+
+
+def group_trains(bursts: list[Burst],
+                 max_gap_ms: float = 5.0) -> list[list[Burst]]:
+    """Group bursts whose separating gap is at most ``max_gap_ms`` into
+    trains. Bursts must be in time order (as ``detect_bursts`` returns)."""
+    if max_gap_ms < 0:
+        raise ValueError("max_gap_ms must be >= 0")
+    trains: list[list[Burst]] = []
+    for burst in bursts:
+        if trains:
+            previous = trains[-1][-1]
+            interval_ms = previous.trace.interval_ns / units.NS_PER_MS
+            gap = (burst.start - previous.end) * interval_ms
+            if gap <= max_gap_ms:
+                trains[-1].append(burst)
+                continue
+        trains.append([burst])
+    return trains
+
+
+@dataclass(frozen=True)
+class TrainStats:
+    """Summary of one trace's burst-train structure."""
+
+    n_bursts: int
+    n_trains: int
+    mean_train_size: float
+    max_train_size: int
+    solo_fraction: float
+    burstiness: float
+    median_gap_ms: float
+
+    @property
+    def trainy(self) -> bool:
+        """Whether a meaningful share of bursts arrive in trains."""
+        return self.solo_fraction < 0.7 and self.max_train_size >= 3
+
+
+def analyze_trains(trace: HostTrace, bursts: list[Burst] | None = None,
+                   max_gap_ms: float = 5.0) -> TrainStats:
+    """Full temporal-structure summary for one capture."""
+    from repro.core.bursts import detect_bursts
+    if bursts is None:
+        bursts = detect_bursts(trace)
+    gaps = inter_burst_gaps_ms(bursts)
+    trains = group_trains(bursts, max_gap_ms)
+    sizes = np.asarray([len(t) for t in trains], dtype=np.int64)
+    return TrainStats(
+        n_bursts=len(bursts),
+        n_trains=len(trains),
+        mean_train_size=float(sizes.mean()) if sizes.size else 0.0,
+        max_train_size=int(sizes.max()) if sizes.size else 0,
+        solo_fraction=float((sizes == 1).mean()) if sizes.size else 0.0,
+        burstiness=burstiness_coefficient(gaps),
+        median_gap_ms=float(np.median(gaps)) if gaps.size else 0.0,
+    )

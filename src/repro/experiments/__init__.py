@@ -1,0 +1,24 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+Every runner exposes ``run(...) -> ExperimentResult`` returning both the
+structured data behind the table/figure and an ASCII rendering, so the same
+code path serves tests, benchmarks, and the CLI
+(``python -m repro.experiments --list``).
+
+Scaled-down defaults are available everywhere via the ``scale`` parameter so
+the whole suite stays runnable in CI; ``scale=1.0`` reproduces the paper's
+configuration.
+"""
+
+from repro.experiments.environment import (IncastSimConfig, IncastSimResult,
+                                           production_fluid_config,
+                                           run_incast_sim)
+from repro.experiments.result import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "IncastSimConfig",
+    "IncastSimResult",
+    "run_incast_sim",
+    "production_fluid_config",
+]

@@ -1,0 +1,223 @@
+"""Shared experiment environments.
+
+:func:`run_incast_sim` is the engine behind Figures 5-7 and the ablations:
+it builds the paper's dumbbell, opens N persistent DCTCP (or alternative
+CCA) connections, drives the cyclic incast workload, probes the bottleneck
+queue, and returns per-burst results plus burst-aligned averaged queue
+traces (the paper averages the final 10 of 11 bursts).
+
+:func:`production_fluid_config` is the Section 3 environment shared by the
+fleet experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import units
+from repro.analysis.series import align_and_average
+from repro.core.modes import DctcpMode, ModeModel, classify_queue_trace
+from repro.netsim.fluid import FluidConfig
+from repro.netsim.packet import TCP_IP_HEADER_BYTES
+from repro.netsim.topology import Dumbbell, DumbbellConfig, build_dumbbell
+from repro.simcore.kernel import Simulator
+from repro.simcore.random import RngHub
+from repro.simcore.trace import PeriodicProbe
+from repro.tcp.cca.base import CongestionControl
+from repro.tcp.cca.dctcp import Dctcp
+from repro.tcp.cca.reno import Reno
+from repro.tcp.cca.swiftlike import SwiftLike
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import open_connection
+from repro.tcp.guardrail import CwndGuardrail
+from repro.workloads.incast import (BurstResult, FlowStateSampler,
+                                    IncastConfig, IncastWorkload,
+                                    demand_per_flow_bytes)
+
+CCA_FACTORIES: dict[str, Callable[[TcpConfig, float], CongestionControl]] = {
+    "dctcp": lambda cfg, g: Dctcp(cfg, g=g),
+    "reno": lambda cfg, g: Reno(cfg),
+    "swiftlike": lambda cfg, g: SwiftLike(cfg),
+}
+
+
+@dataclass
+class IncastSimConfig:
+    """One packet-level incast experiment (defaults = the paper's setup)."""
+
+    n_flows: int = 100
+    burst_duration_ns: int = units.msec(15.0)
+    n_bursts: int = 11
+    inter_burst_gap_ns: int = units.msec(5.0)
+    seed: int = 0
+    cca: str = "dctcp"
+    dctcp_g: float = 1.0 / 16.0
+    guardrail_cap_bytes: Optional[int] = None
+    dumbbell: DumbbellConfig = field(default_factory=DumbbellConfig)
+    tcp: TcpConfig = field(default_factory=TcpConfig)
+    queue_probe_period_ns: int = units.usec(50.0)
+    sample_flows: bool = False
+    flow_sample_period_ns: int = units.usec(100.0)
+    max_sim_time_ns: int = units.sec(20.0)
+
+    def __post_init__(self) -> None:
+        if self.cca not in CCA_FACTORIES:
+            raise ValueError(f"unknown CCA {self.cca!r}; "
+                             f"choose from {sorted(CCA_FACTORIES)}")
+        if self.n_flows <= 0:
+            raise ValueError("n_flows must be positive")
+        self.dumbbell = replace(self.dumbbell, n_senders=self.n_flows)
+
+    @property
+    def demand_bytes_per_flow(self) -> int:
+        """Equal per-flow demand implied by the burst duration."""
+        return demand_per_flow_bytes(self.dumbbell.host_rate_bps,
+                                     self.burst_duration_ns, self.n_flows)
+
+    def mode_model(self) -> ModeModel:
+        """Analytic mode model for this configuration."""
+        wire_packet = self.tcp.mss_bytes + TCP_IP_HEADER_BYTES
+        return ModeModel(
+            ecn_threshold_packets=self.dumbbell.ecn_threshold_packets or 0,
+            queue_capacity_packets=self.dumbbell.queue_capacity_packets,
+            bdp_packets=self.dumbbell.bdp_bytes / wire_packet,
+        )
+
+
+@dataclass
+class IncastSimResult:
+    """Outputs of one packet-level incast experiment."""
+
+    config: IncastSimConfig
+    burst_results: list[BurstResult]
+    steady_results: list[BurstResult]
+    mean_bct_ms: float
+    queue_times_ns: np.ndarray
+    queue_packets: np.ndarray
+    burst_starts_ns: list[int]
+    aligned_offsets_ns: np.ndarray
+    aligned_queue_packets: np.ndarray
+    steady_drops: int
+    steady_rtos: int
+    steady_marked_packets: int
+    steady_retransmits: int
+    mode: DctcpMode
+    flow_sampler: Optional[FlowStateSampler]
+    network: Dumbbell
+
+    @property
+    def optimal_bct_ms(self) -> float:
+        """The burst duration — the BCT of a perfectly scheduled burst."""
+        return units.ns_to_ms(self.config.burst_duration_ns)
+
+    @property
+    def bct_inflation(self) -> float:
+        """Mean steady BCT over the optimal BCT."""
+        return self.mean_bct_ms / self.optimal_bct_ms \
+            if self.optimal_bct_ms else 0.0
+
+
+def _make_cca(cfg: IncastSimConfig) -> CongestionControl:
+    cca = CCA_FACTORIES[cfg.cca](cfg.tcp, cfg.dctcp_g)
+    if cfg.guardrail_cap_bytes is not None:
+        cca = CwndGuardrail(cca, cfg.guardrail_cap_bytes)
+    return cca
+
+
+def run_incast_sim(cfg: IncastSimConfig) -> IncastSimResult:
+    """Run one cyclic-incast packet simulation end to end."""
+    sim = Simulator()
+    net = build_dumbbell(sim, cfg.dumbbell)
+    connections = [
+        open_connection(sim, cfg.tcp, _make_cca(cfg), sender, net.receiver)
+        for sender in net.senders
+    ]
+    rng = RngHub(cfg.seed).stream("jitter")
+    workload = IncastWorkload(
+        sim, connections,
+        IncastConfig(n_bursts=cfg.n_bursts,
+                     burst_duration_ns=cfg.burst_duration_ns,
+                     inter_burst_gap_ns=cfg.inter_burst_gap_ns),
+        rng, queue=net.bottleneck_queue,
+        demand_bytes_per_flow=cfg.demand_bytes_per_flow)
+
+    probe = PeriodicProbe(sim, lambda: net.bottleneck_queue.len_packets,
+                          cfg.queue_probe_period_ns, "bottleneck_queue")
+    probe.start()
+    sampler = None
+    if cfg.sample_flows:
+        sampler = FlowStateSampler(sim, [s for s, _ in connections],
+                                   cfg.flow_sample_period_ns)
+        sampler.start()
+
+    workload.add_done_callback(probe.stop)
+    if sampler is not None:
+        workload.add_done_callback(sampler.stop)
+    workload.start()
+    sim.run(until_ns=cfg.max_sim_time_ns)
+    if not workload.done:
+        raise RuntimeError(
+            f"workload incomplete after {cfg.max_sim_time_ns} ns "
+            f"({len(workload.results)}/{cfg.n_bursts} bursts)")
+    probe.stop()
+    if sampler is not None:
+        sampler.stop()
+
+    steady = workload.steady_results()
+    times = probe.series.times_ns
+    values = probe.series.values
+
+    # Align each steady burst's queue trace to its own start and average,
+    # as the paper does across the final 10 bursts.
+    span_ns = cfg.burst_duration_ns + cfg.inter_burst_gap_ns
+    segments = []
+    for result in steady:
+        mask = ((times >= result.start_ns)
+                & (times < result.start_ns + span_ns))
+        segments.append((times[mask] - result.start_ns, values[mask]))
+    offsets, averaged = align_and_average(
+        segments, bin_ns=cfg.queue_probe_period_ns, span_ns=span_ns)
+
+    steady_drops = sum(r.drops for r in steady)
+    # Classify the mode from *raw* per-burst samples, burst-duration
+    # portion only: averaging across bursts would flatten the below-
+    # threshold dips that distinguish healthy Mode 1, and the idle gap
+    # would dilute Mode 2's "never below threshold" signature.
+    raw_samples = []
+    for result in steady:
+        mask = ((times >= result.start_ns)
+                & (times < result.start_ns + cfg.burst_duration_ns))
+        raw_samples.append(values[mask])
+    burst_portion = (np.concatenate(raw_samples) if raw_samples
+                     else np.zeros(1))
+    mode = classify_queue_trace(
+        burst_portion if burst_portion.size else np.zeros(1),
+        cfg.mode_model(), drops=steady_drops)
+
+    return IncastSimResult(
+        config=cfg,
+        burst_results=workload.results,
+        steady_results=steady,
+        mean_bct_ms=workload.mean_bct_ms(),
+        queue_times_ns=times,
+        queue_packets=values,
+        burst_starts_ns=workload.burst_starts_ns,
+        aligned_offsets_ns=offsets,
+        aligned_queue_packets=averaged,
+        steady_drops=steady_drops,
+        steady_rtos=sum(r.rto_events for r in steady),
+        steady_marked_packets=sum(r.marked_packets for r in steady),
+        steady_retransmits=sum(r.retransmitted_packets for r in steady),
+        mode=mode,
+        flow_sampler=sampler,
+        network=net,
+    )
+
+
+def production_fluid_config() -> FluidConfig:
+    """The Section 3 production environment (25 Gbps NICs, 2 MB shared ToR
+    queues, ECN at 6.7% of capacity)."""
+    return FluidConfig()

@@ -1,0 +1,36 @@
+"""Common result container for experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure.
+
+    Attributes:
+        name: Experiment identifier, e.g. ``"fig5"``.
+        description: What the table/figure shows.
+        sections: Rendered ASCII tables/series, in display order.
+        data: Structured outputs keyed by panel/series name, for tests and
+            downstream analysis.
+    """
+
+    name: str
+    description: str
+    sections: list[str] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def add_section(self, text: str) -> None:
+        """Append one rendered block."""
+        self.sections.append(text)
+
+    def render(self) -> str:
+        """The full printable report for this experiment."""
+        header = f"=== {self.name}: {self.description} ==="
+        return "\n\n".join([header] + self.sections)
+
+    def __repr__(self) -> str:
+        return f"ExperimentResult({self.name}, sections={len(self.sections)})"

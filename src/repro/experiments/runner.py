@@ -1,0 +1,87 @@
+"""Command-line entry point: run any reproduced table/figure.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments --experiment fig5 --scale 0.25
+    python -m repro.experiments --all --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (ablations, crossval, fig1, fig2, fig3, fig4,
+                               fig5, fig6, fig7, table1)
+from repro.experiments.result import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "ablations": ablations.run,
+    "crossval": crossval.run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of 'Understanding "
+                    "Incast Bursts in Modern Datacenters' (IMC 2024)")
+    parser.add_argument("--experiment", "-e", choices=sorted(EXPERIMENTS),
+                        action="append", default=None,
+                        help="experiment(s) to run; repeatable")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (1.0 = paper scale)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root random seed")
+    parser.add_argument("--json-dir", type=str, default=None,
+                        help="also write each result as JSON into this "
+                             "directory")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            doc = sys.modules[EXPERIMENTS[name].__module__].__doc__ or ""
+            first_line = doc.strip().splitlines()[0] if doc.strip() else ""
+            print(f"{name:12s} {first_line}")
+        return 0
+    names = list(EXPERIMENTS) if args.all else (args.experiment or [])
+    if not names:
+        print("nothing to run: pass --experiment NAME, --all, or --list",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        print(result.render())
+        if args.json_dir is not None:
+            from pathlib import Path
+
+            from repro.analysis.export import write_result
+            path = write_result(result, Path(args.json_dir))
+            print(f"[wrote {path}]")
+        print(f"\n[{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Host- and switch-side measurement tooling.
+
+Models the paper's production measurement apparatus:
+
+- :mod:`repro.measurement.records` — the Millisampler data model: per-host
+  traces of 1 ms interval records (ingress bytes, active flows, ECN-marked
+  bytes, retransmitted bytes).
+- :mod:`repro.measurement.millisampler` — a packet-level implementation of
+  Millisampler that taps a simulated host NIC, mirroring the production
+  eBPF tc filter.
+- :mod:`repro.measurement.watermark` — switch queue high-watermark sampling
+  (per-window max occupancy, the counters ToRs expose).
+- :mod:`repro.measurement.collection` — fleet campaign orchestration
+  (services x hosts x snapshots), the shape of the paper's 18-hour study.
+"""
+
+from repro.measurement.records import HostTrace, TraceMeta
+from repro.measurement.millisampler import Millisampler
+from repro.measurement.watermark import WatermarkSampler
+
+# NOTE: repro.measurement.collection is intentionally not imported here —
+# it depends on repro.core (burst summarization), which itself consumes the
+# record types above; import it as `repro.measurement.collection`.
+
+__all__ = [
+    "HostTrace",
+    "TraceMeta",
+    "Millisampler",
+    "WatermarkSampler",
+]

@@ -1,0 +1,131 @@
+"""Fleet measurement campaigns (the Section 3 study shape).
+
+The paper collects two campaigns:
+
+- the *daily* campaign: 2-second traces from 20 hosts per service, nine
+  times through a day (Figures 1, 2, 4);
+- the *18-hour* campaign: 2-second traces every 10 minutes for 18 hours
+  (Figure 3a's temporal-stability series — 108 snapshots).
+
+:func:`run_campaign` generates either shape from the synthetic fleet and
+returns per-trace burst summaries, keeping memory bounded by discarding the
+raw traces unless asked to retain them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.metrics import TraceSummary, summarize_trace
+from repro.measurement.records import HostTrace, TraceMeta
+from repro.netsim.fluid import FluidConfig
+from repro.simcore.random import RngHub
+from repro.workloads.services import (SERVICE_PROFILES, generate_host_trace,
+                                      host_rate_multiplier, regime_sequence)
+
+
+@dataclass
+class CampaignConfig:
+    """Shape of a measurement campaign."""
+
+    services: tuple[str, ...] = tuple(SERVICE_PROFILES)
+    hosts_per_service: int = 20
+    n_snapshots: int = 9
+    snapshot_spacing_s: float = 600.0
+    trace_duration_ms: int = 2000
+    seed: int = 0
+    keep_traces: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hosts_per_service <= 0:
+            raise ValueError("hosts_per_service must be positive")
+        if self.n_snapshots <= 0:
+            raise ValueError("n_snapshots must be positive")
+        unknown = set(self.services) - set(SERVICE_PROFILES)
+        if unknown:
+            raise ValueError(f"unknown services: {sorted(unknown)}")
+
+    @classmethod
+    def daily(cls, **overrides) -> "CampaignConfig":
+        """The Figures 1/2/4 campaign: 20 hosts x 9 snapshots."""
+        return cls(**overrides)
+
+    @classmethod
+    def stability(cls, **overrides) -> "CampaignConfig":
+        """The Figure 3 campaign: every 10 minutes over 18 hours."""
+        overrides.setdefault("n_snapshots", 108)
+        return cls(**overrides)
+
+
+@dataclass
+class FleetCampaign:
+    """Results of one campaign: per-service trace summaries."""
+
+    config: CampaignConfig
+    summaries: dict[str, list[TraceSummary]] = field(default_factory=dict)
+    traces: dict[str, list[HostTrace]] = field(default_factory=dict)
+    regimes: dict[str, list[int]] = field(default_factory=dict)
+
+    def service_summaries(self, service: str) -> list[TraceSummary]:
+        """All trace summaries for ``service``."""
+        return self.summaries[service]
+
+    def pooled(self, service: str, attribute: str) -> np.ndarray:
+        """Pool a per-burst metric across every trace of ``service``.
+
+        ``attribute`` names a :class:`TraceSummary` array property, e.g.
+        ``"flow_counts"`` or ``"marked_fractions"``.
+        """
+        parts = [getattr(s, attribute) for s in self.summaries[service]]
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return np.zeros(0)
+        return np.concatenate(parts)
+
+    def burst_frequencies(self, service: str) -> np.ndarray:
+        """Per-trace burst frequency (Figure 2a samples)."""
+        return np.asarray([s.burst_frequency_hz
+                           for s in self.summaries[service]])
+
+
+def run_campaign(config: Optional[CampaignConfig] = None,
+                 fluid_config: Optional[FluidConfig] = None
+                 ) -> FleetCampaign:
+    """Generate and summarize a full fleet campaign."""
+    cfg = config or CampaignConfig()
+    fluid = fluid_config or FluidConfig()
+    hub = RngHub(cfg.seed)
+    campaign = FleetCampaign(config=cfg)
+    for service in cfg.services:
+        profile = SERVICE_PROFILES[service]
+        regime_rng = hub.fresh(f"{service}/regimes")
+        regimes = regime_sequence(profile, cfg.n_snapshots, regime_rng)
+        campaign.regimes[service] = regimes
+        summaries: list[TraceSummary] = []
+        kept: list[HostTrace] = []
+        for host_id in range(cfg.hosts_per_service):
+            host_rng = hub.fresh(f"{service}/host{host_id}")
+            rate_mult = host_rate_multiplier(profile, host_rng)
+            for snapshot in range(cfg.n_snapshots):
+                trace_rng = hub.fresh(
+                    f"{service}/host{host_id}/snap{snapshot}")
+                meta = TraceMeta(
+                    service=service, host_id=host_id,
+                    snapshot_index=snapshot,
+                    snapshot_time_s=snapshot * cfg.snapshot_spacing_s)
+                trace = generate_host_trace(
+                    profile, meta, trace_rng,
+                    duration_ms=cfg.trace_duration_ms,
+                    fluid_config=fluid,
+                    regime_index=regimes[snapshot],
+                    rate_multiplier=rate_mult)
+                summaries.append(summarize_trace(trace))
+                if cfg.keep_traces:
+                    kept.append(trace)
+        campaign.summaries[service] = summaries
+        if cfg.keep_traces:
+            campaign.traces[service] = kept
+    return campaign

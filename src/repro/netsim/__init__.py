@@ -1,0 +1,58 @@
+"""Packet-level network model.
+
+Built on :mod:`repro.simcore`, this package models the paper's simulation
+environment (Section 4): point-to-point links with serialization and
+propagation delay, output-queued switches whose egress queues tail-drop and
+ECN-mark at a configurable threshold, shared switch buffers, host NICs, and a
+dumbbell topology builder matching the paper's setup (N senders -> ToR ->
+ToR -> one receiver).
+
+It also contains :mod:`repro.netsim.fluid`, the millisecond-granularity fluid
+ToR queue used by the Section 3 production-fleet model, which shares the same
+queueing physics (queue ~= aggregate window - BDP, all-or-nothing ECN
+marking, overflow drops) at a coarser timescale.
+"""
+
+from repro.netsim.fluid import (FluidBurstTrace, FluidConfig, FluidIncast,
+                                degenerate_point_flows)
+from repro.netsim.packet import ECN, Packet
+from repro.netsim.link import Link
+from repro.netsim.queues import DropTailQueue, QueueStats
+from repro.netsim.buffers import BufferPool, SharedBufferPool, StaticBufferPool
+from repro.netsim.switch import EgressPort, Switch
+from repro.netsim.nic import HostNIC
+from repro.netsim.host import Host
+from repro.netsim.impair import Impairment
+from repro.netsim.leafspine import (LeafSpine, LeafSpineConfig,
+                                    build_leaf_spine)
+from repro.netsim.topology import (Dumbbell, DumbbellConfig, Rack,
+                                   RackConfig, build_dumbbell, build_rack)
+
+__all__ = [
+    "FluidBurstTrace",
+    "FluidConfig",
+    "FluidIncast",
+    "degenerate_point_flows",
+    "ECN",
+    "Packet",
+    "Link",
+    "DropTailQueue",
+    "QueueStats",
+    "BufferPool",
+    "SharedBufferPool",
+    "StaticBufferPool",
+    "EgressPort",
+    "Switch",
+    "HostNIC",
+    "Host",
+    "Impairment",
+    "Dumbbell",
+    "DumbbellConfig",
+    "LeafSpine",
+    "LeafSpineConfig",
+    "build_leaf_spine",
+    "Rack",
+    "RackConfig",
+    "build_dumbbell",
+    "build_rack",
+]

@@ -1,0 +1,38 @@
+"""Host: a NIC plus the TCP connections terminating on it."""
+
+from __future__ import annotations
+
+from repro.netsim.nic import HostNIC, PacketHandler
+from repro.simcore.kernel import Simulator
+
+
+class Host:
+    """An end host identified by an integer address.
+
+    Hosts are thin: all protocol logic lives in the connections registered on
+    the NIC, and all workload logic lives in the applications that drive
+    those connections.
+
+    Attributes:
+        address: Unique host address used by switch forwarding.
+        nic: The host's network interface.
+    """
+
+    _next_address = 0
+
+    def __init__(self, sim: Simulator, name: str = "",
+                 address: int | None = None):
+        self._sim = sim
+        if address is None:
+            address = Host._next_address
+            Host._next_address += 1
+        self.address = address
+        self.name = name or f"host{address}"
+        self.nic = HostNIC(sim, address, name=f"{self.name}.nic")
+
+    def register_flow(self, flow_id: int, handler: PacketHandler) -> None:
+        """Convenience passthrough to the NIC's flow demux."""
+        self.nic.register_flow(flow_id, handler)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name}, addr={self.address})"

@@ -1,0 +1,163 @@
+"""Three-tier leaf-spine topology.
+
+The paper's measurement environment (Section 2) is a three-layer
+datacenter: hosts connect to ToR (leaf) switches, which connect upward to
+a spine layer. The Section 4 diagnosis deliberately collapses this to a
+dumbbell, but cross-rack experiments (and any reader wanting to place the
+dumbbell in context) need the full shape:
+
+    hosts --(host_rate)--> leaf --(uplink_rate)--> spines --> leaf --> hosts
+
+Forwarding is destination-based and deterministic: a leaf sends remote
+traffic to the spine chosen by hashing the destination address (per-
+destination ECMP), so a given connection always takes one path and packet
+reordering cannot occur. Every port uses the paper's queue configuration.
+
+The incast bottleneck for a many-to-one pattern is the destination leaf's
+downlink to the receiving host — the same port the dumbbell isolates —
+which :func:`cross_rack_incast_queue` exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import units
+from repro.netsim.buffers import BufferPool, SharedBufferPool
+from repro.netsim.host import Host
+from repro.netsim.link import Link
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.switch import Switch
+from repro.simcore.kernel import Simulator
+
+
+@dataclass
+class LeafSpineConfig:
+    """Parameters of the leaf-spine fabric (paper-like defaults)."""
+
+    n_racks: int = 4
+    hosts_per_rack: int = 8
+    n_spines: int = 2
+    host_rate_bps: float = units.gbps(10.0)
+    uplink_rate_bps: float = units.gbps(100.0)
+    link_prop_delay_ns: int = units.usec(5.0)
+    queue_capacity_packets: int = 1333
+    ecn_threshold_packets: Optional[int] = 65
+    shared_buffer_bytes: Optional[int] = None
+    shared_buffer_alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_racks <= 0 or self.hosts_per_rack <= 0 \
+                or self.n_spines <= 0:
+            raise ValueError("rack/host/spine counts must be positive")
+
+
+@dataclass
+class LeafSpine:
+    """A built leaf-spine fabric."""
+
+    sim: Simulator
+    config: LeafSpineConfig
+    racks: list[list[Host]]
+    leaves: list[Switch]
+    spines: list[Switch]
+    host_downlink_queues: dict[int, DropTailQueue]
+    leaf_pools: list[Optional[BufferPool]] = field(default_factory=list)
+
+    @property
+    def hosts(self) -> list[Host]:
+        """All hosts, rack by rack."""
+        return [host for rack in self.racks for host in rack]
+
+    def rack_of(self, host: Host) -> int:
+        """Index of the rack containing ``host``."""
+        for index, rack in enumerate(self.racks):
+            if host in rack:
+                return index
+        raise ValueError(f"{host} is not part of this fabric")
+
+    def downlink_queue(self, host: Host) -> DropTailQueue:
+        """The leaf egress queue feeding ``host`` — the incast bottleneck
+        when ``host`` is a many-to-one receiver."""
+        return self.host_downlink_queues[host.address]
+
+
+def build_leaf_spine(sim: Simulator,
+                     config: Optional[LeafSpineConfig] = None) -> LeafSpine:
+    """Build the fabric and install deterministic destination routing."""
+    cfg = config or LeafSpineConfig()
+
+    def make_queue(pool: Optional[BufferPool], name: str) -> DropTailQueue:
+        return DropTailQueue(
+            capacity_packets=cfg.queue_capacity_packets,
+            ecn_threshold_packets=cfg.ecn_threshold_packets,
+            pool=pool, name=name)
+
+    spines = [Switch(sim, name=f"spine{s}") for s in range(cfg.n_spines)]
+    leaves: list[Switch] = []
+    racks: list[list[Host]] = []
+    leaf_pools: list[Optional[BufferPool]] = []
+    downlink_queues: dict[int, DropTailQueue] = {}
+
+    for rack_index in range(cfg.n_racks):
+        leaf = Switch(sim, name=f"leaf{rack_index}")
+        pool: Optional[BufferPool] = None
+        if cfg.shared_buffer_bytes is not None:
+            pool = SharedBufferPool(cfg.shared_buffer_bytes,
+                                    cfg.shared_buffer_alpha)
+        rack_hosts = []
+        for host_index in range(cfg.hosts_per_rack):
+            host = Host(sim, name=f"r{rack_index}h{host_index}")
+            uplink = Link(sim, cfg.host_rate_bps, cfg.link_prop_delay_ns,
+                          name=f"{host.name}->{leaf.name}")
+            uplink.connect(leaf)
+            host.nic.connect(uplink)
+            downlink = Link(sim, cfg.host_rate_bps, cfg.link_prop_delay_ns,
+                            name=f"{leaf.name}->{host.name}")
+            downlink.connect(host.nic)
+            queue = make_queue(pool, f"{leaf.name}->{host.name}")
+            port = leaf.attach_port(downlink, queue)
+            leaf.add_route(host.address, port)
+            downlink_queues[host.address] = queue
+            rack_hosts.append(host)
+        leaves.append(leaf)
+        racks.append(rack_hosts)
+        leaf_pools.append(pool)
+
+    # Leaf <-> spine fabric links.
+    spine_ports_by_leaf: list[list] = []
+    for rack_index, leaf in enumerate(leaves):
+        ports = []
+        for spine_index, spine in enumerate(spines):
+            up = Link(sim, cfg.uplink_rate_bps, cfg.link_prop_delay_ns,
+                      name=f"{leaf.name}->{spine.name}")
+            up.connect(spine)
+            up_port = leaf.attach_port(
+                up, make_queue(None, f"{leaf.name}->{spine.name}"))
+            ports.append(up_port)
+
+            down = Link(sim, cfg.uplink_rate_bps, cfg.link_prop_delay_ns,
+                        name=f"{spine.name}->{leaf.name}")
+            down.connect(leaf)
+            spine_port = spine.attach_port(
+                down, make_queue(None, f"{spine.name}->{leaf.name}"))
+            # Spine routes every host of this rack via its leaf.
+            for host in racks[rack_index]:
+                spine.add_route(host.address, spine_port)
+        spine_ports_by_leaf.append(ports)
+
+    # Leaf routing for remote destinations: per-destination spine choice.
+    all_hosts = [host for rack in racks for host in rack]
+    for rack_index, leaf in enumerate(leaves):
+        local = {host.address for host in racks[rack_index]}
+        for host in all_hosts:
+            if host.address in local:
+                continue
+            spine_index = host.address % cfg.n_spines
+            leaf.add_route(host.address,
+                           spine_ports_by_leaf[rack_index][spine_index])
+
+    return LeafSpine(sim=sim, config=cfg, racks=racks, leaves=leaves,
+                     spines=spines, host_downlink_queues=downlink_queues,
+                     leaf_pools=leaf_pools)

@@ -1,0 +1,103 @@
+"""Host network interface card.
+
+Egress: an unbounded FIFO in front of the host's access link (the host never
+drops its own packets; TCP's window bounds how much it can have outstanding).
+Ingress: demultiplexes packets to registered connections by flow id, and
+feeds observer hooks — this is where the Millisampler model taps the packet
+stream, exactly as the production tool observes a host's ingress traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional, Protocol
+
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.simcore.kernel import Simulator
+
+IngressHook = Callable[[Packet, int], None]
+"""Observer called as ``hook(packet, now_ns)`` for every delivered packet."""
+
+
+class PacketHandler(Protocol):
+    """A connection endpoint able to consume packets for its flow."""
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Process an arriving packet belonging to this handler's flow."""
+        ...
+
+
+class HostNIC:
+    """A host's single network interface.
+
+    Attributes:
+        address: The host address this NIC answers to.
+        egress_link: Access link toward the ToR (set via :meth:`connect`).
+    """
+
+    def __init__(self, sim: Simulator, address: int, name: str = "nic"):
+        self._sim = sim
+        self.address = address
+        self.name = name
+        self.egress_link: Optional[Link] = None
+        self._egress_fifo: deque[Packet] = deque()
+        self._handlers: dict[int, PacketHandler] = {}
+        self._ingress_hooks: list[IngressHook] = []
+        self.bytes_received = 0
+        self.packets_received = 0
+        self.bytes_sent = 0
+
+    # --- wiring ---------------------------------------------------------
+
+    def connect(self, link: Link) -> None:
+        """Attach the outgoing access link."""
+        self.egress_link = link
+
+    def register_flow(self, flow_id: int, handler: PacketHandler) -> None:
+        """Deliver packets for ``flow_id`` to ``handler``."""
+        if flow_id in self._handlers:
+            raise ValueError(f"{self.name}: flow {flow_id} already registered")
+        self._handlers[flow_id] = handler
+
+    def add_ingress_hook(self, hook: IngressHook) -> None:
+        """Observe every delivered packet (measurement tap)."""
+        self._ingress_hooks.append(hook)
+
+    # --- egress ----------------------------------------------------------
+
+    @property
+    def egress_backlog_packets(self) -> int:
+        """Packets waiting in the host's egress FIFO."""
+        return len(self._egress_fifo)
+
+    def send(self, packet: Packet) -> None:
+        """Queue ``packet`` for transmission on the access link."""
+        if self.egress_link is None:
+            raise RuntimeError(f"{self.name}: send before connect()")
+        self.bytes_sent += packet.size_bytes
+        self._egress_fifo.append(packet)
+        self._pump()
+
+    def _pump(self) -> None:
+        if self.egress_link is None or self.egress_link.busy:
+            return
+        if self._egress_fifo:
+            packet = self._egress_fifo.popleft()
+            self.egress_link.transmit(packet, on_done=self._pump)
+
+    # --- ingress ----------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Accept a delivered packet (PacketSink API)."""
+        self.bytes_received += packet.size_bytes
+        self.packets_received += 1
+        now = self._sim.now
+        for hook in self._ingress_hooks:
+            hook(packet, now)
+        handler = self._handlers.get(packet.flow_id)
+        if handler is not None:
+            handler.handle_packet(packet)
+
+    def __repr__(self) -> str:
+        return f"HostNIC(addr={self.address}, name={self.name})"

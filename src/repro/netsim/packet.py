@@ -1,0 +1,131 @@
+"""Packet model.
+
+One class covers both TCP data segments and pure ACKs; millions of these are
+created per experiment, so the class uses ``__slots__`` and plain attributes
+rather than dataclass machinery.
+
+ECN follows RFC 3168: data packets from ECN-capable senders carry ``ECT``;
+congested queues rewrite that to ``CE``; the receiver reflects ``CE`` back to
+the sender via the ``ece`` flag on ACKs (the TCP header's ECE bit).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+TCP_IP_HEADER_BYTES = 40
+"""IPv4 + TCP header overhead carried by every packet."""
+
+DEFAULT_MSS = 1460
+"""Maximum segment size for a 1500-byte MTU (the paper's configuration)."""
+
+
+class ECN(enum.IntEnum):
+    """IP-header ECN codepoint."""
+
+    NOT_ECT = 0  # sender is not ECN-capable
+    ECT = 1      # ECN-capable transport
+    CE = 2       # congestion experienced (set by a marking queue)
+
+
+class Packet:
+    """A network packet (TCP data segment or ACK).
+
+    Attributes:
+        flow_id: Identifier of the TCP connection this packet belongs to.
+        src: Source host address.
+        dst: Destination host address.
+        seq: For data, the byte offset of the first payload byte. For ACKs,
+            unused (0).
+        payload_bytes: TCP payload length; 0 for pure ACKs.
+        is_ack: Whether this is a pure ACK.
+        ack_seq: Cumulative acknowledgment (next byte expected); ACKs only.
+        ece: TCP-header ECN-Echo flag; ACKs only.
+        sack_blocks: Selective-ACK ranges ``((start, end), ...)`` above the
+            cumulative ACK; ACKs only, empty unless SACK is negotiated.
+        rwnd_bytes: Receiver-advertised window; ACKs only, ``None`` means
+            unlimited (the default throughout the paper's experiments).
+        ecn: IP-header ECN codepoint.
+        is_retransmit: Whether this data segment is a retransmission (used by
+            the host-side measurement model, mirroring what Millisampler
+            infers from TCP state in production).
+        sent_time_ns: When the sender transmitted this packet; ``None`` until
+            stamped. Used for RTT sampling.
+    """
+
+    __slots__ = ("flow_id", "src", "dst", "seq", "payload_bytes", "is_ack",
+                 "ack_seq", "ece", "ecn", "is_retransmit", "sent_time_ns",
+                 "sack_blocks", "rwnd_bytes")
+
+    def __init__(self, flow_id: int, src: int, dst: int, seq: int = 0,
+                 payload_bytes: int = 0, is_ack: bool = False,
+                 ack_seq: int = 0, ece: bool = False, ecn: ECN = ECN.NOT_ECT,
+                 is_retransmit: bool = False,
+                 sent_time_ns: Optional[int] = None,
+                 sack_blocks: tuple = (),
+                 rwnd_bytes: Optional[int] = None):
+        if payload_bytes < 0:
+            raise ValueError(f"payload must be >= 0, got {payload_bytes}")
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.payload_bytes = payload_bytes
+        self.is_ack = is_ack
+        self.ack_seq = ack_seq
+        self.ece = ece
+        self.ecn = ecn
+        self.is_retransmit = is_retransmit
+        self.sent_time_ns = sent_time_ns
+        self.sack_blocks = sack_blocks
+        self.rwnd_bytes = rwnd_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-wire size: payload plus IP/TCP headers."""
+        return self.payload_bytes + TCP_IP_HEADER_BYTES
+
+    @property
+    def end_seq(self) -> int:
+        """One past the last payload byte covered by this segment."""
+        return self.seq + self.payload_bytes
+
+    @property
+    def ecn_capable(self) -> bool:
+        """Whether a congested queue may CE-mark this packet instead of
+        dropping it below capacity."""
+        return self.ecn != ECN.NOT_ECT
+
+    def mark_ce(self) -> None:
+        """Rewrite the ECN codepoint to Congestion Experienced."""
+        self.ecn = ECN.CE
+
+    def __repr__(self) -> str:
+        if self.is_ack:
+            ece = " ECE" if self.ece else ""
+            return (f"Ack(flow={self.flow_id} {self.src}->{self.dst} "
+                    f"ack={self.ack_seq}{ece})")
+        kind = "Rtx" if self.is_retransmit else "Data"
+        ce = " CE" if self.ecn == ECN.CE else ""
+        return (f"{kind}(flow={self.flow_id} {self.src}->{self.dst} "
+                f"seq={self.seq}+{self.payload_bytes}{ce})")
+
+
+def data_packet(flow_id: int, src: int, dst: int, seq: int,
+                payload_bytes: int, is_retransmit: bool = False,
+                ecn_capable: bool = True) -> Packet:
+    """Build a TCP data segment."""
+    return Packet(flow_id, src, dst, seq=seq, payload_bytes=payload_bytes,
+                  ecn=ECN.ECT if ecn_capable else ECN.NOT_ECT,
+                  is_retransmit=is_retransmit)
+
+
+def ack_packet(flow_id: int, src: int, dst: int, ack_seq: int,
+               ece: bool = False, sack_blocks: tuple = (),
+               rwnd_bytes: Optional[int] = None) -> Packet:
+    """Build a pure ACK. ACKs are not ECN-capable (they are never marked),
+    matching common datacenter ECN configurations."""
+    return Packet(flow_id, src, dst, is_ack=True, ack_seq=ack_seq, ece=ece,
+                  ecn=ECN.NOT_ECT, sack_blocks=sack_blocks,
+                  rwnd_bytes=rwnd_bytes)

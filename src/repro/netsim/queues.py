@@ -1,0 +1,155 @@
+"""Egress queues: tail-drop FIFO with threshold ECN marking.
+
+This is the queue whose length Figures 5 and 6 plot. Behaviour matches the
+paper's configuration of the NS3 model:
+
+- fixed capacity in packets (1333 packets = 2 MB at 1500-byte MTU) and/or
+  bytes; a packet that would exceed capacity is tail-dropped;
+- instantaneous ECN marking: a packet that arrives while the queue holds at
+  least ``ecn_threshold_packets`` packets is CE-marked at enqueue (DCTCP-style
+  marking with K packets);
+- optional admission through a :class:`~repro.netsim.buffers.BufferPool`, so
+  shared-buffer contention can shrink the effective capacity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.netsim.buffers import BufferPool
+from repro.netsim.packet import Packet
+
+
+class QueueStats:
+    """Counters accumulated by a queue over its lifetime."""
+
+    __slots__ = ("enqueued_packets", "enqueued_bytes", "dropped_packets",
+                 "dropped_bytes", "marked_packets", "marked_bytes",
+                 "dequeued_packets", "dequeued_bytes", "max_len_packets",
+                 "max_len_bytes")
+
+    def __init__(self) -> None:
+        self.enqueued_packets = 0
+        self.enqueued_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.marked_packets = 0
+        self.marked_bytes = 0
+        self.dequeued_packets = 0
+        self.dequeued_bytes = 0
+        self.max_len_packets = 0
+        self.max_len_bytes = 0
+
+    def reset_watermark(self) -> None:
+        """Clear the high-watermark fields (the per-minute reset the paper's
+        switches apply to their occupancy counters)."""
+        self.max_len_packets = 0
+        self.max_len_bytes = 0
+
+
+class DropTailQueue:
+    """FIFO queue with tail drop and threshold ECN marking.
+
+    Attributes:
+        capacity_packets: Maximum queue length in packets.
+        capacity_bytes: Maximum queue length in bytes (``None`` = unlimited).
+        ecn_threshold_packets: Queue length at or above which arriving
+            ECN-capable packets are CE-marked (``None`` disables marking).
+        pool: Optional shared-buffer admission controller.
+    """
+
+    _next_queue_id = 0
+
+    def __init__(self, capacity_packets: Optional[int] = None,
+                 capacity_bytes: Optional[int] = None,
+                 ecn_threshold_packets: Optional[int] = None,
+                 pool: Optional[BufferPool] = None,
+                 name: str = "queue"):
+        if capacity_packets is not None and capacity_packets <= 0:
+            raise ValueError("capacity_packets must be positive")
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if ecn_threshold_packets is not None and ecn_threshold_packets < 0:
+            raise ValueError("ecn_threshold_packets must be >= 0")
+        self.capacity_packets = capacity_packets
+        self.capacity_bytes = capacity_bytes
+        self.ecn_threshold_packets = ecn_threshold_packets
+        self.pool = pool
+        self.name = name
+        self.queue_id = DropTailQueue._next_queue_id
+        DropTailQueue._next_queue_id += 1
+        self._fifo: deque[Packet] = deque()
+        self._len_bytes = 0
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def len_packets(self) -> int:
+        """Current queue length in packets."""
+        return len(self._fifo)
+
+    @property
+    def len_bytes(self) -> int:
+        """Current queue length in bytes."""
+        return self._len_bytes
+
+    def _would_overflow(self, packet: Packet) -> bool:
+        if (self.capacity_packets is not None
+                and len(self._fifo) + 1 > self.capacity_packets):
+            return True
+        if (self.capacity_bytes is not None
+                and self._len_bytes + packet.size_bytes > self.capacity_bytes):
+            return True
+        return False
+
+    def offer(self, packet: Packet) -> bool:
+        """Try to enqueue ``packet``.
+
+        Returns ``False`` (and counts a drop) if the queue is at capacity or
+        the shared buffer pool rejects the bytes. On success the packet may
+        be CE-marked per the ECN threshold.
+        """
+        if self._would_overflow(packet) or not self._pool_admit(packet):
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size_bytes
+            return False
+        if (self.ecn_threshold_packets is not None and packet.ecn_capable
+                and len(self._fifo) >= self.ecn_threshold_packets):
+            packet.mark_ce()
+            self.stats.marked_packets += 1
+            self.stats.marked_bytes += packet.size_bytes
+        self._fifo.append(packet)
+        self._len_bytes += packet.size_bytes
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size_bytes
+        if len(self._fifo) > self.stats.max_len_packets:
+            self.stats.max_len_packets = len(self._fifo)
+        if self._len_bytes > self.stats.max_len_bytes:
+            self.stats.max_len_bytes = self._len_bytes
+        return True
+
+    def _pool_admit(self, packet: Packet) -> bool:
+        if self.pool is None:
+            return True
+        return self.pool.try_reserve(self.queue_id, self._len_bytes,
+                                     packet.size_bytes)
+
+    def pop(self) -> Optional[Packet]:
+        """Dequeue the head packet, or ``None`` if empty."""
+        if not self._fifo:
+            return None
+        packet = self._fifo.popleft()
+        self._len_bytes -= packet.size_bytes
+        self.stats.dequeued_packets += 1
+        self.stats.dequeued_bytes += packet.size_bytes
+        if self.pool is not None:
+            self.pool.release(self.queue_id, packet.size_bytes)
+        return packet
+
+    def __repr__(self) -> str:
+        return (f"DropTailQueue({self.name}, len={self.len_packets}p/"
+                f"{self._len_bytes}B, cap={self.capacity_packets}p, "
+                f"ecn@{self.ecn_threshold_packets}p)")

@@ -1,0 +1,103 @@
+"""Output-queued switch.
+
+A :class:`Switch` owns one :class:`EgressPort` per attached link. Forwarding
+is by a static destination-address table (sufficient for the dumbbell and any
+tree topology the experiments use). An arriving packet is looked up and
+offered to the egress port's queue; the port drains the queue onto its link
+one packet at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+from repro.simcore.kernel import Simulator
+
+
+class EgressPort:
+    """An egress queue bound to an outgoing link.
+
+    The port pumps the queue whenever the link transmitter is idle; the link
+    calls back at end-of-serialization so the next packet starts immediately,
+    keeping the output link work-conserving.
+    """
+
+    def __init__(self, sim: Simulator, link: Link, queue: DropTailQueue,
+                 name: str = "port"):
+        self._sim = sim
+        self.link = link
+        self.queue = queue
+        self.name = name
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the port. Returns ``False`` on tail drop."""
+        accepted = self.queue.offer(packet)
+        if accepted:
+            self._pump()
+        return accepted
+
+    def _pump(self) -> None:
+        if self.link.busy:
+            return
+        packet = self.queue.pop()
+        if packet is not None:
+            self.link.transmit(packet, on_done=self._pump)
+
+    def __repr__(self) -> str:
+        return f"EgressPort({self.name}, qlen={self.queue.len_packets})"
+
+
+class Switch:
+    """Output-queued switch with static destination-based forwarding.
+
+    Attributes:
+        name: Label for traces and error messages.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "switch"):
+        self._sim = sim
+        self.name = name
+        self._ports: list[EgressPort] = []
+        self._routes: dict[int, EgressPort] = {}
+        self._default_port: Optional[EgressPort] = None
+        self.forwarded_packets = 0
+
+    @property
+    def ports(self) -> list[EgressPort]:
+        """All egress ports, in attachment order."""
+        return list(self._ports)
+
+    def attach_port(self, link: Link, queue: DropTailQueue,
+                    name: str = "") -> EgressPort:
+        """Create an egress port that drains ``queue`` onto ``link``."""
+        port = EgressPort(self._sim, link, queue,
+                          name or f"{self.name}.p{len(self._ports)}")
+        self._ports.append(port)
+        return port
+
+    def add_route(self, dst: int, port: EgressPort) -> None:
+        """Forward packets destined to host address ``dst`` via ``port``."""
+        if port not in self._ports:
+            raise ValueError(f"{self.name}: route to unattached port")
+        self._routes[dst] = port
+
+    def set_default_route(self, port: EgressPort) -> None:
+        """Port used for any destination without an explicit route."""
+        if port not in self._ports:
+            raise ValueError(f"{self.name}: default route to unattached port")
+        self._default_port = port
+
+    def receive(self, packet: Packet) -> None:
+        """Forward an arriving packet to its egress port (PacketSink API)."""
+        port = self._routes.get(packet.dst, self._default_port)
+        if port is None:
+            raise RuntimeError(
+                f"{self.name}: no route for destination {packet.dst}")
+        self.forwarded_packets += 1
+        port.enqueue(packet)
+
+    def __repr__(self) -> str:
+        return f"Switch({self.name}, ports={len(self._ports)})"

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate on which the packet-level network model
+(:mod:`repro.netsim`) and the TCP stack (:mod:`repro.tcp`) run. It provides:
+
+- :class:`~repro.simcore.event.Event` / :class:`~repro.simcore.event.EventQueue`
+  — a binary-heap event queue with deterministic FIFO tie-breaking.
+- :class:`~repro.simcore.kernel.Simulator` — the event loop, with integer
+  nanosecond virtual time, one-shot scheduling, cancellation, and rearmable
+  :class:`~repro.simcore.kernel.Timer` objects (used for TCP RTOs).
+- :class:`~repro.simcore.random.RngHub` — named, seeded random substreams so
+  each stochastic component draws from its own reproducible stream.
+- :mod:`repro.simcore.trace` — lightweight time-series probes and counters.
+"""
+
+from repro.simcore.event import Event, EventQueue
+from repro.simcore.kernel import Simulator, Timer
+from repro.simcore.random import RngHub
+from repro.simcore.trace import Counter, PeriodicProbe, TimeSeries
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Timer",
+    "RngHub",
+    "Counter",
+    "PeriodicProbe",
+    "TimeSeries",
+]

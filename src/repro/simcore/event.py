@@ -1,0 +1,115 @@
+"""Event and event-queue primitives for the discrete-event kernel.
+
+Events are ordered by ``(time_ns, seq)``. The sequence number is assigned at
+insertion time, so two events scheduled for the same nanosecond fire in the
+order they were scheduled. This FIFO tie-breaking makes simulation runs
+deterministic for a given seed, which the test suite and the paper-style
+"average of the final 10 bursts" methodology both rely on.
+
+Cancellation is lazy: cancelled events stay in the heap but are skipped when
+popped. This keeps cancellation O(1), which matters because TCP retransmission
+timers are cancelled on almost every ACK.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time_ns: Virtual time at which the event fires.
+        seq: Insertion sequence number, used for deterministic tie-breaking.
+        fn: The callback. ``None`` after cancellation.
+        args: Positional arguments passed to the callback.
+    """
+
+    __slots__ = ("time_ns", "seq", "fn", "args")
+
+    def __init__(self, time_ns: int, seq: int,
+                 fn: Optional[Callable[..., Any]], args: tuple):
+        self.time_ns = time_ns
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self.fn is None
+
+    def cancel(self) -> None:
+        """Prevent this event from firing. Idempotent."""
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time_ns != other.time_ns:
+            return self.time_ns < other.time_ns
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        state = "cancelled" if self.cancelled else name
+        return f"Event(t={self.time_ns}ns seq={self.seq} {state})"
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._next_seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time_ns: int, fn: Callable[..., Any],
+             args: tuple = ()) -> Event:
+        """Insert a callback to fire at ``time_ns``; returns its handle."""
+        if time_ns < 0:
+            raise ValueError(f"event time must be non-negative, got {time_ns}")
+        event = Event(time_ns, self._next_seq, fn, args)
+        self._next_seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event`` if it has not fired or been cancelled already."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Cancelled events encountered along the way are discarded.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """The firing time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time_ns
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

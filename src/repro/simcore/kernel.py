@@ -1,0 +1,165 @@
+"""The discrete-event simulator kernel.
+
+:class:`Simulator` owns virtual time and the event queue. Components schedule
+callbacks with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.schedule_at` (absolute time) and the kernel fires them in
+time order. :class:`Timer` wraps the rearm/cancel pattern that protocol
+timeouts (TCP RTO, delayed-ACK) need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simcore.event import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """Event loop with integer-nanosecond virtual time.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(100, fired.append, (1,))
+        >>> _ = sim.schedule(50, fired.append, (2,))
+        >>> sim.run()
+        >>> fired
+        [2, 1]
+        >>> sim.now
+        100
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still in the queue."""
+        return len(self._queue)
+
+    # --- scheduling ----------------------------------------------------
+
+    def schedule(self, delay_ns: int, fn: Callable[..., Any],
+                 args: tuple = ()) -> Event:
+        """Schedule ``fn(*args)`` to fire ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay {delay_ns} ns)")
+        return self._queue.push(self._now + delay_ns, fn, args)
+
+    def schedule_at(self, time_ns: int, fn: Callable[..., Any],
+                    args: tuple = ()) -> Event:
+        """Schedule ``fn(*args)`` to fire at absolute time ``time_ns``."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past "
+                f"(t={time_ns} ns < now={self._now} ns)")
+        return self._queue.push(time_ns, fn, args)
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event. ``None`` is ignored."""
+        if event is not None:
+            self._queue.cancel(event)
+
+    # --- execution -----------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next event. Returns ``False`` when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        assert event.time_ns >= self._now, "event queue went backwards"
+        self._now = event.time_ns
+        fn, args = event.fn, event.args
+        event.cancel()  # mark consumed; keeps handles inert after firing
+        self._events_processed += 1
+        assert fn is not None
+        fn(*args)
+        return True
+
+    def run(self, until_ns: Optional[int] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until_ns`` is reached, or
+        ``max_events`` more events have fired.
+
+        When stopping on ``until_ns``, virtual time is advanced to exactly
+        ``until_ns`` and any event scheduled for a later time remains queued.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered from within an event")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    return
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until_ns is not None and next_time > until_ns:
+                    break
+                self.step()
+                fired += 1
+            if until_ns is not None and until_ns > self._now:
+                self._now = until_ns
+        finally:
+            self._running = False
+
+
+class Timer:
+    """A rearmable one-shot timer bound to a :class:`Simulator`.
+
+    Used for TCP retransmission timeouts: ``start`` arms (or rearms) the
+    timer, ``stop`` disarms it, and the callback fires once when it expires.
+    """
+
+    def __init__(self, sim: Simulator, fn: Callable[[], Any]):
+        self._sim = sim
+        self._fn = fn
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer is currently scheduled to fire."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry_ns(self) -> Optional[int]:
+        """Absolute expiry time, or ``None`` when disarmed."""
+        if not self.armed:
+            return None
+        assert self._event is not None
+        return self._event.time_ns
+
+    def start(self, delay_ns: int) -> None:
+        """Arm the timer to fire ``delay_ns`` from now, replacing any
+        previously armed expiry."""
+        self.stop()
+        self._event = self._sim.schedule(delay_ns, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer. Idempotent."""
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._fn()

@@ -1,0 +1,156 @@
+"""Time-series recording for simulations.
+
+Three primitives cover everything the experiments need:
+
+- :class:`TimeSeries` — append-only ``(time_ns, value)`` samples with
+  numpy export and interval aggregation (the backbone of every figure).
+- :class:`Counter` — monotonically increasing totals (bytes sent, drops, ...)
+  with snapshot/delta support.
+- :class:`PeriodicProbe` — samples a callable at a fixed period on the
+  simulator clock (e.g. queue length every 10 µs for Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.simcore.kernel import Simulator
+
+
+class TimeSeries:
+    """Append-only series of ``(time_ns, value)`` samples."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: list[int] = []
+        self._values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, time_ns: int, value: float) -> None:
+        """Append one sample. Times must be non-decreasing."""
+        if self._times and time_ns < self._times[-1]:
+            raise ValueError(
+                f"samples must be time-ordered: {time_ns} < {self._times[-1]}")
+        self._times.append(time_ns)
+        self._values.append(value)
+
+    @property
+    def times_ns(self) -> np.ndarray:
+        """Sample times as an int64 array."""
+        return np.asarray(self._times, dtype=np.int64)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as a float64 array."""
+        return np.asarray(self._values, dtype=np.float64)
+
+    def window(self, start_ns: int, end_ns: int) -> "TimeSeries":
+        """Samples with ``start_ns <= t < end_ns``, as a new series."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self._times, self._values):
+            if start_ns <= t < end_ns:
+                out.record(t, v)
+        return out
+
+    def max(self) -> float:
+        """Maximum value, or 0.0 when empty."""
+        return float(np.max(self._values)) if self._values else 0.0
+
+    def mean(self) -> float:
+        """Mean value, or 0.0 when empty."""
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    def per_interval_sum(self, interval_ns: int,
+                         end_ns: Optional[int] = None) -> np.ndarray:
+        """Sum of sample values in consecutive bins of ``interval_ns``.
+
+        Useful for turning per-packet byte records into per-millisecond
+        throughput. Bins start at t=0; the result covers ``[0, end_ns)``
+        where ``end_ns`` defaults to just past the last sample.
+        """
+        if interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        if not self._times:
+            return np.zeros(0)
+        last = self._times[-1] if end_ns is None else end_ns - 1
+        n_bins = last // interval_ns + 1
+        bins = np.zeros(n_bins)
+        for t, v in zip(self._times, self._values):
+            idx = t // interval_ns
+            if idx < n_bins:
+                bins[idx] += v
+        return bins
+
+
+class Counter:
+    """A monotonically non-decreasing accumulator with named snapshots."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._total = 0
+        self._marks: dict[str, int] = {}
+
+    @property
+    def total(self) -> int:
+        """Current accumulated total."""
+        return self._total
+
+    def add(self, amount: int) -> None:
+        """Accumulate ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._total += amount
+
+    def mark(self, label: str) -> None:
+        """Record the current total under ``label`` for later deltas."""
+        self._marks[label] = self._total
+
+    def since(self, label: str) -> int:
+        """Total accumulated since :meth:`mark` was called with ``label``."""
+        if label not in self._marks:
+            raise KeyError(f"no mark named {label!r}")
+        return self._total - self._marks[label]
+
+
+class PeriodicProbe:
+    """Samples ``fn()`` into a :class:`TimeSeries` every ``period_ns``.
+
+    The probe schedules itself on the simulator; call :meth:`start` once and
+    :meth:`stop` to cease sampling. Sampling happens *after* all events at
+    the same timestamp that were scheduled before the probe tick.
+    """
+
+    def __init__(self, sim: Simulator, fn: Callable[[], float],
+                 period_ns: int, name: str = ""):
+        if period_ns <= 0:
+            raise ValueError("probe period must be positive")
+        self._sim = sim
+        self._fn = fn
+        self._period_ns = period_ns
+        self.series = TimeSeries(name)
+        self._event = None
+        self._running = False
+
+    def start(self, delay_ns: int = 0) -> None:
+        """Begin sampling ``delay_ns`` from now."""
+        if self._running:
+            return
+        self._running = True
+        self._event = self._sim.schedule(delay_ns, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling. Idempotent."""
+        self._running = False
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.series.record(self._sim.now, float(self._fn()))
+        self._event = self._sim.schedule(self._period_ns, self._tick)

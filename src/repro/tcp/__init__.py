@@ -1,0 +1,42 @@
+"""TCP transport with pluggable congestion control.
+
+Implements the endpoint behaviour the paper's Section 4 diagnosis depends
+on: a window-based sender (slow start, congestion avoidance, triple-dupACK
+fast retransmit with NewReno partial-ACK handling, RTO with exponential
+backoff and a 1-MSS minimum window) and a receiver that reflects ECN CE
+marks back via the TCP ECE bit (the DCTCP receiver rule).
+
+Congestion-control algorithms live in :mod:`repro.tcp.cca`:
+:class:`~repro.tcp.cca.reno.Reno` (classic ECN TCP baseline),
+:class:`~repro.tcp.cca.dctcp.Dctcp` (the paper's subject), and
+:class:`~repro.tcp.cca.swiftlike.SwiftLike` (delay-based with sub-MSS pacing,
+the Section 5.2 alternative). :mod:`repro.tcp.guardrail` adds the Section 5.1
+"guardrail" CWND cap driven by predicted incast degree.
+"""
+
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import TcpReceiver, TcpSender, open_connection
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.cca.base import CongestionControl
+from repro.tcp.cca.dctcp import Dctcp
+from repro.tcp.cca.reno import Reno
+from repro.tcp.cca.swiftlike import SwiftLike
+from repro.tcp.guardrail import CwndGuardrail, guardrail_cap_bytes
+from repro.tcp.ictcp import ReceiverWindowThrottle
+from repro.tcp.sack import SackScoreboard
+
+__all__ = [
+    "TcpConfig",
+    "TcpSender",
+    "TcpReceiver",
+    "open_connection",
+    "RttEstimator",
+    "CongestionControl",
+    "Reno",
+    "Dctcp",
+    "SwiftLike",
+    "CwndGuardrail",
+    "guardrail_cap_bytes",
+    "ReceiverWindowThrottle",
+    "SackScoreboard",
+]

@@ -1,0 +1,13 @@
+"""Congestion-control algorithms.
+
+All CCAs implement :class:`repro.tcp.cca.base.CongestionControl`. The sender
+owns reliability (retransmits, timers); the CCA owns only the congestion
+window and its reaction to ACKs, ECN echoes, losses, and timeouts.
+"""
+
+from repro.tcp.cca.base import CongestionControl
+from repro.tcp.cca.dctcp import Dctcp
+from repro.tcp.cca.reno import Reno
+from repro.tcp.cca.swiftlike import SwiftLike
+
+__all__ = ["CongestionControl", "Reno", "Dctcp", "SwiftLike"]

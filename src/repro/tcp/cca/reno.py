@@ -1,0 +1,46 @@
+"""TCP Reno/NewReno with classic ECN (RFC 3168) response.
+
+The baseline window-based CCA: slow start and AIMD congestion avoidance,
+halving on loss. With ECN enabled it also halves (once per window) when an
+ACK carries the ECE flag — the coarse on/off reaction that DCTCP's
+proportional backoff was designed to improve upon.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cca.base import CongestionControl
+from repro.tcp.config import TcpConfig
+
+
+class Reno(CongestionControl):
+    """Classic AIMD congestion control."""
+
+    name = "reno"
+
+    def __init__(self, config: TcpConfig, react_to_ecn: bool = True):
+        super().__init__(config)
+        self._react_to_ecn = react_to_ecn and config.ecn_enabled
+        # Sequence up to which an ECN-triggered reduction already applies;
+        # implements "at most one halving per window of data" (RFC 3168).
+        self._cwr_end_seq = 0
+
+    def on_ack(self, bytes_acked: int, ece: bool, snd_una: int, snd_nxt: int,
+               now_ns: int) -> None:
+        if ece and self._react_to_ecn:
+            if snd_una > self._cwr_end_seq:
+                self._multiplicative_decrease()
+                self._cwr_end_seq = snd_nxt
+            return  # no growth on ECE-marked ACKs (CWR)
+        if bytes_acked > 0:
+            self._grow_reno(bytes_acked)
+
+    def on_loss(self, now_ns: int) -> None:
+        self._multiplicative_decrease()
+
+    def on_rto(self, now_ns: int) -> None:
+        self.ssthresh_bytes = max(self.cwnd_bytes / 2.0, 2.0 * self.mss)
+        self.cwnd_bytes = float(self.mss)
+
+    def _multiplicative_decrease(self) -> None:
+        self.ssthresh_bytes = max(self.cwnd_bytes / 2.0, float(self.mss))
+        self.cwnd_bytes = self.ssthresh_bytes

@@ -1,0 +1,125 @@
+"""A Swift-like delay-based CCA with sub-MSS pacing.
+
+Section 5.2 of the paper discusses Swift (Kumar et al., SIGCOMM 2020) as the
+alternative that scales to O(10k)-flow incasts by letting the congestion
+window drop *below* one packet: a flow with cwnd = 0.1 MSS sends one packet
+every 10 RTTs, paced. This module implements the essential mechanism so the
+repository can reproduce that discussion quantitatively (ablation E):
+
+- target-delay congestion control: additive increase while the measured RTT
+  is below the target, multiplicative decrease proportional to the excess
+  when above (at most once per RTT);
+- a fractional window floored at ``min_cwnd_fraction`` MSS instead of 1 MSS;
+- when the window is below one MSS, the sender switches to pacing mode and
+  sends a single packet every ``mss / cwnd`` RTTs.
+
+It is deliberately "Swift-like", not Swift: no fabric-vs-endpoint delay
+split, no flow scaling term. Those refinements do not change the property
+under study (escape from the 1-MSS degenerate point).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.tcp.cca.base import CongestionControl
+from repro.tcp.config import TcpConfig
+
+
+class SwiftLike(CongestionControl):
+    """Delay-target CCA with a fractional congestion window.
+
+    Attributes:
+        target_delay_ns: End-to-end RTT target.
+        additive_increase_bytes: Per-RTT additive increase.
+        beta: Multiplicative-decrease sensitivity to delay excess.
+        max_mdf: Maximum fractional decrease per decision.
+        min_cwnd_fraction: Window floor as a fraction of one MSS.
+    """
+
+    name = "swiftlike"
+
+    def __init__(self, config: TcpConfig,
+                 target_delay_ns: int = units.usec(60.0),
+                 additive_increase_bytes: Optional[float] = None,
+                 beta: float = 0.8,
+                 max_mdf: float = 0.5,
+                 min_cwnd_fraction: float = 0.01):
+        if target_delay_ns <= 0:
+            raise ValueError("target_delay_ns must be positive")
+        if not 0.0 < max_mdf < 1.0:
+            raise ValueError("max_mdf must be in (0, 1)")
+        if not 0.0 < min_cwnd_fraction <= 1.0:
+            raise ValueError("min_cwnd_fraction must be in (0, 1]")
+        super().__init__(config)
+        self.target_delay_ns = target_delay_ns
+        self.additive_increase_bytes = (
+            0.5 * config.mss_bytes if additive_increase_bytes is None
+            else additive_increase_bytes)
+        self.beta = beta
+        self.max_mdf = max_mdf
+        self.min_cwnd_fraction = min_cwnd_fraction
+        self._last_rtt_ns: Optional[int] = None
+        self._last_decrease_ns: Optional[int] = None
+
+    # --- fractional-window support -----------------------------------------
+
+    def effective_cwnd_bytes(self) -> float:
+        """Unlike window-based CCAs, the floor is a *fraction* of one MSS."""
+        floor = self.min_cwnd_fraction * self.mss
+        cwnd = max(self.cwnd_bytes, floor)
+        if self.config.max_cwnd_bytes is not None:
+            cwnd = min(cwnd, float(self.config.max_cwnd_bytes))
+        return cwnd
+
+    def pacing_interval_ns(self, srtt_ns: Optional[float]) -> Optional[int]:
+        """When cwnd < 1 MSS, send one packet every ``mss/cwnd`` RTTs."""
+        cwnd = self.effective_cwnd_bytes()
+        if cwnd >= self.mss or srtt_ns is None:
+            return None
+        return int(srtt_ns * self.mss / cwnd)
+
+    # --- events -------------------------------------------------------------
+
+    def on_rtt_sample(self, rtt_ns: int, now_ns: int) -> None:
+        self._last_rtt_ns = rtt_ns
+
+    def on_ack(self, bytes_acked: int, ece: bool, snd_una: int, snd_nxt: int,
+               now_ns: int) -> None:
+        if bytes_acked <= 0 or self._last_rtt_ns is None:
+            return
+        rtt = self._last_rtt_ns
+        if rtt < self.target_delay_ns:
+            cwnd = max(self.cwnd_bytes, self.min_cwnd_fraction * self.mss)
+            if cwnd >= self.mss:
+                # Normalized additive increase: ~additive_increase_bytes
+                # per RTT regardless of window size.
+                self.cwnd_bytes = cwnd + (self.additive_increase_bytes
+                                          * bytes_acked / cwnd)
+            else:
+                # Below one packet, Swift grows *linearly* per acked packet
+                # (cwnd = cwnd + ai * num_acked); the normalized rule would
+                # explode the window off a single ACK at tiny cwnd.
+                self.cwnd_bytes = cwnd + (self.additive_increase_bytes
+                                          * bytes_acked / self.mss)
+        elif self._can_decrease(now_ns, rtt):
+            excess = (rtt - self.target_delay_ns) / rtt
+            factor = 1.0 - min(self.beta * excess, self.max_mdf)
+            self.cwnd_bytes = max(self.cwnd_bytes * factor,
+                                  self.min_cwnd_fraction * self.mss)
+            self._last_decrease_ns = now_ns
+        if self.config.max_cwnd_bytes is not None:
+            self.cwnd_bytes = min(self.cwnd_bytes,
+                                  float(self.config.max_cwnd_bytes))
+
+    def _can_decrease(self, now_ns: int, rtt_ns: int) -> bool:
+        return (self._last_decrease_ns is None
+                or now_ns - self._last_decrease_ns >= rtt_ns)
+
+    def on_loss(self, now_ns: int) -> None:
+        self.cwnd_bytes = max(self.cwnd_bytes * (1.0 - self.max_mdf),
+                              self.min_cwnd_fraction * self.mss)
+
+    def on_rto(self, now_ns: int) -> None:
+        self.cwnd_bytes = self.min_cwnd_fraction * self.mss

@@ -1,0 +1,85 @@
+"""TCP endpoint configuration.
+
+Defaults follow the paper's simulation setup: 1460-byte MSS (1500-byte MTU),
+delayed ACKs disabled ("because it exacerbates burstiness and masks the
+impact of DCTCP's congestion control"), ECN enabled, and a 200 ms minimum
+RTO (the Linux default, consistent with the ~200 ms burst completion times
+the paper reports for timeout-bound Mode 3 incasts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import units
+from repro.netsim.packet import DEFAULT_MSS
+
+
+@dataclass
+class TcpConfig:
+    """Tunable TCP endpoint parameters.
+
+    Attributes:
+        mss_bytes: Maximum segment (payload) size.
+        init_cwnd_segments: Initial congestion window, in segments.
+        dupack_threshold: Duplicate ACKs that trigger fast retransmit.
+        delayed_ack: Enable the receiver's delayed-ACK aggregation. Off by
+            default, per the paper.
+        delayed_ack_timeout_ns: Delayed-ACK flush timeout.
+        min_rto_ns: Lower bound on the retransmission timeout.
+        max_rto_ns: Upper bound on the (backed-off) retransmission timeout.
+        initial_rto_ns: RTO used before any RTT sample exists.
+        ecn_enabled: Whether data packets are sent ECN-capable (ECT).
+        max_cwnd_bytes: Optional hard congestion-window ceiling.
+        cwnd_restart_after_idle: If true, reset the window to its initial
+            value when the connection has been idle longer than one RTO
+            (RFC 2861 congestion-window validation). Off by default — the
+            paper's production senders keep CWND state across bursts, which
+            is what allows straggler divergence (Section 4.3). Turning this
+            on is the "remember/forget across bursts" ablation.
+        idle_restart_threshold_ns: Idle duration beyond which the restart
+            triggers; defaults to the current RTO (RFC 2861). Millisecond
+            inter-burst gaps never exceed a 200 ms RTO, so the ablation
+            sets this explicitly to bite at burst boundaries.
+        sack_enabled: Selective acknowledgments (RFC 2018) with scoreboard
+            loss recovery. Off by default, matching the paper's setup;
+            ablation J shows SACK cannot rescue Mode 3 (1-MSS windows
+            generate no SACK blocks to trigger recovery).
+        max_sack_blocks: Blocks carried per ACK (TCP option space limit).
+        receiver_window_bytes: Static receiver-advertised flow-control
+            window; ``None`` (the default) advertises no limit. Runtime
+            controllers (the ICTCP-like throttle) can adjust the advertised
+            value per connection regardless of this initial setting.
+    """
+
+    mss_bytes: int = DEFAULT_MSS
+    init_cwnd_segments: int = 10
+    dupack_threshold: int = 3
+    delayed_ack: bool = False
+    delayed_ack_timeout_ns: int = units.usec(500)
+    min_rto_ns: int = units.msec(200)
+    max_rto_ns: int = units.sec(2)
+    initial_rto_ns: int = units.msec(200)
+    ecn_enabled: bool = True
+    max_cwnd_bytes: Optional[int] = None
+    cwnd_restart_after_idle: bool = False
+    idle_restart_threshold_ns: Optional[int] = None
+    sack_enabled: bool = False
+    max_sack_blocks: int = 3
+    receiver_window_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mss_bytes <= 0:
+            raise ValueError("mss_bytes must be positive")
+        if self.init_cwnd_segments <= 0:
+            raise ValueError("init_cwnd_segments must be positive")
+        if self.dupack_threshold <= 0:
+            raise ValueError("dupack_threshold must be positive")
+        if self.min_rto_ns <= 0 or self.max_rto_ns < self.min_rto_ns:
+            raise ValueError("require 0 < min_rto_ns <= max_rto_ns")
+
+    @property
+    def init_cwnd_bytes(self) -> int:
+        """Initial congestion window in bytes."""
+        return self.init_cwnd_segments * self.mss_bytes

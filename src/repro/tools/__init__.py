@@ -1,0 +1,7 @@
+"""Command-line utilities built on the library.
+
+- ``python -m repro.tools.trace_view`` — render a synthetic Millisampler
+  capture as Figure 1-style terminal panels.
+- ``python -m repro.tools.mode_sweep`` — sweep incast degree and print the
+  analytic and simulated operating mode per flow count.
+"""

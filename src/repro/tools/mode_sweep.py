@@ -1,0 +1,85 @@
+"""Sweep incast degree and print analytic vs simulated operating modes.
+
+Usage::
+
+    python -m repro.tools.mode_sweep --flows 50 100 200 500 1000
+    python -m repro.tools.mode_sweep --shared-buffer 2000000 --scale 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.experiments.environment import IncastSimConfig, run_incast_sim
+from repro.netsim.topology import DumbbellConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.mode_sweep",
+        description="Sweep incast degree; report DCTCP operating modes")
+    parser.add_argument("--flows", type=int, nargs="+",
+                        default=[50, 100, 200, 500, 1000])
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="burst-duration scale (1.0 = 15 ms)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shared-buffer", type=int, default=None,
+                        help="shared switch buffer bytes (default: private "
+                             "1333-packet queues)")
+    parser.add_argument("--cca", default="dctcp",
+                        choices=["dctcp", "reno", "swiftlike"])
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    burst_ns = max(units.msec(2.0), int(units.msec(15.0) * args.scale))
+    n_bursts = max(3, int(round(11 * args.scale)))
+    rows = []
+    for n_flows in args.flows:
+        config = IncastSimConfig(
+            n_flows=n_flows,
+            burst_duration_ns=burst_ns,
+            n_bursts=n_bursts,
+            seed=args.seed,
+            cca=args.cca,
+            dumbbell=DumbbellConfig(
+                shared_buffer_bytes=args.shared_buffer),
+            max_sim_time_ns=units.sec(120.0),
+        )
+        model = config.mode_model()
+        result = run_incast_sim(config)
+        finite = result.aligned_queue_packets[
+            np.isfinite(result.aligned_queue_packets)]
+        rows.append([
+            n_flows,
+            model.predict(n_flows).name,
+            result.mode.name,
+            round(result.mean_bct_ms, 2),
+            round(result.bct_inflation, 1),
+            round(float(finite.max()), 0) if finite.size else 0,
+            result.steady_drops,
+            result.steady_rtos,
+        ])
+        print(f"[{n_flows} flows done]")
+    model = IncastSimConfig(n_flows=args.flows[0]).mode_model()
+    print()
+    print(format_table(
+        ["flows", "predicted", "observed", "BCT (ms)", "BCT/optimal",
+         "peak queue", "drops", "RTOs"],
+        rows,
+        title=f"Operating-mode sweep ({args.cca}, "
+              f"{units.ns_to_ms(burst_ns):g} ms bursts; K* = "
+              f"{model.degenerate_point}, overflow at "
+              f"{model.overflow_point})"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Workload generators.
+
+- :mod:`repro.workloads.incast` — the Section 4 cyclic incast burst
+  application driving the packet-level simulator.
+- :mod:`repro.workloads.services` — the Section 3 production-service fleet
+  model (five services, partition/aggregate burst arrival processes).
+- :mod:`repro.workloads.scheduler` — the Section 5.2 sub-incast admission
+  scheduler extension.
+"""
+
+from repro.workloads.incast import (BurstResult, BurstScheduling,
+                                    FlowStateSampler, IncastConfig,
+                                    IncastWorkload, demand_per_flow_bytes)
+from repro.workloads.partition_aggregate import (PartitionAggregateConfig,
+                                                 PartitionAggregateWorkload,
+                                                 QueryResult)
+from repro.workloads.scheduler import IncastScheduler, SchedulerConfig
+from repro.workloads.services import (SERVICE_PROFILES, ServiceProfile,
+                                      service_names)
+
+__all__ = [
+    "BurstResult",
+    "BurstScheduling",
+    "FlowStateSampler",
+    "IncastConfig",
+    "IncastWorkload",
+    "demand_per_flow_bytes",
+    "PartitionAggregateConfig",
+    "PartitionAggregateWorkload",
+    "QueryResult",
+    "IncastScheduler",
+    "SchedulerConfig",
+    "SERVICE_PROFILES",
+    "ServiceProfile",
+    "service_names",
+]

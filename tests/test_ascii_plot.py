@@ -1,0 +1,76 @@
+"""Tests for ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import cdf_plot, line_plot, sparkline
+
+
+class TestSparkline:
+    def test_levels_follow_values(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_ignored(self):
+        assert len(sparkline([1.0, float("nan"), 2.0])) == 2
+
+    def test_resamples_to_width(self):
+        assert len(sparkline(range(1000), width=40)) == 40
+
+
+class TestLinePlot:
+    def test_contains_extremes(self):
+        text = line_plot([0, 1, 2], [0.0, 5.0, 10.0], title="T")
+        assert "T" in text
+        assert "10" in text
+        assert "*" in text
+
+    def test_monotone_series_diagonal(self):
+        text = line_plot(list(range(10)), list(range(10)), width=10,
+                         height=10)
+        rows = [line for line in text.splitlines() if "|" in line]
+        first_star_cols = [row.index("*") for row in rows if "*" in row]
+        # Higher rows (earlier lines) have stars further right.
+        assert first_star_cols == sorted(first_star_cols, reverse=True)
+
+    def test_nan_gap(self):
+        text = line_plot([0, 1, 2], [1.0, float("nan"), 1.0])
+        assert "*" in text
+
+    def test_all_nan(self):
+        assert "no data" in line_plot([0], [float("nan")])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            line_plot([0, 1], [1.0])
+
+    def test_y_max_pins_axis(self):
+        text = line_plot([0, 1], [0.0, 5.0], y_max=100.0)
+        assert "100" in text
+
+    def test_labels(self):
+        text = line_plot([0, 1], [0.0, 1.0], x_label="t", y_label="q")
+        assert "x: t" in text
+        assert "y: q" in text
+
+
+class TestCdfPlot:
+    def test_legend_and_markers(self):
+        x = np.linspace(0, 10, 50)
+        y = np.linspace(0, 1, 50)
+        text = cdf_plot({"alpha": (x, y), "beta": (x + 5, y)},
+                        title="CDFs", x_label="ms")
+        assert "a=alpha" in text
+        assert "b=beta" in text
+        assert "a" in text and "b" in text
+        assert "(ms)" in text
+
+    def test_empty(self):
+        assert "no data" in cdf_plot({})

@@ -1,0 +1,126 @@
+"""Tests for burst detection (the paper's Section 3.1 definition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bursts import Burst, burst_frequency_hz, detect_bursts
+from tests.conftest import make_trace
+
+
+class TestDetection:
+    def test_finds_single_burst(self):
+        trace = make_trace([0.1, 0.8, 0.9, 0.1])
+        bursts = detect_bursts(trace)
+        assert len(bursts) == 1
+        assert (bursts[0].start, bursts[0].end) == (1, 3)
+
+    def test_multiple_bursts(self):
+        trace = make_trace([0.8, 0.1, 0.8, 0.1, 0.8])
+        bursts = detect_bursts(trace)
+        assert [(b.start, b.end) for b in bursts] == [(0, 1), (2, 3), (4, 5)]
+
+    def test_burst_at_trace_edges(self):
+        trace = make_trace([0.9, 0.1, 0.9])
+        bursts = detect_bursts(trace)
+        assert bursts[0].start == 0
+        assert bursts[-1].end == 3
+
+    def test_no_bursts(self):
+        assert detect_bursts(make_trace([0.1, 0.2, 0.3])) == []
+
+    def test_all_burst(self):
+        trace = make_trace([0.9] * 5)
+        bursts = detect_bursts(trace)
+        assert len(bursts) == 1
+        assert bursts[0].duration_ms == 5.0
+
+    def test_threshold_is_exclusive(self):
+        trace = make_trace([0.5])
+        assert detect_bursts(trace, threshold_frac=0.5) == []
+
+    def test_custom_threshold(self):
+        trace = make_trace([0.3, 0.6])
+        assert len(detect_bursts(trace, threshold_frac=0.25)) == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            detect_bursts(make_trace([0.1]), threshold_frac=1.5)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1,
+                    max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_bursts_cover_exactly_the_above_threshold_intervals(self, utils):
+        trace = make_trace(utils)
+        bursts = detect_bursts(trace)
+        covered = np.zeros(len(utils), dtype=bool)
+        previous_end = -1
+        for burst in bursts:
+            assert burst.start >= previous_end  # disjoint, ordered
+            previous_end = burst.end
+            covered[burst.start:burst.end] = True
+        above = trace.utilization() > 0.5
+        assert (covered == above).all()
+
+
+class TestBurstProperties:
+    def trace(self):
+        return make_trace(
+            [0.1, 1.0, 1.0, 0.1],
+            flows=[2, 100, 200, 3],
+            marked_frac=[0.0, 0.5, 1.0, 0.0],
+            retx_frac=[0.0, 0.0, 0.1, 0.0],
+            queue_frac=[0.0, 0.3, 0.7, 0.0])
+
+    def test_duration(self):
+        burst = detect_bursts(self.trace())[0]
+        assert burst.duration_ms == 2.0
+        assert burst.n_intervals == 2
+
+    def test_flows(self):
+        burst = detect_bursts(self.trace())[0]
+        assert burst.max_active_flows == 200
+        assert burst.mean_active_flows == 150.0
+
+    def test_marked_fraction(self):
+        burst = detect_bursts(self.trace())[0]
+        assert burst.marked_fraction == pytest.approx(0.75, abs=0.01)
+
+    def test_retransmit_fraction_of_line_rate(self):
+        burst = detect_bursts(self.trace())[0]
+        assert burst.retransmit_fraction_of_line_rate \
+            == pytest.approx(0.05, abs=0.01)
+
+    def test_peak_queue(self):
+        burst = detect_bursts(self.trace())[0]
+        assert burst.peak_queue_frac == pytest.approx(0.7)
+
+    def test_peak_queue_without_ground_truth(self):
+        trace = make_trace([1.0])
+        assert detect_bursts(trace)[0].peak_queue_frac == 0.0
+
+    def test_mean_utilization(self):
+        burst = detect_bursts(self.trace())[0]
+        assert burst.mean_utilization == pytest.approx(1.0, abs=0.01)
+
+    def test_invalid_bounds_rejected(self):
+        trace = make_trace([1.0])
+        with pytest.raises(ValueError):
+            Burst(trace, 0, 2)
+        with pytest.raises(ValueError):
+            Burst(trace, 1, 1)
+
+
+class TestFrequency:
+    def test_frequency_per_second(self):
+        # 4 bursts in a 1000 ms trace = 4 bursts/s.
+        utils = [0.0] * 1000
+        for i in (10, 200, 500, 900):
+            utils[i] = 1.0
+        trace = make_trace(utils)
+        assert burst_frequency_hz(trace) == pytest.approx(4.0)
+
+    def test_frequency_with_precomputed_bursts(self):
+        trace = make_trace([1.0] * 10)
+        bursts = detect_bursts(trace)
+        assert burst_frequency_hz(trace, bursts) == pytest.approx(100.0)

@@ -1,0 +1,135 @@
+"""Tests for DCTCP: alpha estimation, proportional cuts, the 1-MSS floor."""
+
+import pytest
+
+from repro.tcp.cca.dctcp import Dctcp
+from repro.tcp.config import TcpConfig
+
+MSS = TcpConfig().mss_bytes
+
+
+def make(g=1.0 / 16.0, alpha=1.0, **cfg):
+    return Dctcp(TcpConfig(**cfg), g=g, initial_alpha=alpha)
+
+
+class TestValidation:
+    def test_rejects_bad_g(self):
+        with pytest.raises(ValueError):
+            make(g=0.0)
+        with pytest.raises(ValueError):
+            make(g=1.5)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            make(alpha=1.5)
+
+    def test_paper_gain_default(self):
+        assert Dctcp(TcpConfig()).g == 1.0 / 16.0
+
+
+class TestAlphaEstimation:
+    def test_alpha_decays_without_marks(self):
+        cca = make(alpha=1.0)
+        window = 10 * MSS
+        # Complete several unmarked windows.
+        snd_una = 0
+        for _ in range(5):
+            snd_una += window
+            cca.on_ack(window, False, snd_una, snd_una + window, 0)
+        assert cca.alpha == pytest.approx((1 - 1 / 16) ** 5)
+        assert cca.windows_completed == 5
+
+    def test_alpha_rises_toward_one_under_full_marking(self):
+        cca = make(alpha=0.0)
+        window = 10 * MSS
+        snd_una = 0
+        for _ in range(60):
+            snd_una += window
+            cca.on_ack(window, True, snd_una, snd_una + window, 0)
+        assert cca.alpha > 0.95
+
+    def test_alpha_tracks_partial_marking(self):
+        """With fraction F marked per window, alpha converges to F."""
+        cca = make(alpha=0.0)
+        snd_una = 0
+        for _ in range(300):
+            # Window of 4 segments, 1 marked.
+            snd_una += MSS
+            cca.on_ack(MSS, True, snd_una, snd_una + 3 * MSS, 0)
+            for _ in range(3):
+                snd_una += MSS
+                cca.on_ack(MSS, False, snd_una, snd_una + 3 * MSS, 0)
+        assert cca.alpha == pytest.approx(0.25, abs=0.08)
+
+    def test_empty_window_does_not_update_alpha(self):
+        cca = make(alpha=0.5)
+        cca.on_ack(0, False, 0, 0, 0)  # pure dupack at window edge
+        assert cca.alpha == 0.5
+
+
+class TestProportionalCut:
+    def test_cut_by_alpha_over_two(self):
+        cca = make(alpha=0.5)
+        cca.cwnd_bytes = 100 * MSS
+        cca.on_ack(MSS, True, MSS, 200 * MSS, 0)
+        assert cca.cwnd_bytes == pytest.approx(75 * MSS)
+
+    def test_full_alpha_halves(self):
+        cca = make(alpha=1.0)
+        cca.cwnd_bytes = 100 * MSS
+        cca.on_ack(MSS, True, MSS, 200 * MSS, 0)
+        assert cca.cwnd_bytes == pytest.approx(50 * MSS)
+
+    def test_at_most_one_cut_per_window(self):
+        cca = make(alpha=1.0)
+        cca.cwnd_bytes = 100 * MSS
+        cca.on_ack(MSS, True, MSS, 200 * MSS, 0)
+        cca.on_ack(MSS, True, 2 * MSS, 200 * MSS, 0)
+        cca.on_ack(MSS, True, 3 * MSS, 200 * MSS, 0)
+        assert cca.cwnd_bytes == pytest.approx(50 * MSS)
+
+    def test_cut_floors_at_one_mss(self):
+        """The degenerate point: the window cannot fall below 1 MSS no
+        matter how heavy the marking (paper Section 4.1.2)."""
+        cca = make(alpha=1.0)
+        cca.cwnd_bytes = float(MSS)
+        snd_una = 0
+        for _ in range(50):
+            snd_una += MSS
+            cca.on_ack(MSS, True, snd_una, snd_una + MSS, 0)
+        assert cca.effective_cwnd_bytes() == MSS
+
+    def test_growth_suppressed_after_cut_in_window(self):
+        cca = make(alpha=0.5)
+        cca.cwnd_bytes = 100 * MSS
+        cca.on_ack(MSS, True, MSS, 200 * MSS, 0)
+        after_cut = cca.cwnd_bytes
+        cca.on_ack(MSS, False, 2 * MSS, 200 * MSS, 0)
+        assert cca.cwnd_bytes == after_cut
+
+    def test_growth_resumes_after_window_rollover(self):
+        cca = make(alpha=0.5)
+        cca.cwnd_bytes = 10 * MSS
+        cca.ssthresh_bytes = 5 * MSS  # CA mode
+        cca.on_ack(MSS, True, MSS, 2 * MSS, 0)
+        cut = cca.cwnd_bytes
+        # Next ACK passes the window end recorded at the cut.
+        cca.on_ack(MSS, False, 3 * MSS, 6 * MSS, 0)
+        assert cca.cwnd_bytes > cut
+
+
+class TestLossFallback:
+    def test_loss_halves_like_tcp(self):
+        cca = make()
+        cca.cwnd_bytes = 80 * MSS
+        cca.on_loss(0)
+        assert cca.cwnd_bytes == 40 * MSS
+
+    def test_rto_collapses(self):
+        cca = make()
+        cca.cwnd_bytes = 80 * MSS
+        cca.on_rto(0)
+        assert cca.cwnd_bytes == MSS
+
+    def test_repr_shows_alpha(self):
+        assert "alpha" in repr(make())

@@ -1,0 +1,134 @@
+"""Tests for Reno congestion control (and TcpConfig validation)."""
+
+import pytest
+
+from repro.tcp.cca.base import SSTHRESH_INFINITE
+from repro.tcp.cca.reno import Reno
+from repro.tcp.config import TcpConfig
+
+
+def make(**kwargs):
+    return Reno(TcpConfig(**kwargs))
+
+
+MSS = TcpConfig().mss_bytes
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        cfg = TcpConfig()
+        assert cfg.mss_bytes == 1460
+        assert cfg.delayed_ack is False
+        assert cfg.ecn_enabled is True
+        assert cfg.init_cwnd_bytes == 10 * 1460
+
+    def test_rejects_bad_mss(self):
+        with pytest.raises(ValueError):
+            TcpConfig(mss_bytes=0)
+
+    def test_rejects_bad_rto_range(self):
+        with pytest.raises(ValueError):
+            TcpConfig(min_rto_ns=10, max_rto_ns=5)
+
+    def test_rejects_bad_dupack_threshold(self):
+        with pytest.raises(ValueError):
+            TcpConfig(dupack_threshold=0)
+
+    def test_rejects_bad_init_cwnd(self):
+        with pytest.raises(ValueError):
+            TcpConfig(init_cwnd_segments=0)
+
+
+class TestGrowth:
+    def test_starts_in_slow_start(self):
+        cca = make()
+        assert cca.in_slow_start
+        assert cca.ssthresh_bytes == SSTHRESH_INFINITE
+
+    def test_slow_start_doubles_per_window(self):
+        cca = make()
+        start = cca.cwnd_bytes
+        cca.on_ack(int(start), ece=False, snd_una=int(start),
+                   snd_nxt=2 * int(start), now_ns=0)
+        assert cca.cwnd_bytes == 2 * start
+
+    def test_congestion_avoidance_linear(self):
+        cca = make()
+        cca.ssthresh_bytes = cca.cwnd_bytes  # force CA
+        start = cca.cwnd_bytes
+        # One full window of ACKs grows the window by ~1 MSS.
+        cca.on_ack(int(start), False, int(start), 2 * int(start), 0)
+        assert cca.cwnd_bytes == pytest.approx(start + MSS, rel=0.01)
+
+    def test_max_cwnd_cap(self):
+        cca = make(max_cwnd_bytes=20 * MSS)
+        for _ in range(20):
+            cca.on_ack(10 * MSS, False, 0, 0, 0)
+        assert cca.effective_cwnd_bytes() <= 20 * MSS
+
+
+class TestDecrease:
+    def test_loss_halves(self):
+        cca = make()
+        cca.cwnd_bytes = 100 * MSS
+        cca.on_loss(0)
+        assert cca.cwnd_bytes == 50 * MSS
+        assert cca.ssthresh_bytes == 50 * MSS
+
+    def test_rto_collapses_to_one_mss(self):
+        cca = make()
+        cca.cwnd_bytes = 100 * MSS
+        cca.on_rto(0)
+        assert cca.cwnd_bytes == MSS
+        assert cca.ssthresh_bytes == 50 * MSS
+
+    def test_effective_cwnd_floored_at_one_mss(self):
+        cca = make()
+        cca.cwnd_bytes = 10.0  # below one segment
+        assert cca.effective_cwnd_bytes() == MSS
+
+    def test_loss_floor(self):
+        cca = make()
+        cca.cwnd_bytes = float(MSS)
+        cca.on_loss(0)
+        assert cca.cwnd_bytes == MSS
+
+
+class TestEcnReaction:
+    def test_ece_halves_once_per_window(self):
+        cca = make()
+        cca.cwnd_bytes = 100 * MSS
+        cca.on_ack(MSS, ece=True, snd_una=MSS, snd_nxt=200 * MSS, now_ns=0)
+        assert cca.cwnd_bytes == 50 * MSS
+        # Second ECE within the same window: no further cut.
+        cca.on_ack(MSS, ece=True, snd_una=2 * MSS, snd_nxt=200 * MSS,
+                   now_ns=0)
+        assert cca.cwnd_bytes == 50 * MSS
+
+    def test_ece_cut_resumes_next_window(self):
+        cca = make()
+        cca.cwnd_bytes = 100 * MSS
+        cca.on_ack(MSS, True, MSS, 50 * MSS, 0)
+        # ACK beyond the recorded window end re-arms the reaction.
+        cca.on_ack(MSS, True, 51 * MSS, 80 * MSS, 0)
+        assert cca.cwnd_bytes == 25 * MSS
+
+    def test_ecn_disabled_ignores_ece(self):
+        cca = make(ecn_enabled=False)
+        cca.cwnd_bytes = 100 * MSS
+        cca.on_ack(MSS, True, MSS, 200 * MSS, 0)
+        assert cca.cwnd_bytes > 100 * MSS - 1  # grew or unchanged, no cut
+
+
+class TestMisc:
+    def test_restart_after_idle_resets_to_init(self):
+        cca = make()
+        cca.cwnd_bytes = 100 * MSS
+        cca.on_restart_after_idle()
+        assert cca.cwnd_bytes == cca.config.init_cwnd_bytes
+
+    def test_no_pacing(self):
+        assert make().pacing_interval_ns(30_000) is None
+
+    def test_repr(self):
+        assert "Reno" in repr(make())

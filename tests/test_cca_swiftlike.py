@@ -1,0 +1,102 @@
+"""Tests for the Swift-like delay-based CCA with sub-MSS pacing."""
+
+import pytest
+
+from repro import units
+from repro.tcp.cca.swiftlike import SwiftLike
+from repro.tcp.config import TcpConfig
+
+MSS = TcpConfig().mss_bytes
+
+
+def make(**kwargs):
+    return SwiftLike(TcpConfig(), **kwargs)
+
+
+class TestValidation:
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            make(target_delay_ns=0)
+
+    def test_rejects_bad_mdf(self):
+        with pytest.raises(ValueError):
+            make(max_mdf=1.0)
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(ValueError):
+            make(min_cwnd_fraction=0.0)
+
+
+class TestDelayReaction:
+    def test_grows_below_target(self):
+        cca = make(target_delay_ns=units.usec(60))
+        cca.on_rtt_sample(units.usec(30), 0)
+        before = cca.cwnd_bytes
+        cca.on_ack(MSS, False, MSS, 10 * MSS, 0)
+        assert cca.cwnd_bytes > before
+
+    def test_shrinks_above_target(self):
+        cca = make(target_delay_ns=units.usec(60))
+        cca.on_rtt_sample(units.usec(600), 0)
+        before = cca.cwnd_bytes
+        cca.on_ack(MSS, False, MSS, 10 * MSS, 0)
+        assert cca.cwnd_bytes < before
+
+    def test_decrease_at_most_once_per_rtt(self):
+        cca = make(target_delay_ns=units.usec(60))
+        cca.on_rtt_sample(units.usec(600), 0)
+        cca.on_ack(MSS, False, MSS, 10 * MSS, 0)
+        after_first = cca.cwnd_bytes
+        cca.on_ack(MSS, False, 2 * MSS, 10 * MSS, 100)  # within same RTT
+        assert cca.cwnd_bytes == after_first
+
+    def test_decrease_bounded_by_max_mdf(self):
+        cca = make(target_delay_ns=units.usec(10), max_mdf=0.5)
+        cca.on_rtt_sample(units.sec(1), 0)  # enormous delay
+        before = cca.cwnd_bytes
+        cca.on_ack(MSS, False, MSS, 10 * MSS, 0)
+        assert cca.cwnd_bytes >= before * 0.5
+
+    def test_no_reaction_without_rtt_sample(self):
+        cca = make()
+        before = cca.cwnd_bytes
+        cca.on_ack(MSS, False, MSS, 10 * MSS, 0)
+        assert cca.cwnd_bytes == before
+
+
+class TestSubMssWindow:
+    def test_window_may_fall_below_one_mss(self):
+        """Unlike window-based CCAs, the floor is a fraction of one MSS —
+        the escape from the degenerate point (paper Section 5.2)."""
+        cca = make(min_cwnd_fraction=0.01)
+        now = 0
+        for _ in range(60):
+            now += units.msec(1)
+            cca.on_rtt_sample(units.msec(1), now)
+            cca.on_ack(MSS, False, MSS, 10 * MSS, now)
+        assert cca.effective_cwnd_bytes() < MSS
+
+    def test_floor_respected(self):
+        cca = make(min_cwnd_fraction=0.1)
+        cca.on_rto(0)
+        assert cca.effective_cwnd_bytes() == pytest.approx(0.1 * MSS)
+
+    def test_pacing_only_below_one_mss(self):
+        cca = make()
+        cca.cwnd_bytes = 2.0 * MSS
+        assert cca.pacing_interval_ns(units.usec(30)) is None
+        cca.cwnd_bytes = 0.5 * MSS
+        interval = cca.pacing_interval_ns(units.usec(30))
+        # One packet per mss/cwnd = 2 RTTs.
+        assert interval == pytest.approx(units.usec(60), rel=0.01)
+
+    def test_pacing_needs_rtt(self):
+        cca = make()
+        cca.cwnd_bytes = 0.5 * MSS
+        assert cca.pacing_interval_ns(None) is None
+
+    def test_loss_reaction(self):
+        cca = make(max_mdf=0.5)
+        cca.cwnd_bytes = 10 * MSS
+        cca.on_loss(0)
+        assert cca.cwnd_bytes == pytest.approx(5 * MSS)

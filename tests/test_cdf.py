@@ -1,0 +1,76 @@
+"""Tests for empirical CDFs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cdf import EmpiricalCdf
+
+
+class TestEvaluate:
+    def test_basic(self):
+        cdf = EmpiricalCdf([1, 2, 3, 4])
+        assert cdf.evaluate(0) == 0.0
+        assert cdf.evaluate(2) == 0.5
+        assert cdf.evaluate(4) == 1.0
+        assert cdf.evaluate(100) == 1.0
+
+    def test_empty(self):
+        cdf = EmpiricalCdf([])
+        assert cdf.evaluate(1) == 0.0
+        assert cdf.percentile(50) == 0.0
+        assert cdf.mean() == 0.0
+        assert len(cdf) == 0
+
+    def test_fraction_alias(self):
+        cdf = EmpiricalCdf([0.0, 0.0, 1.0, 1.0])
+        assert cdf.fraction_at_or_below(0.0) == 0.5
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=200),
+           st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=-1e6, max_value=1e6))
+    def test_monotone(self, samples, a, b):
+        cdf = EmpiricalCdf(samples)
+        lo, hi = min(a, b), max(a, b)
+        assert cdf.evaluate(lo) <= cdf.evaluate(hi)
+
+
+class TestPercentiles:
+    def test_median_and_tails(self):
+        cdf = EmpiricalCdf(range(1, 101))
+        assert cdf.median() == pytest.approx(50.5)
+        assert cdf.percentile(99) == pytest.approx(np.percentile(
+            np.arange(1, 101), 99))
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([1]).percentile(101)
+
+    def test_tail_summary_default_points(self):
+        summary = EmpiricalCdf(range(1000)).tail_summary()
+        assert set(summary) == {50.0, 90.0, 95.0, 99.0, 99.9, 100.0}
+        assert summary[100.0] == 999
+
+    def test_mean(self):
+        assert EmpiricalCdf([1, 2, 3]).mean() == 2.0
+
+
+class TestCurve:
+    def test_small_sample_full_resolution(self):
+        x, y = EmpiricalCdf([3, 1, 2]).curve()
+        assert list(x) == [1, 2, 3]
+        assert y[-1] == 1.0
+
+    def test_large_sample_downsampled(self):
+        x, y = EmpiricalCdf(range(10_000)).curve(n_points=100)
+        assert len(x) == 100
+        assert (np.diff(y) >= 0).all()
+
+    def test_empty_curve(self):
+        x, y = EmpiricalCdf([]).curve()
+        assert len(x) == 0 and len(y) == 0
+
+    def test_values_sorted(self):
+        cdf = EmpiricalCdf([5, 1, 3])
+        assert list(cdf.values) == [1, 3, 5]

@@ -1,0 +1,82 @@
+"""Tests for fleet campaign orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.collection import CampaignConfig, run_campaign
+
+
+class TestConfig:
+    def test_daily_defaults(self):
+        cfg = CampaignConfig.daily()
+        assert cfg.hosts_per_service == 20
+        assert cfg.n_snapshots == 9
+
+    def test_stability_defaults_to_108_snapshots(self):
+        cfg = CampaignConfig.stability()
+        assert cfg.n_snapshots == 108
+
+    def test_rejects_unknown_service(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(services=("nope",))
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(hosts_per_service=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(n_snapshots=0)
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_campaign(CampaignConfig(
+            services=("storage", "video"), hosts_per_service=3,
+            n_snapshots=2, trace_duration_ms=400, seed=5))
+
+    def test_summary_counts(self, campaign):
+        assert set(campaign.summaries) == {"storage", "video"}
+        assert len(campaign.summaries["storage"]) == 6  # 3 hosts x 2 snaps
+
+    def test_summaries_carry_identity(self, campaign):
+        hosts = {s.host_id for s in campaign.summaries["storage"]}
+        snaps = {s.snapshot_index for s in campaign.summaries["storage"]}
+        assert hosts == {0, 1, 2}
+        assert snaps == {0, 1}
+
+    def test_pooled_concatenates(self, campaign):
+        pooled = campaign.pooled("video", "flow_counts")
+        per_trace = sum(len(s.flow_counts)
+                        for s in campaign.summaries["video"])
+        assert len(pooled) == per_trace
+
+    def test_burst_frequencies_one_per_trace(self, campaign):
+        assert len(campaign.burst_frequencies("storage")) == 6
+
+    def test_regimes_recorded(self, campaign):
+        assert len(campaign.regimes["video"]) == 2
+        assert campaign.regimes["storage"] == [0, 0]
+
+    def test_traces_not_kept_by_default(self, campaign):
+        assert campaign.traces == {}
+
+    def test_deterministic_given_seed(self):
+        cfg = CampaignConfig(services=("messaging",), hosts_per_service=2,
+                             n_snapshots=1, trace_duration_ms=300, seed=9)
+        a = run_campaign(cfg)
+        b = run_campaign(cfg)
+        assert (a.pooled("messaging", "flow_counts")
+                == b.pooled("messaging", "flow_counts")).all()
+
+    def test_keep_traces(self):
+        campaign = run_campaign(CampaignConfig(
+            services=("messaging",), hosts_per_service=1, n_snapshots=2,
+            trace_duration_ms=200, keep_traces=True))
+        assert len(campaign.traces["messaging"]) == 2
+
+    def test_pooled_empty_metric(self):
+        campaign = run_campaign(CampaignConfig(
+            services=("messaging",), hosts_per_service=1, n_snapshots=1,
+            trace_duration_ms=50, seed=123))
+        pooled = campaign.pooled("messaging", "flow_counts")
+        assert isinstance(pooled, np.ndarray)

@@ -1,0 +1,110 @@
+"""Tests for incast classification and trace summarization."""
+
+import numpy as np
+import pytest
+
+from repro.core.bursts import detect_bursts
+from repro.core.incast import (INCAST_FLOW_THRESHOLD, degree_distribution,
+                               incast_fraction, is_incast,
+                               low_mode_fraction)
+from repro.core.metrics import summarize_trace
+from tests.conftest import make_trace
+
+
+def trace_with_flows(flow_peaks):
+    """One burst per flow peak, separated by idle intervals."""
+    utils, flows = [], []
+    for peak in flow_peaks:
+        utils.extend([1.0, 0.0])
+        flows.extend([peak, 0])
+    return make_trace(utils, flows=flows)
+
+
+class TestIncastClassification:
+    def test_threshold_is_25(self):
+        assert INCAST_FLOW_THRESHOLD == 25
+
+    def test_is_incast(self):
+        bursts = detect_bursts(trace_with_flows([30, 10]))
+        assert is_incast(bursts[0])
+        assert not is_incast(bursts[1])
+
+    def test_boundary_inclusive(self):
+        bursts = detect_bursts(trace_with_flows([25]))
+        assert is_incast(bursts[0])
+
+    def test_incast_fraction(self):
+        bursts = detect_bursts(trace_with_flows([30, 10, 40, 50]))
+        assert incast_fraction(bursts) == 0.75
+
+    def test_incast_fraction_empty(self):
+        assert incast_fraction([]) == 0.0
+
+    def test_low_mode_fraction(self):
+        bursts = detect_bursts(trace_with_flows([5, 15, 100, 200]))
+        assert low_mode_fraction(bursts) == 0.5
+
+    def test_degree_distribution(self):
+        bursts = detect_bursts(trace_with_flows([5, 100]))
+        assert list(degree_distribution(bursts)) == [5, 100]
+
+
+class TestTraceSummary:
+    def summary(self):
+        trace = make_trace(
+            [1.0, 1.0, 0.0, 1.0, 0.0],
+            flows=[50, 60, 0, 10, 0],
+            marked_frac=[1.0, 0.0, 0.0, 0.0, 0.0],
+            retx_frac=[0.0, 0.1, 0.0, 0.0, 0.0],
+            queue_frac=[0.2, 0.9, 0.0, 0.1, 0.0],
+            service="svc", host_id=7, snapshot=3)
+        return summarize_trace(trace)
+
+    def test_identity(self):
+        s = self.summary()
+        assert (s.service, s.host_id, s.snapshot_index) == ("svc", 7, 3)
+
+    def test_burst_count_and_frequency(self):
+        s = self.summary()
+        assert s.n_bursts == 2
+        # 2 bursts over 5 ms.
+        assert s.burst_frequency_hz == pytest.approx(400.0)
+
+    def test_flow_counts(self):
+        s = self.summary()
+        assert list(s.flow_counts) == [60, 10]
+        assert s.mean_flow_count() == 35.0
+
+    def test_watermark_shared_across_bursts(self):
+        """High-watermark semantics: both bursts report the trace max."""
+        s = self.summary()
+        assert list(s.watermark_fracs) == [0.9, 0.9]
+
+    def test_ground_truth_peaks_differ(self):
+        s = self.summary()
+        assert list(s.peak_queue_fracs) == [0.9, 0.1]
+
+    def test_incast_and_low_mode(self):
+        s = self.summary()
+        assert s.incast_fraction == 0.5
+        assert s.low_mode_fraction == 0.5
+
+    def test_durations(self):
+        s = self.summary()
+        assert list(s.durations_ms) == [2.0, 1.0]
+
+    def test_marked_and_retx_arrays(self):
+        s = self.summary()
+        assert s.marked_fractions[0] == pytest.approx(0.5, abs=0.01)
+        assert s.retransmit_fractions[1] == 0.0
+
+    def test_p99_flow_count(self):
+        s = self.summary()
+        assert s.p99_flow_count() == pytest.approx(
+            np.percentile([60, 10], 99))
+
+    def test_empty_trace_summary(self):
+        s = summarize_trace(make_trace([0.0, 0.0]))
+        assert s.n_bursts == 0
+        assert s.mean_flow_count() == 0.0
+        assert s.p99_flow_count() == 0.0

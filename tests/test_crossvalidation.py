@@ -1,0 +1,111 @@
+"""Cross-validation: the Section 3 analysis pipeline on Section 4 packets.
+
+The burst-analysis code consumes Millisampler interval records, so it runs
+unchanged whether those records come from the synthetic fleet or from a
+packet-level simulation. These tests tap a simulated incast receiver with
+the packet-level Millisampler and push the export through the full burst
+pipeline, checking that the two halves of the repository agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.bursts import detect_bursts
+from repro.core.incast import is_incast
+from repro.core.metrics import summarize_trace
+from repro.experiments.environment import IncastSimConfig, run_incast_sim
+from repro.measurement.millisampler import Millisampler
+from repro.measurement.records import TraceMeta
+from repro.simcore.kernel import Simulator
+from repro.netsim.topology import build_dumbbell
+from repro.simcore.random import RngHub
+from repro.tcp.cca.dctcp import Dctcp
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import open_connection
+from repro.workloads.incast import IncastConfig, IncastWorkload
+
+
+@pytest.fixture(scope="module")
+def sampled_incast():
+    """A 40-flow cyclic incast with a Millisampler on the receiver."""
+    sim = Simulator()
+    from repro.netsim.topology import DumbbellConfig
+    net = build_dumbbell(sim, DumbbellConfig(n_senders=40))
+    tcp = TcpConfig()
+    conns = [open_connection(sim, tcp, Dctcp(tcp), host, net.receiver)
+             for host in net.senders]
+    sampler = Millisampler(net.receiver, net.config.host_rate_bps,
+                           meta=TraceMeta(service="sim-incast", host_id=0))
+    workload = IncastWorkload(
+        sim, conns,
+        IncastConfig(n_bursts=4, burst_duration_ns=units.msec(2.0),
+                     inter_burst_gap_ns=units.msec(3.0)),
+        RngHub(0).stream("jitter"), queue=net.bottleneck_queue,
+        demand_bytes_per_flow=62_500)
+    workload.start()
+    sim.run(until_ns=units.sec(5))
+    assert workload.done
+    duration_ms = int(units.ns_to_ms(sim.now)) + 1
+    return workload, sampler.export(n_intervals=duration_ms)
+
+
+class TestPipelineOnPackets:
+    def test_burst_count_matches_workload(self, sampled_incast):
+        workload, trace = sampled_incast
+        bursts = detect_bursts(trace)
+        # Bursts separated by 3 ms idle gaps must be detected individually.
+        assert len(bursts) == len(workload.results)
+
+    def test_bursts_are_incasts(self, sampled_incast):
+        _, trace = sampled_incast
+        for burst in detect_bursts(trace):
+            assert is_incast(burst)
+            assert burst.max_active_flows == 40
+
+    def test_burst_volume_matches_demand(self, sampled_incast):
+        workload, trace = sampled_incast
+        bursts = detect_bursts(trace)
+        for burst, result in zip(bursts, workload.results):
+            # Ingress includes headers, but bursts start at arbitrary
+            # offsets within the 1 ms sampling grid, so edge intervals
+            # that dip under the detection threshold trim up to ~20%.
+            assert burst.total_bytes >= 0.78 * result.total_bytes
+            assert burst.total_bytes <= 1.1 * result.total_bytes
+
+    def test_burst_timing_matches_workload(self, sampled_incast):
+        workload, trace = sampled_incast
+        bursts = detect_bursts(trace)
+        for burst, result in zip(bursts, workload.results):
+            start_ms = units.ns_to_ms(result.start_ns)
+            assert abs(burst.start - start_ms) <= 1.5
+
+    def test_marking_seen_end_to_end(self, sampled_incast):
+        workload, trace = sampled_incast
+        # 40 flows on a 65-packet threshold: slow start marks packets, and
+        # the receiver-side sampler must see the CE bytes.
+        total_marks = sum(r.marked_packets for r in workload.results)
+        assert total_marks > 0
+        assert trace.marked_bytes.sum() > 0
+
+    def test_summary_runs_on_packet_trace(self, sampled_incast):
+        _, trace = sampled_incast
+        summary = summarize_trace(trace)
+        assert summary.n_bursts == 4
+        assert summary.incast_fraction == 1.0
+        assert summary.mean_utilization < 1.0
+
+
+class TestModeAgreement:
+    def test_fluid_and_packet_degenerate_points_agree(self):
+        """The fluid model's degenerate point and the packet model's mode
+        boundary derive from the same arithmetic."""
+        from repro.netsim.fluid import FluidConfig, degenerate_point_flows
+        cfg = IncastSimConfig(n_flows=10)
+        packet_k = cfg.mode_model().degenerate_point
+        fluid = FluidConfig(line_rate_bps=cfg.dumbbell.host_rate_bps,
+                            base_rtt_ns=cfg.dumbbell.base_rtt_ns,
+                            capacity_bytes=1333 * 1500,
+                            ecn_threshold_frac=65 / 1333.0)
+        fluid_k = degenerate_point_flows(fluid)
+        assert abs(packet_k - fluid_k) <= 3

@@ -1,0 +1,98 @@
+"""Tests for straggler-divergence analysis (Section 4.3 / Figure 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.divergence import analyze_divergence, jains_index
+
+
+class TestJainsIndex:
+    def test_perfectly_fair(self):
+        assert jains_index(np.asarray([5.0, 5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        values = np.asarray([10.0, 0.0, 0.0, 0.0])
+        assert jains_index(values) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jains_index(np.zeros(0)) == 1.0
+        assert jains_index(np.zeros(5)) == 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_bounded(self, values):
+        index = jains_index(np.asarray(values))
+        assert 0.0 <= index <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                    max_size=50),
+           st.floats(min_value=0.1, max_value=100.0))
+    def test_scale_invariant(self, values, factor):
+        base = jains_index(np.asarray(values))
+        scaled = jains_index(np.asarray(values) * factor)
+        assert base == pytest.approx(scaled, rel=1e-6)
+
+
+def synthetic_burst(n_flows=20, n_samples=100, straggler_ramp=True,
+                    seed=0):
+    """Per-flow in-flight matrix with optional end-of-burst straggler."""
+    rng = np.random.default_rng(seed)
+    times = np.arange(n_samples, dtype=np.int64) * 100_000
+    inflight = np.full((n_samples, n_flows), 1460.0)
+    inflight += rng.normal(0, 50, size=inflight.shape)
+    active = np.ones((n_samples, n_flows), dtype=bool)
+    if straggler_ramp:
+        # Most flows finish at 70%; one straggler ramps up afterwards.
+        cutoff = int(0.7 * n_samples)
+        active[cutoff:, 1:] = False
+        inflight[cutoff:, 1:] = 0.0
+        ramp = np.linspace(1460, 20_000, n_samples - cutoff)
+        inflight[cutoff:, 0] = ramp
+    return times, inflight, active
+
+
+class TestAnalyzeDivergence:
+    def test_detects_straggler_ramp(self):
+        times, inflight, active = synthetic_burst()
+        report = analyze_divergence(times, inflight, active)
+        assert report.end_ramp_ratio > 1.5
+        assert report.has_stragglers
+
+    def test_no_divergence_for_uniform_flows(self):
+        times, inflight, active = synthetic_burst(straggler_ramp=False)
+        report = analyze_divergence(times, inflight, active)
+        assert report.tail_skew < 1.5
+        assert report.end_ramp_ratio == pytest.approx(1.0, abs=0.1)
+        assert not report.has_stragglers
+
+    def test_percentiles_computed_over_active_only(self):
+        times, inflight, active = synthetic_burst()
+        report = analyze_divergence(times, inflight, active)
+        # After the cutoff only the straggler is active: median == p100.
+        assert report.median_inflight[-1] == report.p100_inflight[-1]
+        assert report.active_flows[-1] == 1
+
+    def test_idle_samples_yield_zero(self):
+        times = np.asarray([0, 1, 2], dtype=np.int64)
+        inflight = np.zeros((3, 4))
+        active = np.zeros((3, 4), dtype=bool)
+        report = analyze_divergence(times, inflight, active)
+        assert (report.mean_inflight == 0).all()
+        assert report.tail_skew == 0.0
+
+    def test_jain_tracks_unfairness(self):
+        times, inflight, active = synthetic_burst()
+        fair = analyze_divergence(*synthetic_burst(straggler_ramp=False))
+        skewed = analyze_divergence(times, inflight, active)
+        assert skewed.min_jains_index <= fair.min_jains_index
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_divergence(np.zeros(2, dtype=np.int64),
+                               np.zeros((3, 4)), np.zeros((3, 4),
+                                                          dtype=bool))
+        with pytest.raises(ValueError):
+            analyze_divergence(np.zeros(3, dtype=np.int64),
+                               np.zeros((3, 4)), np.zeros((3, 5),
+                                                          dtype=bool))

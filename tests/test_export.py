@@ -1,0 +1,75 @@
+"""Tests for JSON export of experiment results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import jsonable, result_to_dict, write_result
+from repro.experiments.result import ExperimentResult
+
+
+class TestJsonable:
+    def test_scalars_pass_through(self):
+        assert jsonable(5) == 5
+        assert jsonable("x") == "x"
+        assert jsonable(None) is None
+        assert jsonable(True) is True
+
+    def test_numpy_scalars(self):
+        assert jsonable(np.int64(3)) == 3
+        assert jsonable(np.float64(2.5)) == 2.5
+        assert jsonable(np.bool_(True)) is True
+
+    def test_nan_becomes_none(self):
+        assert jsonable(np.float64("nan")) is None
+
+    def test_small_array(self):
+        assert jsonable(np.asarray([1, 2, 3])) == [1, 2, 3]
+
+    def test_float_array_with_nan(self):
+        out = jsonable(np.asarray([1.0, float("nan")]))
+        assert out[0] == 1.0
+        assert out[1] is None
+
+    def test_huge_array_summarized(self):
+        out = jsonable(np.zeros(200_000))
+        assert out["__array_summary__"] is True
+        assert out["shape"] == [200000]
+
+    def test_nested_containers(self):
+        out = jsonable({"a": [np.int64(1), (2, 3)], 4: "x"})
+        assert out == {"a": [1, [2, 3]], "4": "x"}
+
+    def test_opaque_objects_become_placeholders(self):
+        class Widget:
+            pass
+
+        assert jsonable(Widget()) == "<Widget>"
+
+
+class TestWriteResult:
+    def make_result(self):
+        result = ExperimentResult("fig_test", "a test figure")
+        result.add_section("table goes here")
+        result.data["values"] = np.asarray([1.0, 2.0])
+        result.data["opaque"] = object()
+        return result
+
+    def test_roundtrips_through_json(self, tmp_path):
+        path = write_result(self.make_result(), tmp_path)
+        assert path.name == "fig_test.json"
+        loaded = json.loads(path.read_text())
+        assert loaded["name"] == "fig_test"
+        assert loaded["sections"] == ["table goes here"]
+        assert loaded["data"]["values"] == [1.0, 2.0]
+        assert loaded["data"]["opaque"] == "<object>"
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        write_result(self.make_result(), target)
+        assert (target / "fig_test.json").exists()
+
+    def test_result_to_dict_shape(self):
+        doc = result_to_dict(self.make_result())
+        assert set(doc) == {"name", "description", "sections", "data"}

@@ -1,0 +1,145 @@
+"""Tests for the fluid incast bottleneck model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.fluid import (FluidConfig, FluidIncast,
+                                degenerate_point_flows)
+
+CFG = FluidConfig()
+DRAIN = CFG.drain_bytes_per_interval
+
+
+class TestConfig:
+    def test_production_defaults(self):
+        assert CFG.line_rate_bps == 25e9
+        assert CFG.capacity_bytes == 2_000_000
+        assert CFG.ecn_threshold_frac == pytest.approx(0.067)
+
+    def test_drain_per_ms(self):
+        assert DRAIN == pytest.approx(3_125_000)
+
+    def test_bdp(self):
+        assert CFG.bdp_bytes == pytest.approx(93_750)
+
+    def test_degenerate_point_matches_arithmetic(self):
+        k_star = degenerate_point_flows(CFG)
+        budget = CFG.ecn_threshold_bytes + CFG.bdp_bytes
+        assert k_star == int(np.ceil(budget / CFG.mss_bytes))
+        assert k_star == 152
+
+
+class TestValidation:
+    def test_rejects_bad_flow_count(self):
+        with pytest.raises(ValueError):
+            FluidIncast(CFG, 0, 1000, 1e6)
+
+    def test_rejects_bad_demand(self):
+        with pytest.raises(ValueError):
+            FluidIncast(CFG, 10, 0, 1e6)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FluidIncast(CFG, 10, 1000, 0)
+
+    def test_rejects_bad_arrival_factor(self):
+        with pytest.raises(ValueError):
+            FluidIncast(CFG, 10, 1000, 1e6, arrival_rate_factor=0)
+
+
+class TestConservation:
+    def test_everything_eventually_delivered(self):
+        demand = int(2 * DRAIN)
+        trace = FluidIncast(CFG, 100, demand, 2e6,
+                            window_start_factor=2.0).run()
+        assert trace.total_delivered == pytest.approx(demand, abs=2)
+
+    def test_delivery_never_exceeds_line_rate(self):
+        trace = FluidIncast(CFG, 300, int(5 * DRAIN), 2e6,
+                            window_start_factor=3.0).run()
+        assert (trace.delivered_bytes <= DRAIN + 1).all()
+
+    def test_dropped_bytes_are_retransmitted_and_delivered(self):
+        demand = int(3 * DRAIN)
+        fluid = FluidIncast(CFG, 400, demand, 4e5,
+                            window_start_factor=3.0,
+                            arrival_rate_factor=2.0)
+        trace = fluid.run()
+        assert trace.dropped_bytes.sum() > 0
+        assert trace.retransmit_bytes.sum() > 0
+        assert trace.total_delivered == pytest.approx(demand, abs=2)
+        # Retransmitted deliveries roughly match what was dropped.
+        assert trace.retransmit_bytes.sum() == pytest.approx(
+            trace.dropped_bytes.sum(), rel=0.25)
+
+    @given(flows=st.integers(min_value=1, max_value=600),
+           duration=st.integers(min_value=1, max_value=10),
+           wf=st.floats(min_value=0.2, max_value=4.0),
+           sync=st.floats(min_value=0.6, max_value=2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_any_burst(self, flows, duration, wf, sync):
+        demand = int(DRAIN * duration * min(sync, 1.0))
+        trace = FluidIncast(CFG, flows, max(demand, 1000), 1.5e6,
+                            window_start_factor=wf,
+                            arrival_rate_factor=sync).run()
+        assert trace.total_delivered == pytest.approx(
+            max(demand, 1000), abs=2)
+        assert (trace.delivered_bytes >= -1e-9).all()
+        assert (trace.queue_frac >= 0).all()
+        assert (trace.queue_frac <= 1.0 + 1e-9).all()
+        assert (trace.retransmit_bytes <= trace.delivered_bytes + 1e-6).all()
+
+
+class TestMarking:
+    def test_no_marking_when_undersynchronized(self):
+        """Arrivals below line rate never build a queue, hence no marks."""
+        trace = FluidIncast(CFG, 200, int(2 * DRAIN), 2e6,
+                            window_start_factor=1.0,
+                            arrival_rate_factor=0.9).run()
+        assert trace.marked_bytes.sum() == 0
+        assert trace.peak_queue_frac == 0.0
+
+    def test_marking_when_oversynchronized(self):
+        trace = FluidIncast(CFG, 200, int(2 * DRAIN), 2e6,
+                            window_start_factor=1.0,
+                            arrival_rate_factor=1.5).run()
+        assert trace.marked_bytes.sum() > 0
+        assert trace.peak_queue_frac > CFG.ecn_threshold_frac / 2
+
+    def test_degenerate_flows_mark_persistently(self):
+        """Beyond K*, the standing queue exceeds the threshold for the whole
+        burst (paper Mode 2)."""
+        k = degenerate_point_flows(CFG) * 3
+        trace = FluidIncast(CFG, k, int(5 * DRAIN), 2e6,
+                            window_start_factor=1.0).run()
+        marked_frac = trace.marked_bytes.sum() / trace.total_delivered
+        assert marked_frac > 0.8
+
+    def test_window_dump_spikes_queue(self):
+        """Carried-over windows create the burst-start spike."""
+        low = FluidIncast(CFG, 300, int(2 * DRAIN), 2e6,
+                          window_start_factor=1.0).run()
+        high = FluidIncast(CFG, 300, int(2 * DRAIN), 2e6,
+                           window_start_factor=3.0).run()
+        assert high.peak_queue_frac > low.peak_queue_frac
+
+
+class TestOverflow:
+    def test_contention_induces_drops(self):
+        """The same burst that fits a full buffer drops under contention."""
+        demand = int(2 * DRAIN)
+        full = FluidIncast(CFG, 500, demand, 2e6,
+                           window_start_factor=2.0).run()
+        tight = FluidIncast(CFG, 500, demand, 3e5,
+                            window_start_factor=2.0).run()
+        assert full.dropped_bytes.sum() == 0
+        assert tight.dropped_bytes.sum() > 0
+
+    def test_recovery_extends_burst(self):
+        demand = int(2 * DRAIN)
+        clean = FluidIncast(CFG, 500, demand, 2e6,
+                            window_start_factor=3.0).run()
+        lossy = FluidIncast(CFG, 500, demand, 3e5,
+                            window_start_factor=3.0).run()
+        assert lossy.n_intervals >= clean.n_intervals

@@ -1,0 +1,81 @@
+"""Tests for the guardrail CWND cap (Section 5.1)."""
+
+import pytest
+
+from repro.tcp.cca.dctcp import Dctcp
+from repro.tcp.config import TcpConfig
+from repro.tcp.guardrail import CwndGuardrail, guardrail_cap_bytes
+
+MSS = TcpConfig().mss_bytes
+
+
+class TestCapMath:
+    def test_budget_divided_across_flows(self):
+        # 65-packet threshold at 1500 B wire + 37.5 KB BDP = 135 KB budget.
+        cap = guardrail_cap_bytes(10, 65, 37_500, MSS)
+        assert cap == (65 * 1500 + 37_500) // 10
+
+    def test_floors_at_one_mss(self):
+        """Beyond the degenerate point the guardrail cannot help: the floor
+        binds (paper Section 4.1.2)."""
+        cap = guardrail_cap_bytes(100_000, 65, 37_500, MSS)
+        assert cap == MSS
+
+    def test_headroom_scales_budget(self):
+        base = guardrail_cap_bytes(10, 65, 37_500, MSS)
+        wide = guardrail_cap_bytes(10, 65, 37_500, MSS, headroom=2.0)
+        assert wide == pytest.approx(2 * base, abs=2)
+
+    def test_rejects_nonpositive_flows(self):
+        with pytest.raises(ValueError):
+            guardrail_cap_bytes(0, 65, 37_500, MSS)
+
+
+class TestWrapper:
+    def make(self, cap=5 * MSS):
+        inner = Dctcp(TcpConfig())
+        return inner, CwndGuardrail(inner, cap)
+
+    def test_clamps_effective_window(self):
+        inner, guarded = self.make(cap=5 * MSS)
+        inner.cwnd_bytes = 100 * MSS
+        assert guarded.effective_cwnd_bytes() == 5 * MSS
+
+    def test_does_not_clamp_below_cap(self):
+        inner, guarded = self.make(cap=50 * MSS)
+        inner.cwnd_bytes = 10 * MSS
+        assert guarded.effective_cwnd_bytes() == 10 * MSS
+
+    def test_inner_keeps_learning(self):
+        inner, guarded = self.make(cap=2 * MSS)
+        guarded.on_ack(10 * MSS, False, 10 * MSS, 20 * MSS, 0)
+        assert inner.cwnd_bytes > TcpConfig().init_cwnd_bytes
+
+    def test_events_delegate(self):
+        inner, guarded = self.make()
+        inner.cwnd_bytes = 40 * MSS
+        guarded.on_loss(0)
+        assert inner.cwnd_bytes == 20 * MSS
+        guarded.on_rto(0)
+        assert inner.cwnd_bytes == MSS
+
+    def test_cwnd_property_proxies_inner(self):
+        inner, guarded = self.make()
+        guarded.cwnd_bytes = 7 * MSS
+        assert inner.cwnd_bytes == 7 * MSS
+        assert guarded.cwnd_bytes == 7 * MSS
+
+    def test_lifting_cap_restores_freedom(self):
+        inner, guarded = self.make(cap=2 * MSS)
+        inner.cwnd_bytes = 100 * MSS
+        guarded.cap_bytes = 1_000 * MSS
+        assert guarded.effective_cwnd_bytes() == 100 * MSS
+
+    def test_rejects_sub_mss_cap(self):
+        inner = Dctcp(TcpConfig())
+        with pytest.raises(ValueError):
+            CwndGuardrail(inner, MSS - 1)
+
+    def test_inner_accessor(self):
+        inner, guarded = self.make()
+        assert guarded.inner is inner

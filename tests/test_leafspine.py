@@ -1,0 +1,117 @@
+"""Tests for the leaf-spine fabric."""
+
+import pytest
+
+from repro import units
+from repro.netsim.leafspine import LeafSpineConfig, build_leaf_spine
+from repro.simcore.kernel import Simulator
+from repro.tcp.cca.dctcp import Dctcp
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import open_connection
+
+
+def fabric(sim, **kwargs):
+    return build_leaf_spine(sim, LeafSpineConfig(**kwargs))
+
+
+class TestShape:
+    def test_counts(self, sim):
+        fab = fabric(sim, n_racks=3, hosts_per_rack=4, n_spines=2)
+        assert len(fab.racks) == 3
+        assert len(fab.hosts) == 12
+        assert len(fab.leaves) == 3
+        assert len(fab.spines) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeafSpineConfig(n_racks=0)
+        with pytest.raises(ValueError):
+            LeafSpineConfig(n_spines=0)
+
+    def test_rack_of(self, sim):
+        fab = fabric(sim, n_racks=2, hosts_per_rack=3)
+        assert fab.rack_of(fab.racks[1][2]) == 1
+        foreign = fabric(Simulator(), n_racks=1, hosts_per_rack=1)
+        with pytest.raises(ValueError):
+            fab.rack_of(foreign.hosts[0])
+
+    def test_downlink_queue_lookup(self, sim):
+        fab = fabric(sim)
+        host = fab.racks[0][0]
+        queue = fab.downlink_queue(host)
+        assert host.name in queue.name
+
+
+class TestForwarding:
+    def test_intra_rack_delivery(self, sim):
+        fab = fabric(sim, n_racks=2, hosts_per_rack=4)
+        tcp = TcpConfig()
+        src, dst = fab.racks[0][0], fab.racks[0][1]
+        sender, receiver = open_connection(sim, tcp, Dctcp(tcp), src, dst)
+        sender.send(50_000)
+        sim.run(until_ns=units.sec(1))
+        assert receiver.delivered_bytes == 50_000
+        # Intra-rack traffic never crosses a spine.
+        assert all(s.forwarded_packets == 0 for s in fab.spines)
+
+    def test_cross_rack_delivery_uses_spine(self, sim):
+        fab = fabric(sim, n_racks=2, hosts_per_rack=4)
+        tcp = TcpConfig()
+        src, dst = fab.racks[0][0], fab.racks[1][0]
+        sender, receiver = open_connection(sim, tcp, Dctcp(tcp), src, dst)
+        sender.send(50_000)
+        sim.run(until_ns=units.sec(1))
+        assert receiver.delivered_bytes == 50_000
+        assert sum(s.forwarded_packets for s in fab.spines) > 0
+
+    def test_deterministic_spine_choice(self, sim):
+        """A destination's traffic always crosses the same spine, so a
+        connection cannot be reordered by multipathing."""
+        fab = fabric(sim, n_racks=2, hosts_per_rack=2, n_spines=2)
+        tcp = TcpConfig()
+        src, dst = fab.racks[0][0], fab.racks[1][1]
+        sender, receiver = open_connection(sim, tcp, Dctcp(tcp), src, dst)
+        sender.send(200_000)
+        sim.run(until_ns=units.sec(1))
+        assert receiver.delivered_bytes == 200_000
+        used = [s for s in fab.spines if s.forwarded_packets > 0]
+        # Data crosses one spine; the reverse ACK path may use the other.
+        data_spine = fab.spines[dst.address % 2]
+        assert data_spine in used
+
+    def test_cross_rack_rtt_longer_than_intra(self, sim):
+        fab = fabric(sim, n_racks=2, hosts_per_rack=2)
+        tcp = TcpConfig()
+        intra_s, _ = open_connection(sim, tcp, Dctcp(tcp),
+                                     fab.racks[0][0], fab.racks[0][1])
+        cross_s, _ = open_connection(sim, tcp, Dctcp(tcp),
+                                     fab.racks[1][0], fab.racks[0][1])
+        intra_s.send(20_000)
+        cross_s.send(20_000)
+        sim.run(until_ns=units.sec(1))
+        assert intra_s.rtt.min_rtt_ns < cross_s.rtt.min_rtt_ns
+
+
+class TestCrossRackIncast:
+    def test_incast_bottlenecks_at_destination_leaf_downlink(self, sim):
+        """Senders spread over three racks converging on one receiver
+        congest exactly the dumbbell's bottleneck: the destination leaf's
+        host downlink."""
+        fab = fabric(sim, n_racks=4, hosts_per_rack=6)
+        tcp = TcpConfig()
+        receiver_host = fab.racks[0][0]
+        senders = [host for rack in fab.racks[1:] for host in rack]
+        conns = [open_connection(sim, tcp, Dctcp(tcp), host, receiver_host)
+                 for host in senders]
+        for sender, _ in conns:
+            sender.send(60_000)
+        sim.run(until_ns=units.sec(2))
+        assert all(r.delivered_bytes == 60_000 for _, r in conns)
+        bottleneck = fab.downlink_queue(receiver_host)
+        assert bottleneck.stats.max_len_packets > 18
+        assert bottleneck.stats.marked_packets > 0
+        # Spine queues stay shallow: the fabric is not the constraint.
+        for spine in fab.spines:
+            for port in spine.ports:
+                assert port.queue.stats.max_len_packets \
+                    < bottleneck.stats.max_len_packets

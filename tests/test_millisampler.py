@@ -1,0 +1,103 @@
+"""Tests for the packet-level Millisampler tap."""
+
+import pytest
+
+from repro import units
+from repro.measurement.millisampler import Millisampler
+from repro.measurement.records import TraceMeta
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import open_connection
+from repro.tcp.cca.dctcp import Dctcp
+from tests.conftest import mini_dumbbell
+
+
+def run_transfer(sim, net, sizes, tcp_config=None):
+    cfg = tcp_config or TcpConfig()
+    conns = []
+    for host, size in zip(net.senders, sizes):
+        sender, receiver = open_connection(sim, cfg, Dctcp(cfg), host,
+                                           net.receiver)
+        sender.send(size)
+        conns.append((sender, receiver))
+    sim.run(until_ns=units.sec(2))
+    return conns
+
+
+class TestSampling:
+    def test_counts_match_nic(self, sim):
+        net = mini_dumbbell(sim, n_senders=2)
+        sampler = Millisampler(net.receiver, net.config.host_rate_bps)
+        run_transfer(sim, net, [50_000, 70_000])
+        trace = sampler.export()
+        # All data payload + headers arrives at the receiver NIC; the trace
+        # ignores nothing since ACKs leave (not arrive at) the receiver.
+        assert trace.ingress_bytes.sum() == net.receiver.nic.bytes_received
+
+    def test_flow_counting(self, sim):
+        net = mini_dumbbell(sim, n_senders=3)
+        sampler = Millisampler(net.receiver, net.config.host_rate_bps)
+        run_transfer(sim, net, [30_000, 30_000, 30_000])
+        trace = sampler.export()
+        assert trace.active_flows.max() == 3
+
+    def test_retransmits_tagged(self, sim):
+        net = mini_dumbbell(sim, n_senders=4, queue_capacity_packets=3,
+                            ecn_threshold_packets=None)
+        sampler = Millisampler(net.receiver, net.config.host_rate_bps)
+        conns = run_transfer(sim, net, [200_000] * 4)
+        trace = sampler.export()
+        total_rtx_sent = sum(s.stats.retransmitted_packets
+                             for s, _ in conns)
+        assert total_rtx_sent > 0
+        assert trace.retransmit_bytes.sum() > 0
+
+    def test_ce_marks_counted(self, sim):
+        net = mini_dumbbell(sim, n_senders=2, ecn_threshold_packets=0)
+        sampler = Millisampler(net.receiver, net.config.host_rate_bps)
+        run_transfer(sim, net, [50_000, 50_000])
+        trace = sampler.export()
+        assert trace.marked_bytes.sum() > 0
+        assert (trace.marked_bytes <= trace.ingress_bytes).all()
+
+    def test_export_padding(self, sim):
+        net = mini_dumbbell(sim, n_senders=1)
+        sampler = Millisampler(net.receiver, net.config.host_rate_bps)
+        run_transfer(sim, net, [10_000])
+        trace = sampler.export(n_intervals=500)
+        assert trace.n_intervals == 500
+        assert trace.ingress_bytes[-1] == 0
+
+    def test_reset(self, sim):
+        net = mini_dumbbell(sim, n_senders=1)
+        sampler = Millisampler(net.receiver, net.config.host_rate_bps)
+        run_transfer(sim, net, [10_000])
+        sampler.reset()
+        assert sampler.intervals_observed == 0
+        assert sampler.export().n_intervals == 0
+
+    def test_sender_side_sampler_sees_only_acks_by_default(self, sim):
+        net = mini_dumbbell(sim, n_senders=1)
+        tap = Millisampler(net.senders[0], net.config.host_rate_bps)
+        run_transfer(sim, net, [10_000])
+        # Pure ACKs are excluded by default -> empty trace.
+        assert tap.export().ingress_bytes.sum() == 0
+
+    def test_count_acks_option(self, sim):
+        net = mini_dumbbell(sim, n_senders=1)
+        tap = Millisampler(net.senders[0], net.config.host_rate_bps,
+                           count_acks=True)
+        run_transfer(sim, net, [10_000])
+        assert tap.export().ingress_bytes.sum() > 0
+
+    def test_meta_passthrough(self, sim):
+        net = mini_dumbbell(sim, n_senders=1)
+        meta = TraceMeta(service="x", host_id=9, snapshot_index=2)
+        sampler = Millisampler(net.receiver, net.config.host_rate_bps,
+                               meta=meta)
+        run_transfer(sim, net, [10_000])
+        assert sampler.export().meta == meta
+
+    def test_rejects_bad_interval(self, sim):
+        net = mini_dumbbell(sim, n_senders=1)
+        with pytest.raises(ValueError):
+            Millisampler(net.receiver, 1e9, interval_ns=0)

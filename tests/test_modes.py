@@ -1,0 +1,98 @@
+"""Tests for the DCTCP operating-mode model (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import (DctcpMode, ModeModel, classify_queue_trace,
+                              degenerate_flow_count)
+
+# The paper's Section 4 configuration: threshold 65 packets, queue 1333
+# packets, BDP 25 packets.
+PAPER = ModeModel(ecn_threshold_packets=65, queue_capacity_packets=1333,
+                  bdp_packets=25.0)
+
+
+class TestDegeneratePoint:
+    def test_paper_arithmetic(self):
+        # K* = threshold + BDP = 90 packets; the paper observes breakdown
+        # around ~150 flows with slightly different accounting — the model
+        # uses the strict in-flight bound.
+        assert degenerate_flow_count(65, 25.0) == 90
+        assert PAPER.degenerate_point == 90
+
+    def test_overflow_point(self):
+        assert PAPER.overflow_point == 1358
+
+    def test_rounding_up(self):
+        assert degenerate_flow_count(65, 24.5) == 90
+
+
+class TestPrediction:
+    def test_mode1_below_degenerate(self):
+        assert PAPER.predict(50) is DctcpMode.HEALTHY
+
+    def test_mode1_holds_to_the_papers_150_flows(self):
+        # Strict arithmetic pins the queue at K* = 90, but the paper
+        # observes regulation up to ~150 flows; the healthy margin
+        # encodes that.
+        assert PAPER.predict(100) is DctcpMode.HEALTHY
+        assert PAPER.predict(143) is DctcpMode.HEALTHY
+        assert PAPER.predict(150) is DctcpMode.DEGENERATE
+
+    def test_mode2_between(self):
+        assert PAPER.predict(500) is DctcpMode.DEGENERATE
+        assert PAPER.predict(1000) is DctcpMode.DEGENERATE
+
+    def test_mode3_beyond_capacity(self):
+        assert PAPER.predict(1400) is DctcpMode.TIMEOUT
+
+    def test_start_spike_moves_boundary_down(self):
+        """Straggler-inflated first windows (Section 4.3) push a 1000-flow
+        incast into Mode 3 — the paper's observed behaviour."""
+        assert PAPER.predict(1000, start_spike_factor=1.5) \
+            is DctcpMode.TIMEOUT
+
+    def test_rejects_bad_flows(self):
+        with pytest.raises(ValueError):
+            PAPER.predict(0)
+
+    def test_standing_queue_mode1(self):
+        assert PAPER.expected_standing_queue_packets(50) == 65.0
+
+    def test_standing_queue_mode2_is_k_minus_bdp(self):
+        assert PAPER.expected_standing_queue_packets(500) == 475.0
+
+    def test_standing_queue_clamped_at_capacity(self):
+        assert PAPER.expected_standing_queue_packets(5000) == 1333.0
+
+
+class TestClassification:
+    def test_healthy_trace(self):
+        # Oscillates around the threshold with dips below.
+        queue = np.asarray([40, 80, 100, 50, 90, 30, 70] * 10)
+        assert classify_queue_trace(queue, PAPER) is DctcpMode.HEALTHY
+
+    def test_degenerate_trace(self):
+        queue = np.full(100, 475.0)
+        assert classify_queue_trace(queue, PAPER) is DctcpMode.DEGENERATE
+
+    def test_timeout_on_drops(self):
+        queue = np.full(100, 475.0)
+        assert classify_queue_trace(queue, PAPER, drops=10) \
+            is DctcpMode.TIMEOUT
+
+    def test_timeout_on_capacity_hit(self):
+        queue = np.asarray([100.0, 1333.0, 100.0])
+        assert classify_queue_trace(queue, PAPER) is DctcpMode.TIMEOUT
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            classify_queue_trace(np.zeros(0), PAPER)
+
+    def test_dip_fraction_tunable(self):
+        # 10% of samples below threshold: healthy only with a lax setting.
+        queue = np.asarray([30.0] * 10 + [200.0] * 90)
+        assert classify_queue_trace(queue, PAPER) is DctcpMode.DEGENERATE
+        assert classify_queue_trace(queue, PAPER,
+                                    healthy_dip_fraction=0.05) \
+            is DctcpMode.HEALTHY

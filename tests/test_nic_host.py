@@ -1,0 +1,97 @@
+"""Tests for host NIC egress/ingress and host wiring."""
+
+import pytest
+
+from repro import units
+from repro.netsim.host import Host
+from repro.netsim.link import Link
+from repro.netsim.nic import HostNIC
+from repro.netsim.packet import ack_packet, data_packet
+
+
+class Collector:
+    def __init__(self):
+        self.packets = []
+
+    def handle_packet(self, packet):
+        self.packets.append(packet)
+
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+class TestEgress:
+    def test_sends_in_fifo_order(self, sim):
+        nic = HostNIC(sim, address=0)
+        link = Link(sim, units.gbps(10.0), 0)
+        sink = Sink()
+        link.connect(sink)
+        nic.connect(link)
+        for i in range(3):
+            nic.send(data_packet(1, 0, 9, seq=i * 100, payload_bytes=100))
+        assert nic.egress_backlog_packets == 2  # head is on the wire
+        sim.run()
+        assert [p.seq for p in sink.received] == [0, 100, 200]
+        assert nic.bytes_sent == 3 * 140
+
+    def test_send_before_connect_raises(self, sim):
+        nic = HostNIC(sim, address=0)
+        with pytest.raises(RuntimeError):
+            nic.send(data_packet(1, 0, 9, seq=0, payload_bytes=10))
+
+
+class TestIngress:
+    def test_demux_by_flow(self, sim):
+        nic = HostNIC(sim, address=0)
+        a, b = Collector(), Collector()
+        nic.register_flow(1, a)
+        nic.register_flow(2, b)
+        nic.receive(data_packet(1, 9, 0, seq=0, payload_bytes=10))
+        nic.receive(data_packet(2, 9, 0, seq=0, payload_bytes=10))
+        nic.receive(data_packet(3, 9, 0, seq=0, payload_bytes=10))  # unknown
+        assert len(a.packets) == 1
+        assert len(b.packets) == 1
+        assert nic.packets_received == 3
+
+    def test_duplicate_flow_registration_rejected(self, sim):
+        nic = HostNIC(sim, address=0)
+        nic.register_flow(1, Collector())
+        with pytest.raises(ValueError):
+            nic.register_flow(1, Collector())
+
+    def test_ingress_hooks_see_every_packet(self, sim):
+        nic = HostNIC(sim, address=0)
+        seen = []
+        nic.add_ingress_hook(lambda pkt, now: seen.append((pkt, now)))
+        nic.receive(ack_packet(5, 9, 0, ack_seq=100))
+        assert len(seen) == 1
+        assert seen[0][1] == sim.now
+
+    def test_byte_counter(self, sim):
+        nic = HostNIC(sim, address=0)
+        nic.receive(data_packet(1, 9, 0, seq=0, payload_bytes=1460))
+        assert nic.bytes_received == 1500
+
+
+class TestHost:
+    def test_addresses_unique(self, sim):
+        a, b = Host(sim), Host(sim)
+        assert a.address != b.address
+
+    def test_explicit_address(self, sim):
+        host = Host(sim, address=777)
+        assert host.address == 777
+        assert host.nic.address == 777
+
+    def test_register_flow_passthrough(self, sim):
+        host = Host(sim)
+        collector = Collector()
+        host.register_flow(1, collector)
+        host.nic.receive(data_packet(1, 9, host.address, seq=0,
+                                     payload_bytes=10))
+        assert len(collector.packets) == 1

@@ -1,0 +1,69 @@
+"""Tests for the packet model."""
+
+import pytest
+
+from repro.netsim.packet import (DEFAULT_MSS, ECN, TCP_IP_HEADER_BYTES,
+                                 Packet, ack_packet, data_packet)
+
+
+class TestPacket:
+    def test_wire_size_includes_headers(self):
+        pkt = data_packet(1, 0, 9, seq=0, payload_bytes=DEFAULT_MSS)
+        assert pkt.size_bytes == DEFAULT_MSS + TCP_IP_HEADER_BYTES == 1500
+
+    def test_end_seq(self):
+        pkt = data_packet(1, 0, 9, seq=1000, payload_bytes=500)
+        assert pkt.end_seq == 1500
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            Packet(1, 0, 9, payload_bytes=-1)
+
+    def test_data_packet_is_ect(self):
+        pkt = data_packet(1, 0, 9, seq=0, payload_bytes=100)
+        assert pkt.ecn == ECN.ECT
+        assert pkt.ecn_capable
+
+    def test_non_ecn_capable_sender(self):
+        pkt = data_packet(1, 0, 9, seq=0, payload_bytes=100,
+                          ecn_capable=False)
+        assert pkt.ecn == ECN.NOT_ECT
+        assert not pkt.ecn_capable
+
+    def test_mark_ce(self):
+        pkt = data_packet(1, 0, 9, seq=0, payload_bytes=100)
+        pkt.mark_ce()
+        assert pkt.ecn == ECN.CE
+
+    def test_retransmit_flag(self):
+        pkt = data_packet(1, 0, 9, seq=0, payload_bytes=100,
+                          is_retransmit=True)
+        assert pkt.is_retransmit
+        assert "Rtx" in repr(pkt)
+
+    def test_data_repr_shows_ce(self):
+        pkt = data_packet(1, 0, 9, seq=0, payload_bytes=100)
+        pkt.mark_ce()
+        assert "CE" in repr(pkt)
+
+
+class TestAck:
+    def test_ack_fields(self):
+        ack = ack_packet(3, 9, 0, ack_seq=4096, ece=True)
+        assert ack.is_ack
+        assert ack.ack_seq == 4096
+        assert ack.ece
+        assert ack.payload_bytes == 0
+
+    def test_ack_wire_size_is_headers_only(self):
+        ack = ack_packet(3, 9, 0, ack_seq=0)
+        assert ack.size_bytes == TCP_IP_HEADER_BYTES
+
+    def test_acks_not_ecn_capable(self):
+        ack = ack_packet(3, 9, 0, ack_seq=0)
+        assert not ack.ecn_capable
+
+    def test_ack_repr(self):
+        ack = ack_packet(3, 9, 0, ack_seq=10, ece=True)
+        assert "ECE" in repr(ack)
+        assert "ack=10" in repr(ack)

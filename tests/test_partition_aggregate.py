@@ -1,0 +1,107 @@
+"""Tests for the partition/aggregate request-response workload."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.netsim.topology import DumbbellConfig, build_dumbbell
+from repro.simcore.kernel import Simulator
+from repro.tcp.cca.dctcp import Dctcp
+from repro.tcp.config import TcpConfig
+from repro.workloads.partition_aggregate import (PartitionAggregateConfig,
+                                                 PartitionAggregateWorkload)
+
+
+def run_workload(n_workers=8, seed=0, **config_kwargs):
+    sim = Simulator()
+    net = build_dumbbell(sim, DumbbellConfig(n_senders=n_workers))
+    tcp = TcpConfig()
+    workload = PartitionAggregateWorkload(
+        sim, net, PartitionAggregateConfig(**config_kwargs), tcp,
+        lambda: Dctcp(tcp), np.random.default_rng(seed))
+    workload.start()
+    sim.run(until_ns=units.sec(10))
+    return sim, net, workload
+
+
+class TestConfigValidation:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            PartitionAggregateConfig(n_queries=0)
+        with pytest.raises(ValueError):
+            PartitionAggregateConfig(request_bytes=0)
+        with pytest.raises(ValueError):
+            PartitionAggregateConfig(response_jitter_frac=1.0)
+
+
+class TestExecution:
+    def test_all_queries_complete(self):
+        _, _, workload = run_workload(n_queries=3)
+        assert workload.done
+        assert len(workload.results) == 3
+        assert [r.index for r in workload.results] == [0, 1, 2]
+
+    def test_qct_lower_bounded_by_transfer_time(self):
+        _, net, workload = run_workload(n_queries=2, response_bytes=50_000)
+        # 8 workers x 50 KB over a 10 Gbps downlink >= 0.32 ms.
+        floor_ms = 8 * 50_000 * 8 / 10e9 * 1e3
+        for result in workload.results:
+            assert result.qct_ms >= floor_ms * 0.9
+
+    def test_responses_triggered_by_requests(self):
+        _, _, workload = run_workload(n_queries=2)
+        for channel in workload._channels:
+            assert channel.requests_received == 2
+            assert channel.responses_sent == 2
+
+    def test_response_jitter_varies_sizes(self):
+        _, _, workload = run_workload(n_queries=1, n_workers=6,
+                                      response_jitter_frac=0.3)
+        expected = [c.response_bytes_expected
+                    for c in workload._channels]
+        assert len(set(expected)) > 1
+
+    def test_no_jitter_exact_sizes(self):
+        _, _, workload = run_workload(
+            n_queries=1, n_workers=4, response_jitter_frac=0.0,
+            service_time_jitter_ns=0)
+        for channel in workload._channels:
+            assert channel.response_bytes_expected == 20_000
+
+    def test_incast_forms_at_coordinator(self):
+        _, net, workload = run_workload(n_workers=12, n_queries=2,
+                                        response_bytes=60_000)
+        # The responses converge on the coordinator's downlink queue.
+        assert net.bottleneck_queue.stats.max_len_packets > 12
+
+    def test_steady_discards_first(self):
+        _, _, workload = run_workload(n_queries=3)
+        steady = workload.steady_results()
+        assert len(steady) == 2
+        assert steady[0].index == 1
+
+    def test_qct_percentiles(self):
+        _, _, workload = run_workload(n_queries=4)
+        pcts = workload.qct_percentiles((50.0, 99.0))
+        assert 0 < pcts[50.0] <= pcts[99.0]
+
+    def test_think_time_spaces_queries(self):
+        _, _, workload = run_workload(n_queries=3,
+                                      think_time_ns=units.msec(4.0))
+        for earlier, later in zip(workload.results, workload.results[1:]):
+            assert later.issued_ns >= earlier.completed_ns \
+                + units.msec(4.0) - 1
+
+    def test_deterministic_for_seed(self):
+        _, _, a = run_workload(n_queries=3, seed=9)
+        _, _, b = run_workload(n_queries=3, seed=9)
+        assert [r.qct_ns for r in a.results] == [r.qct_ns for r in b.results]
+
+    def test_fan_in_raises_tail_qct(self):
+        """The intro's motivation: higher fan-in degrades query latency
+        once responses congest the coordinator's downlink."""
+        _, _, small = run_workload(n_workers=4, n_queries=4,
+                                   response_bytes=40_000)
+        _, _, large = run_workload(n_workers=32, n_queries=4,
+                                   response_bytes=40_000)
+        assert large.qct_percentiles()[99.0] > small.qct_percentiles()[99.0]

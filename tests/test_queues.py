@@ -1,0 +1,149 @@
+"""Tests for the ECN drop-tail queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.buffers import SharedBufferPool
+from repro.netsim.packet import ECN, data_packet
+from repro.netsim.queues import DropTailQueue
+
+
+def pkt(seq=0, payload=1460, ecn_capable=True):
+    return data_packet(1, 0, 9, seq=seq, payload_bytes=payload,
+                       ecn_capable=ecn_capable)
+
+
+class TestTailDrop:
+    def test_accepts_until_packet_capacity(self):
+        q = DropTailQueue(capacity_packets=2)
+        assert q.offer(pkt())
+        assert q.offer(pkt())
+        assert not q.offer(pkt())
+        assert q.len_packets == 2
+        assert q.stats.dropped_packets == 1
+
+    def test_byte_capacity(self):
+        q = DropTailQueue(capacity_bytes=3000)
+        assert q.offer(pkt())          # 1500 B
+        assert q.offer(pkt())          # 3000 B
+        assert not q.offer(pkt())      # would exceed
+        assert q.len_bytes == 3000
+
+    def test_pop_order_fifo(self):
+        q = DropTailQueue(capacity_packets=10)
+        first, second = pkt(seq=0), pkt(seq=1460)
+        q.offer(first)
+        q.offer(second)
+        assert q.pop() is first
+        assert q.pop() is second
+        assert q.pop() is None
+
+    def test_pop_updates_bytes(self):
+        q = DropTailQueue(capacity_packets=10)
+        q.offer(pkt())
+        q.pop()
+        assert q.len_bytes == 0
+
+    def test_unlimited_queue(self):
+        q = DropTailQueue()
+        for i in range(100):
+            assert q.offer(pkt(seq=i * 1460))
+        assert q.len_packets == 100
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_packets=0)
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_bytes=0)
+
+
+class TestEcnMarking:
+    def test_marks_at_threshold(self):
+        q = DropTailQueue(capacity_packets=10, ecn_threshold_packets=2)
+        a, b, c = pkt(), pkt(), pkt()
+        q.offer(a)
+        q.offer(b)
+        q.offer(c)  # queue length 2 at arrival -> marked
+        assert a.ecn == ECN.ECT
+        assert b.ecn == ECN.ECT
+        assert c.ecn == ECN.CE
+        assert q.stats.marked_packets == 1
+
+    def test_threshold_zero_marks_everything(self):
+        q = DropTailQueue(ecn_threshold_packets=0)
+        p = pkt()
+        q.offer(p)
+        assert p.ecn == ECN.CE
+
+    def test_non_ect_packets_not_marked(self):
+        q = DropTailQueue(ecn_threshold_packets=0)
+        p = pkt(ecn_capable=False)
+        q.offer(p)
+        assert p.ecn == ECN.NOT_ECT
+        assert q.stats.marked_packets == 0
+
+    def test_no_threshold_no_marking(self):
+        q = DropTailQueue(capacity_packets=2)
+        p = pkt()
+        q.offer(p)
+        assert p.ecn == ECN.ECT
+
+
+class TestStats:
+    def test_watermark_tracks_max(self):
+        q = DropTailQueue()
+        q.offer(pkt())
+        q.offer(pkt())
+        q.pop()
+        assert q.stats.max_len_packets == 2
+        assert q.stats.max_len_bytes == 3000
+
+    def test_watermark_reset(self):
+        q = DropTailQueue()
+        q.offer(pkt())
+        q.stats.reset_watermark()
+        assert q.stats.max_len_packets == 0
+        q.offer(pkt())
+        assert q.stats.max_len_packets == 2  # current occupancy counts anew
+
+    def test_dequeue_counters(self):
+        q = DropTailQueue()
+        q.offer(pkt())
+        q.pop()
+        assert q.stats.dequeued_packets == 1
+        assert q.stats.dequeued_bytes == 1500
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    def test_conservation(self, ops):
+        """enqueued == dequeued + dropped + still-queued, always."""
+        q = DropTailQueue(capacity_packets=5)
+        offered = 0
+        for do_offer in ops:
+            if do_offer:
+                q.offer(pkt())
+                offered += 1
+            else:
+                q.pop()
+        stats = q.stats
+        assert offered == stats.enqueued_packets + stats.dropped_packets
+        assert stats.enqueued_packets == (stats.dequeued_packets
+                                          + q.len_packets)
+        assert q.len_packets <= 5
+        assert stats.max_len_packets <= 5
+
+
+class TestPoolIntegration:
+    def test_pool_rejection_counts_as_drop(self):
+        pool = SharedBufferPool(total_bytes=1500, alpha=10.0)
+        q = DropTailQueue(capacity_packets=10, pool=pool)
+        assert q.offer(pkt())
+        assert not q.offer(pkt())  # pool exhausted
+        assert q.stats.dropped_packets == 1
+
+    def test_pop_releases_pool(self):
+        pool = SharedBufferPool(total_bytes=1500, alpha=10.0)
+        q = DropTailQueue(capacity_packets=10, pool=pool)
+        q.offer(pkt())
+        q.pop()
+        assert pool.used_bytes == 0
+        assert q.offer(pkt())

@@ -1,0 +1,145 @@
+"""Unit tests for the TCP receiver: reassembly, ACK generation, ECE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.netsim.host import Host
+from repro.netsim.link import Link
+from repro.netsim.packet import data_packet
+from repro.simcore.kernel import Simulator
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import TcpReceiver
+
+
+class AckSink:
+    def __init__(self):
+        self.acks = []
+
+    def receive(self, packet):
+        if packet.is_ack:
+            self.acks.append(packet)
+
+
+def make_receiver(sim, config=None):
+    host = Host(sim)
+    link = Link(sim, units.gbps(10.0), 0)
+    sink = AckSink()
+    link.connect(sink)
+    host.nic.connect(link)
+    receiver = TcpReceiver(sim, config or TcpConfig(), host,
+                           peer_address=999, flow_id=1)
+    return receiver, sink
+
+
+def seg(seq, payload=100, ce=False):
+    pkt = data_packet(1, 999, 0, seq=seq, payload_bytes=payload)
+    if ce:
+        pkt.mark_ce()
+    return pkt
+
+
+class TestReassembly:
+    def test_in_order_delivery(self, sim):
+        receiver, sink = make_receiver(sim)
+        receiver.handle_packet(seg(0))
+        receiver.handle_packet(seg(100))
+        sim.run()
+        assert receiver.delivered_bytes == 200
+        assert [a.ack_seq for a in sink.acks] == [100, 200]
+
+    def test_out_of_order_buffered_then_merged(self, sim):
+        receiver, sink = make_receiver(sim)
+        receiver.handle_packet(seg(100))
+        assert receiver.delivered_bytes == 0
+        receiver.handle_packet(seg(0))
+        sim.run()
+        assert receiver.delivered_bytes == 200
+        # First ACK is a duplicate ACK for 0, second jumps to 200.
+        assert [a.ack_seq for a in sink.acks] == [0, 200]
+
+    def test_duplicate_ignored_but_acked(self, sim):
+        receiver, sink = make_receiver(sim)
+        receiver.handle_packet(seg(0))
+        receiver.handle_packet(seg(0))
+        sim.run()
+        assert receiver.delivered_bytes == 100
+        assert receiver.stats.duplicate_packets == 1
+        assert len(sink.acks) == 2  # old data still triggers an ACK
+
+    def test_overlapping_segments(self, sim):
+        receiver, _ = make_receiver(sim)
+        receiver.handle_packet(seg(0, payload=150))
+        receiver.handle_packet(seg(100, payload=150))
+        assert receiver.delivered_bytes == 250
+
+    def test_gap_then_fill(self, sim):
+        receiver, _ = make_receiver(sim)
+        receiver.handle_packet(seg(0))
+        receiver.handle_packet(seg(300))
+        receiver.handle_packet(seg(100))
+        assert receiver.delivered_bytes == 200
+        receiver.handle_packet(seg(200))
+        assert receiver.delivered_bytes == 400
+
+    def test_delivery_hooks_fire_on_advance_only(self, sim):
+        receiver, _ = make_receiver(sim)
+        calls = []
+        receiver.add_delivery_hook(calls.append)
+        receiver.handle_packet(seg(200))  # no advance
+        receiver.handle_packet(seg(0))    # advance to 100
+        assert calls == [100]
+
+    def test_pure_ack_ignored_by_receiver(self, sim):
+        from repro.netsim.packet import ack_packet
+        receiver, sink = make_receiver(sim)
+        receiver.handle_packet(ack_packet(1, 999, 0, ack_seq=50))
+        assert receiver.stats.data_packets == 0
+
+    @given(st.permutations(list(range(10))))
+    def test_any_arrival_order_delivers_everything(self, order):
+        sim = Simulator()
+        receiver, _ = make_receiver(sim)
+        for index in order:
+            receiver.handle_packet(seg(index * 100))
+        assert receiver.delivered_bytes == 1000
+        assert receiver._ooo == []
+
+
+class TestEce:
+    def test_ce_reflected_per_packet(self, sim):
+        receiver, sink = make_receiver(sim)
+        receiver.handle_packet(seg(0, ce=True))
+        receiver.handle_packet(seg(100, ce=False))
+        sim.run()
+        assert [a.ece for a in sink.acks] == [True, False]
+        assert receiver.stats.ce_packets == 1
+
+
+class TestDelayedAck:
+    def test_coalesces_two_packets(self, sim):
+        receiver, sink = make_receiver(sim, TcpConfig(delayed_ack=True))
+        receiver.handle_packet(seg(0))
+        receiver.handle_packet(seg(100))
+        sim.run(until_ns=units.usec(1))
+        assert len(sink.acks) == 1
+        assert sink.acks[0].ack_seq == 200
+
+    def test_timeout_flushes_single_packet(self, sim):
+        receiver, sink = make_receiver(sim, TcpConfig(delayed_ack=True))
+        receiver.handle_packet(seg(0))
+        sim.run()  # delayed-ACK timer fires
+        assert [a.ack_seq for a in sink.acks] == [100]
+
+    def test_ce_state_change_flushes_immediately(self, sim):
+        """The DCTCP receiver rule: an ACK is emitted the moment the CE
+        state flips, so marked-byte accounting stays exact."""
+        receiver, sink = make_receiver(sim, TcpConfig(delayed_ack=True))
+        receiver.handle_packet(seg(0, ce=False))
+        receiver.handle_packet(seg(100, ce=True))  # flip -> flush old state
+        sim.run(until_ns=units.usec(1))
+        assert len(sink.acks) == 1
+        assert sink.acks[0].ece is False
+        sim.run()  # timeout flushes the CE packet's ACK
+        assert sink.acks[-1].ece is True

@@ -1,0 +1,78 @@
+"""Tests for the Millisampler data model (HostTrace)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.measurement.records import HostTrace, TraceMeta
+from tests.conftest import make_trace
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HostTrace(TraceMeta("s", 0), 25e9,
+                      np.zeros(5, dtype=np.int64),
+                      np.zeros(4, dtype=np.int64),
+                      np.zeros(5, dtype=np.int64),
+                      np.zeros(5, dtype=np.int64))
+
+    def test_queue_frac_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HostTrace(TraceMeta("s", 0), 25e9,
+                      np.zeros(5, dtype=np.int64),
+                      np.zeros(5, dtype=np.int64),
+                      np.zeros(5, dtype=np.int64),
+                      np.zeros(5, dtype=np.int64),
+                      queue_frac=np.zeros(3))
+
+    def test_bad_line_rate_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace([0.5], line_rate_bps=0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            HostTrace(TraceMeta("s", 0), 25e9,
+                      np.zeros(1, dtype=np.int64),
+                      np.zeros(1, dtype=np.int64),
+                      np.zeros(1, dtype=np.int64),
+                      np.zeros(1, dtype=np.int64), interval_ns=0)
+
+
+class TestDerivedQuantities:
+    def test_duration(self):
+        trace = make_trace([0.0] * 100)
+        assert trace.duration_ns == units.msec(100)
+        assert len(trace) == 100
+
+    def test_interval_capacity(self):
+        trace = make_trace([1.0], line_rate_bps=units.gbps(25.0))
+        assert trace.interval_capacity_bytes == pytest.approx(3_125_000)
+
+    def test_utilization_roundtrip(self):
+        trace = make_trace([0.0, 0.5, 1.0])
+        assert trace.utilization() == pytest.approx([0.0, 0.5, 1.0],
+                                                    abs=1e-6)
+
+    def test_ingress_rate_gbps(self):
+        trace = make_trace([1.0], line_rate_bps=units.gbps(25.0))
+        assert trace.ingress_rate_gbps()[0] == pytest.approx(25.0, rel=1e-6)
+
+    def test_mean_utilization(self):
+        trace = make_trace([0.0, 1.0])
+        assert trace.mean_utilization() == pytest.approx(0.5, abs=1e-6)
+
+    def test_marked_and_retx_rates(self):
+        trace = make_trace([1.0], marked_frac=[0.5], retx_frac=[0.1])
+        assert trace.marked_rate_gbps()[0] == pytest.approx(12.5, rel=1e-3)
+        assert trace.retransmit_rate_gbps()[0] == pytest.approx(2.5,
+                                                                rel=1e-2)
+
+    def test_times_ms(self):
+        trace = make_trace([0.0] * 3)
+        assert list(trace.times_ms) == [0.0, 1.0, 2.0]
+
+    def test_repr_mentions_meta(self):
+        trace = make_trace([0.5], service="svc", host_id=3)
+        assert "svc" in repr(trace)
+        assert "host3" in repr(trace)

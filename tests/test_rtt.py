@@ -1,0 +1,74 @@
+"""Tests for the RFC 6298 RTT estimator."""
+
+import pytest
+
+from repro import units
+from repro.tcp.rtt import RttEstimator
+
+
+def make(initial=units.msec(200), min_rto=units.msec(200),
+         max_rto=units.sec(2)):
+    return RttEstimator(initial, min_rto, max_rto)
+
+
+class TestSampling:
+    def test_first_sample_initializes(self):
+        est = make()
+        est.sample(1000)
+        assert est.srtt_ns == 1000
+        assert est.rttvar_ns == 500
+        assert est.samples == 1
+
+    def test_ewma_converges_to_constant_rtt(self):
+        est = make()
+        for _ in range(200):
+            est.sample(30_000)
+        assert est.srtt_ns == pytest.approx(30_000, rel=0.01)
+        assert est.rttvar_ns == pytest.approx(0, abs=100)
+
+    def test_min_and_last_tracked(self):
+        est = make()
+        est.sample(5000)
+        est.sample(2000)
+        est.sample(9000)
+        assert est.min_rtt_ns == 2000
+        assert est.last_rtt_ns == 9000
+
+    def test_rejects_nonpositive_sample(self):
+        with pytest.raises(ValueError):
+            make().sample(0)
+
+    def test_variance_rises_on_jitter(self):
+        est = make()
+        est.sample(10_000)
+        for rtt in (1_000, 20_000, 1_000, 20_000):
+            est.sample(rtt)
+        assert est.rttvar_ns > 1_000
+
+
+class TestRto:
+    def test_initial_rto_before_samples(self):
+        est = make(initial=units.msec(300), min_rto=units.msec(100))
+        assert est.rto_ns() == units.msec(300)
+
+    def test_clamped_to_min(self):
+        est = make()
+        for _ in range(50):
+            est.sample(units.usec(30))  # tiny datacenter RTT
+        assert est.rto_ns() == units.msec(200)
+
+    def test_clamped_to_max(self):
+        est = make(initial=units.sec(10))
+        assert est.rto_ns() == units.sec(2)
+
+    def test_srtt_plus_4var_between_clamps(self):
+        est = RttEstimator(units.msec(1), 1, units.sec(10))
+        est.sample(units.msec(100))
+        # First sample: srtt=100ms, rttvar=50ms -> RTO = 300ms.
+        assert est.rto_ns() == pytest.approx(units.msec(300), rel=0.01)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RttEstimator(1, 0, 10)
+        with pytest.raises(ValueError):
+            RttEstimator(1, 10, 5)

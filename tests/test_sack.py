@@ -1,0 +1,176 @@
+"""Tests for SACK: scoreboard logic and end-to-end recovery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.tcp.cca.reno import Reno
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import open_connection
+from repro.tcp.sack import SackScoreboard
+from tests.conftest import mini_dumbbell
+
+MSS = 1460
+
+
+class TestScoreboard:
+    def test_add_and_merge(self):
+        board = SackScoreboard()
+        board.add(100, 200)
+        board.add(300, 400)
+        board.add(150, 350)
+        assert board.ranges == [(100, 400)]
+
+    def test_empty_block_ignored(self):
+        board = SackScoreboard()
+        board.add(100, 100)
+        assert board.ranges == []
+
+    def test_advance_trims(self):
+        board = SackScoreboard()
+        board.add(100, 200)
+        board.add(300, 400)
+        board.advance(150)
+        assert board.ranges == [(150, 200), (300, 400)]
+        board.advance(250)
+        assert board.ranges == [(300, 400)]
+
+    def test_sacked_bytes(self):
+        board = SackScoreboard()
+        board.add(0, 100)
+        board.add(200, 250)
+        assert board.sacked_bytes() == 150
+
+    def test_is_sacked(self):
+        board = SackScoreboard()
+        board.add(100, 200)
+        assert board.is_sacked(100)
+        assert board.is_sacked(199)
+        assert not board.is_sacked(200)
+        assert not board.is_sacked(50)
+
+    def test_next_hole(self):
+        board = SackScoreboard()
+        board.add(1 * MSS, 2 * MSS)
+        board.add(3 * MSS, 4 * MSS)
+        assert board.next_hole(0) == 0
+        assert board.next_hole(1 * MSS) == 2 * MSS
+        assert board.next_hole(0, above=2 * MSS) == 2 * MSS
+        assert board.next_hole(0, above=3 * MSS) is None
+
+    def test_is_lost_requires_three_segments_above(self):
+        board = SackScoreboard()
+        board.add(1 * MSS, 3 * MSS)  # two segments above byte 0
+        assert not board.is_lost(0, MSS, 3)
+        board.add(4 * MSS, 5 * MSS)  # third segment
+        assert board.is_lost(0, MSS, 3)
+
+    def test_sacked_seq_is_not_lost(self):
+        board = SackScoreboard()
+        board.add(0, 10 * MSS)
+        assert not board.is_lost(0, MSS, 3)
+
+    def test_clear(self):
+        board = SackScoreboard()
+        board.add(0, 100)
+        board.clear()
+        assert board.ranges == []
+        assert board.highest_sacked() == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 10_000),
+                              st.integers(0, 10_000)),
+                    min_size=1, max_size=40))
+    def test_ranges_stay_disjoint_and_sorted(self, blocks):
+        board = SackScoreboard()
+        for start, end in blocks:
+            board.add(start, end)
+        ranges = board.ranges
+        for (a_start, a_end), (b_start, b_end) in zip(ranges, ranges[1:]):
+            assert a_end < b_start  # disjoint with a gap, ascending
+        assert all(start < end for start, end in ranges)
+
+
+class TestSackEndToEnd:
+    def run_lossy(self, sim, sack_enabled, n_senders=4, capacity=3,
+                  size=300_000):
+        net = mini_dumbbell(sim, n_senders=n_senders,
+                            queue_capacity_packets=capacity,
+                            ecn_threshold_packets=None)
+        cfg = TcpConfig(ecn_enabled=False, sack_enabled=sack_enabled)
+        conns = [open_connection(sim, cfg, Reno(cfg), host, net.receiver)
+                 for host in net.senders]
+        for sender, _ in conns:
+            sender.send(size)
+        sim.run(until_ns=units.sec(10))
+        assert all(r.delivered_bytes == size for _, r in conns)
+        return conns, net
+
+    def test_sack_recovers_everything(self, sim):
+        conns, net = self.run_lossy(sim, sack_enabled=True)
+        assert net.bottleneck_queue.stats.dropped_packets > 0
+        assert sum(s.stats.fast_retransmits for s, _ in conns) > 0
+
+    def test_sack_reduces_spurious_retransmissions(self):
+        """Go-back-N after RTO resends data the receiver already holds;
+        SACK's scoreboard avoids that, so total retransmitted bytes drop."""
+        from repro.simcore.kernel import Simulator
+        sim_plain = Simulator()
+        plain, _ = self.run_lossy(sim_plain, sack_enabled=False)
+        sim_sack = Simulator()
+        sacked, _ = self.run_lossy(sim_sack, sack_enabled=True)
+        plain_rtx = sum(s.stats.retransmitted_bytes for s, _ in plain)
+        sack_rtx = sum(s.stats.retransmitted_bytes for s, _ in sacked)
+        assert sack_rtx <= plain_rtx
+
+    def test_acks_carry_blocks_when_enabled(self, sim):
+        net = mini_dumbbell(sim, n_senders=1)
+        cfg = TcpConfig(sack_enabled=True)
+        sender, receiver = open_connection(sim, cfg, Reno(cfg),
+                                           net.senders[0], net.receiver)
+        # Deliver an out-of-order segment directly; the emitted dupACK
+        # must carry the SACK block.
+        from repro.netsim.packet import data_packet
+        receiver.handle_packet(
+            data_packet(sender.flow_id, net.senders[0].address,
+                        net.receiver.address, seq=2920, payload_bytes=1460))
+        captured = []
+        net.receiver.nic.add_ingress_hook(lambda p, t: None)  # no-op tap
+        # The receiver's ACK is in the receiver NIC egress; run it through.
+        sender_acks = []
+        original = sender.handle_packet
+
+        def spy(packet):
+            sender_acks.append(packet)
+            original(packet)
+
+        sender.handle_packet = spy
+        sim.run(until_ns=units.msec(1))
+        assert sender_acks
+        assert sender_acks[0].sack_blocks == ((2920, 4380),)
+
+    def test_no_blocks_when_disabled(self, sim):
+        net = mini_dumbbell(sim, n_senders=1)
+        cfg = TcpConfig(sack_enabled=False)
+        sender, receiver = open_connection(sim, cfg, Reno(cfg),
+                                           net.senders[0], net.receiver)
+        from repro.netsim.packet import data_packet
+        receiver.handle_packet(
+            data_packet(sender.flow_id, net.senders[0].address,
+                        net.receiver.address, seq=2920, payload_bytes=1460))
+        acks = []
+        original = sender.handle_packet
+        sender.handle_packet = lambda p: (acks.append(p), original(p))
+        sim.run(until_ns=units.msec(1))
+        assert acks
+        assert acks[0].sack_blocks == ()
+
+    def test_pipe_accounting(self, sim):
+        net = mini_dumbbell(sim, n_senders=1)
+        cfg = TcpConfig(sack_enabled=True)
+        sender, _ = open_connection(sim, cfg, Reno(cfg), net.senders[0],
+                                    net.receiver)
+        sender.send(10 * MSS)
+        assert sender.pipe_bytes == sender.inflight_bytes
+        assert sender.sack is not None
+        sender.sack.add(5 * MSS, 7 * MSS)
+        assert sender.pipe_bytes == sender.inflight_bytes - 2 * MSS

@@ -1,0 +1,160 @@
+"""Tests for the synthetic production-service fleet."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.records import TraceMeta
+from repro.netsim.fluid import FluidConfig
+from repro.workloads.services import (SERVICE_PROFILES, ServiceProfile,
+                                      generate_host_trace,
+                                      host_rate_multiplier, regime_sequence,
+                                      service_names)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestProfiles:
+    def test_table1_services_present(self):
+        assert service_names() == ["storage", "aggregator", "indexer",
+                                   "messaging", "video"]
+
+    def test_descriptions_match_table1(self):
+        assert SERVICE_PROFILES["storage"].description \
+            == "Distributed key-value store"
+        assert SERVICE_PROFILES["video"].description \
+            == "Video analytics service"
+
+    def test_duration_within_bounds(self):
+        profile = SERVICE_PROFILES["aggregator"]
+        durations = [profile.sample_duration_ms(rng(i)) for i in range(500)]
+        assert all(1 <= d <= 20 for d in durations)
+
+    def test_duration_mostly_short(self):
+        profile = SERVICE_PROFILES["storage"]
+        r = rng(1)
+        durations = [profile.sample_duration_ms(r) for _ in range(2000)]
+        assert np.mean(np.asarray(durations) <= 2) > 0.5
+
+    def test_flow_count_capped(self):
+        profile = SERVICE_PROFILES["video"]
+        r = rng(2)
+        flows = [profile.sample_flow_count(r) for _ in range(2000)]
+        assert max(flows) <= profile.flow_cap
+        assert min(flows) >= 1
+
+    def test_storage_bimodal(self):
+        profile = SERVICE_PROFILES["storage"]
+        r = rng(3)
+        flows = np.asarray([profile.sample_flow_count(r)
+                            for _ in range(4000)])
+        low_frac = np.mean(flows < 21)
+        assert 0.3 < low_frac < 0.6  # the paper's 10-45% cliff, upper end
+
+    def test_regime_median_shifts_flow_count(self):
+        profile = SERVICE_PROFILES["video"]
+        r = rng(4)
+        low = np.mean([profile.sample_flow_count(r, regime_median=225.0)
+                       for _ in range(2000)])
+        r = rng(4)
+        high = np.mean([profile.sample_flow_count(r, regime_median=275.0)
+                        for _ in range(2000)])
+        assert high > low
+
+    def test_carryover_capped(self):
+        profile = SERVICE_PROFILES["aggregator"]
+        r = rng(5)
+        assert all(0.1 <= profile.sample_carryover(r) <= 3.5
+                   for _ in range(1000))
+
+    def test_contention_in_unit_interval(self):
+        profile = SERVICE_PROFILES["storage"]
+        r = rng(6)
+        assert all(0.0 <= profile.sample_contention(r) < 1.0
+                   for _ in range(1000))
+
+
+class TestRegimes:
+    def test_non_regime_services_stay_at_zero(self):
+        profile = SERVICE_PROFILES["storage"]
+        assert regime_sequence(profile, 10, rng()) == [0] * 10
+
+    def test_video_switches_regimes(self):
+        profile = SERVICE_PROFILES["video"]
+        sequence = regime_sequence(profile, 100, rng(7))
+        assert set(sequence) == {0, 1}
+
+    def test_regime_median_lookup(self):
+        profile = SERVICE_PROFILES["video"]
+        assert profile.regime_median(0) == 225.0
+        assert profile.regime_median(1) == 275.0
+        assert SERVICE_PROFILES["storage"].regime_median(0) is None
+
+    def test_host_rate_multiplier_positive(self):
+        profile = SERVICE_PROFILES["indexer"]
+        assert all(host_rate_multiplier(profile, rng(i)) > 0
+                   for i in range(50))
+
+
+class TestTraceGeneration:
+    def make_trace(self, service="aggregator", seed=0, duration_ms=500):
+        return generate_host_trace(
+            SERVICE_PROFILES[service],
+            TraceMeta(service=service, host_id=0), rng(seed),
+            duration_ms=duration_ms)
+
+    def test_shape(self):
+        trace = self.make_trace(duration_ms=300)
+        assert trace.n_intervals == 300
+        assert trace.queue_frac is not None
+
+    def test_deterministic_for_seed(self):
+        a = self.make_trace(seed=11)
+        b = self.make_trace(seed=11)
+        assert (a.ingress_bytes == b.ingress_bytes).all()
+        assert (a.marked_bytes == b.marked_bytes).all()
+
+    def test_different_seeds_differ(self):
+        a = self.make_trace(seed=1)
+        b = self.make_trace(seed=2)
+        assert not (a.ingress_bytes == b.ingress_bytes).all()
+
+    def test_ingress_never_exceeds_line_rate(self):
+        trace = self.make_trace()
+        assert (trace.utilization() <= 1.0 + 1e-9).all()
+
+    def test_marked_and_retx_bounded_by_ingress(self):
+        trace = self.make_trace()
+        assert (trace.marked_bytes <= trace.ingress_bytes).all()
+        assert (trace.retransmit_bytes <= trace.ingress_bytes).all()
+
+    def test_contains_bursts_and_background(self):
+        trace = self.make_trace(duration_ms=1000)
+        util = trace.utilization()
+        assert (util > 0.5).any(), "expected line-rate bursts"
+        assert (util < 0.1).any(), "expected idle background"
+
+    def test_flows_jump_during_bursts(self):
+        trace = self.make_trace(duration_ms=1000)
+        bursty = trace.utilization() > 0.5
+        assert trace.active_flows[bursty].max() >= 25
+
+    def test_rate_multiplier_scales_burst_count(self):
+        lo = generate_host_trace(
+            SERVICE_PROFILES["aggregator"],
+            TraceMeta(service="aggregator", host_id=0), rng(3),
+            duration_ms=1000, rate_multiplier=0.5)
+        hi = generate_host_trace(
+            SERVICE_PROFILES["aggregator"],
+            TraceMeta(service="aggregator", host_id=0), rng(3),
+            duration_ms=1000, rate_multiplier=2.0)
+        assert (hi.utilization() > 0.5).sum() > (lo.utilization() > 0.5).sum()
+
+    def test_custom_fluid_config(self):
+        cfg = FluidConfig(line_rate_bps=10e9)
+        trace = generate_host_trace(
+            SERVICE_PROFILES["messaging"],
+            TraceMeta(service="messaging", host_id=0), rng(0),
+            duration_ms=200, fluid_config=cfg)
+        assert trace.line_rate_bps == 10e9

@@ -1,0 +1,95 @@
+"""Tests for stability analysis (Section 3.3 / Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import summarize_trace
+from repro.core.stability import (cross_host_stability, regime_separation,
+                                  split_regimes, temporal_stability)
+from tests.conftest import make_trace
+
+
+def summary(flows, host_id=0, snapshot=0):
+    """One trace whose bursts have the given peak flow counts."""
+    utils, flow_arr = [], []
+    for f in flows:
+        utils.extend([1.0, 0.0])
+        flow_arr.extend([f, 0])
+    return summarize_trace(make_trace(utils, flows=flow_arr,
+                                      host_id=host_id, snapshot=snapshot))
+
+
+class TestTemporal:
+    def test_groups_by_snapshot(self):
+        summaries = [summary([100, 100], snapshot=0),
+                     summary([100, 100], snapshot=1),
+                     summary([100, 100], snapshot=2)]
+        report = temporal_stability(summaries)
+        assert report.group_keys == (0, 1, 2)
+        assert report.means == pytest.approx([100, 100, 100])
+        assert report.cov_of_means == 0.0
+        assert report.is_stable()
+
+    def test_detects_instability(self):
+        summaries = [summary([10], snapshot=0),
+                     summary([500], snapshot=1)]
+        report = temporal_stability(summaries)
+        assert report.cov_of_means > 0.5
+        assert not report.is_stable()
+
+    def test_pools_hosts_within_snapshot(self):
+        summaries = [summary([50], host_id=0, snapshot=0),
+                     summary([150], host_id=1, snapshot=0)]
+        report = temporal_stability(summaries)
+        assert report.means == pytest.approx([100.0])
+
+    def test_p99_tracked(self):
+        summaries = [summary(list(range(1, 101)), snapshot=0)]
+        report = temporal_stability(summaries)
+        assert report.p99s[0] == pytest.approx(np.percentile(
+            np.arange(1, 101), 99))
+
+
+class TestCrossHost:
+    def test_groups_by_host(self):
+        summaries = [summary([100], host_id=h, snapshot=s)
+                     for h in range(3) for s in range(2)]
+        report = cross_host_stability(summaries)
+        assert report.group_keys == (0, 1, 2)
+        assert report.cov_of_means == 0.0
+        assert report.cov_of_p99s == 0.0
+
+    def test_mean_of_means(self):
+        summaries = [summary([50], host_id=0), summary([150], host_id=1)]
+        report = cross_host_stability(summaries)
+        assert report.mean_of_means == 100.0
+
+    def test_empty(self):
+        report = cross_host_stability([])
+        assert report.mean_of_means == 0.0
+        assert report.cov_of_means == 0.0
+
+
+class TestRegimes:
+    def test_splits_two_clear_modes(self):
+        values = np.asarray([225.0] * 10 + [275.0] * 10)
+        low, high, assignment = split_regimes(values)
+        assert low == pytest.approx(225.0)
+        assert high == pytest.approx(275.0)
+        assert assignment[:10].sum() == 0
+        assert assignment[10:].sum() == 10
+
+    def test_single_regime_collapses(self):
+        low, high, _ = split_regimes(np.asarray([100.0] * 5))
+        assert low == high == 100.0
+
+    def test_empty(self):
+        low, high, assignment = split_regimes(np.zeros(0))
+        assert (low, high) == (0.0, 0.0)
+        assert len(assignment) == 0
+
+    def test_separation_metric(self):
+        bimodal = np.asarray([225.0] * 10 + [275.0] * 10)
+        flat = np.asarray([250.0] * 20)
+        assert regime_separation(bimodal) == pytest.approx(0.2, abs=0.02)
+        assert regime_separation(flat) == 0.0

@@ -1,0 +1,61 @@
+"""Tests for ASCII table/figure rendering."""
+
+import pytest
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.tables import (format_figure_series, format_table,
+                                   render_cdf_table)
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("a")
+        # Columns align: 'value' column starts at the same offset everywhere.
+        offset = lines[0].index("value")
+        assert lines[2][offset:].startswith("1")
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [1234.5], [0.0], [2.5]])
+        assert "0.123" in text
+        assert "1235" in text or "1234" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFigureSeries:
+    def test_two_columns(self):
+        text = format_figure_series("Fig X", "t", "q", [0, 1], [10, 20])
+        assert "Fig X" in text
+        assert "t" in text.splitlines()[1]
+        assert "10" in text
+
+
+class TestCdfTable:
+    def test_side_by_side(self):
+        cdfs = {
+            "a": EmpiricalCdf(range(100)),
+            "b": EmpiricalCdf(range(100, 200)),
+        }
+        text = render_cdf_table(cdfs, [50.0, 99.0], "things")
+        lines = text.splitlines()
+        assert "a" in lines[1] and "b" in lines[1]
+        assert any("p50" in line for line in lines)
+        assert any("p99" in line for line in lines)
+
+    def test_default_title(self):
+        text = render_cdf_table({"a": EmpiricalCdf([1])}, [50.0], "widgets")
+        assert "widgets" in text.splitlines()[0]

@@ -1,0 +1,53 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.tools.mode_sweep import build_parser as sweep_parser
+from repro.tools.mode_sweep import main as sweep_main
+from repro.tools.trace_view import build_parser as view_parser
+from repro.tools.trace_view import main as view_main, render_trace
+from tests.conftest import make_trace
+
+
+class TestTraceView:
+    def test_render_contains_panels(self):
+        trace = make_trace([0.1, 1.0, 1.0, 0.1], flows=[1, 50, 60, 2],
+                           marked_frac=[0, 0.5, 1.0, 0],
+                           queue_frac=[0, 0.2, 0.4, 0])
+        text = render_trace(trace)
+        assert "(a) ingress Gbps" in text
+        assert "(b) active flows" in text
+        assert "(c) ECN-marked Gbps" in text
+        assert "(d) retransmit Gbps" in text
+        assert "Bursts" in text
+        assert "yes" in text  # the 60-flow burst is an incast
+
+    def test_render_truncates_long_burst_lists(self):
+        utils = [1.0, 0.0] * 40
+        trace = make_trace(utils, flows=[30, 0] * 40)
+        text = render_trace(trace)
+        assert "first 25 of 40" in text
+
+    def test_cli_runs(self, capsys):
+        assert view_main(["--service", "messaging",
+                          "--duration-ms", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "messaging" in out
+
+    def test_parser_defaults(self):
+        args = view_parser().parse_args([])
+        assert args.service == "aggregator"
+        assert args.duration_ms == 2000
+
+
+class TestModeSweep:
+    def test_cli_runs_small(self, capsys):
+        assert sweep_main(["--flows", "20", "--scale", "0.14"]) == 0
+        out = capsys.readouterr().out
+        assert "Operating-mode sweep" in out
+        assert "HEALTHY" in out
+
+    def test_parser_defaults(self):
+        args = sweep_parser().parse_args([])
+        assert args.flows == [50, 100, 200, 500, 1000]
+        assert args.cca == "dctcp"

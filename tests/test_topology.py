@@ -1,0 +1,101 @@
+"""Tests for the dumbbell topology builder."""
+
+import pytest
+
+from repro import units
+from repro.netsim.packet import ack_packet, data_packet
+from repro.netsim.topology import DumbbellConfig, build_dumbbell
+from tests.conftest import mini_dumbbell
+
+
+class Collector:
+    def __init__(self):
+        self.packets = []
+
+    def handle_packet(self, packet):
+        self.packets.append(packet)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = DumbbellConfig()
+        assert cfg.host_rate_bps == units.gbps(10.0)
+        assert cfg.trunk_rate_bps == units.gbps(100.0)
+        assert cfg.queue_capacity_packets == 1333
+        assert cfg.ecn_threshold_packets == 65
+
+    def test_base_rtt_is_30us(self):
+        assert DumbbellConfig().base_rtt_ns == units.usec(30.0)
+
+    def test_bdp_is_37500_bytes(self):
+        # 10 Gbps x 30 us = 37.5 KB = 25 packets (paper Section 4).
+        assert DumbbellConfig().bdp_bytes == 37_500
+
+    def test_rejects_nonpositive_senders(self):
+        with pytest.raises(ValueError):
+            DumbbellConfig(n_senders=0)
+
+
+class TestWiring:
+    def test_data_path_sender_to_receiver(self, sim):
+        net = mini_dumbbell(sim, n_senders=2)
+        collector = Collector()
+        net.receiver.register_flow(7, collector)
+        pkt = data_packet(7, net.senders[0].address, net.receiver.address,
+                          seq=0, payload_bytes=1460)
+        net.senders[0].nic.send(pkt)
+        sim.run()
+        assert collector.packets == [pkt]
+
+    def test_ack_path_receiver_to_sender(self, sim):
+        net = mini_dumbbell(sim, n_senders=2)
+        collector = Collector()
+        net.senders[1].register_flow(9, collector)
+        ack = ack_packet(9, net.receiver.address, net.senders[1].address,
+                         ack_seq=100)
+        net.receiver.nic.send(ack)
+        sim.run()
+        assert collector.packets == [ack]
+
+    def test_one_way_latency_matches_half_rtt(self, sim):
+        net = mini_dumbbell(sim, n_senders=1)
+        arrival = []
+
+        class Timestamper:
+            def handle_packet(self, packet):
+                arrival.append(sim.now)
+
+        net.receiver.register_flow(3, Timestamper())
+        pkt = data_packet(3, net.senders[0].address, net.receiver.address,
+                          seq=0, payload_bytes=1460)
+        net.senders[0].nic.send(pkt)
+        sim.run()
+        cfg = net.config
+        # Three propagation hops plus serialization on each of three links.
+        expected = (3 * cfg.link_prop_delay_ns
+                    + 2 * units.tx_time_ns(1500, cfg.host_rate_bps)
+                    + units.tx_time_ns(1500, cfg.trunk_rate_bps))
+        assert arrival == [expected]
+
+    def test_bottleneck_queue_is_receiver_downlink(self, sim):
+        net = mini_dumbbell(sim, n_senders=3)
+        assert net.bottleneck_queue.name == "torB->receiver"
+        assert net.bottleneck_queue.capacity_packets == 1333
+        assert net.bottleneck_queue.ecn_threshold_packets == 65
+
+    def test_sender_count(self, sim):
+        net = mini_dumbbell(sim, n_senders=5)
+        assert len(net.senders) == 5
+        # ToR-A has one port per sender plus the trunk.
+        assert len(net.tor_senders.ports) == 6
+
+    def test_shared_buffer_pools_created(self, sim):
+        net = mini_dumbbell(sim, n_senders=2,
+                            shared_buffer_bytes=1_000_000)
+        assert len(net.pools) == 2
+        assert net.bottleneck_queue.pool is net.pools[1]
+
+    def test_private_buffers_have_no_pool(self, sim):
+        net = mini_dumbbell(sim, n_senders=2)
+        assert net.pools == []
+        assert net.bottleneck_queue.pool is None

@@ -1,0 +1,108 @@
+"""Tests for burst-train temporal analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.bursts import detect_bursts
+from repro.core.trains import (analyze_trains, burstiness_coefficient,
+                               group_trains, inter_burst_gaps_ms)
+from tests.conftest import make_trace
+
+
+def trace_with_bursts_at(positions, duration=1, length=200):
+    utils = [0.0] * length
+    for pos in positions:
+        for offset in range(duration):
+            utils[pos + offset] = 1.0
+    return make_trace(utils)
+
+
+class TestGaps:
+    def test_gap_measurement(self):
+        trace = trace_with_bursts_at([10, 20, 50])
+        gaps = inter_burst_gaps_ms(detect_bursts(trace))
+        assert list(gaps) == [9.0, 29.0]
+
+    def test_fewer_than_two_bursts(self):
+        trace = trace_with_bursts_at([10])
+        assert len(inter_burst_gaps_ms(detect_bursts(trace))) == 0
+
+    def test_adjacent_bursts_merge_into_one(self):
+        # Contiguous above-threshold intervals are one burst, so no gap.
+        trace = trace_with_bursts_at([10, 11])
+        assert len(detect_bursts(trace)) == 1
+
+
+class TestBurstiness:
+    def test_periodic_is_zero(self):
+        assert burstiness_coefficient(np.asarray([5.0, 5.0, 5.0])) == 0.0
+
+    def test_clumped_exceeds_one(self):
+        gaps = np.asarray([1.0, 1.0, 1.0, 100.0, 1.0, 1.0, 100.0])
+        assert burstiness_coefficient(gaps) > 1.0
+
+    def test_insufficient_data(self):
+        assert burstiness_coefficient(np.asarray([4.0])) == 0.0
+        assert burstiness_coefficient(np.zeros(0)) == 0.0
+
+    def test_poisson_near_one(self):
+        rng = np.random.default_rng(0)
+        gaps = rng.exponential(10.0, size=5000)
+        assert burstiness_coefficient(gaps) == pytest.approx(1.0, abs=0.1)
+
+
+class TestTrains:
+    def test_grouping_by_gap(self):
+        trace = trace_with_bursts_at([10, 13, 16, 60, 63, 120])
+        bursts = detect_bursts(trace)
+        trains = group_trains(bursts, max_gap_ms=3.0)
+        assert [len(t) for t in trains] == [3, 2, 1]
+
+    def test_zero_gap_threshold_separates_everything(self):
+        trace = trace_with_bursts_at([10, 13, 16])
+        trains = group_trains(detect_bursts(trace), max_gap_ms=0.0)
+        assert [len(t) for t in trains] == [1, 1, 1]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            group_trains([], max_gap_ms=-1.0)
+
+    def test_empty(self):
+        assert group_trains([]) == []
+
+
+class TestAnalyze:
+    def test_summary_fields(self):
+        trace = trace_with_bursts_at([10, 13, 16, 60, 63, 120])
+        stats = analyze_trains(trace, max_gap_ms=3.0)
+        assert stats.n_bursts == 6
+        assert stats.n_trains == 3
+        assert stats.mean_train_size == 2.0
+        assert stats.max_train_size == 3
+        assert stats.solo_fraction == pytest.approx(1 / 3)
+        assert stats.trainy
+
+    def test_solo_bursts_not_trainy(self):
+        trace = trace_with_bursts_at([10, 60, 120])
+        stats = analyze_trains(trace, max_gap_ms=3.0)
+        assert stats.solo_fraction == 1.0
+        assert not stats.trainy
+
+    def test_empty_trace(self):
+        stats = analyze_trains(make_trace([0.0] * 50))
+        assert stats.n_bursts == 0
+        assert stats.n_trains == 0
+        assert stats.mean_train_size == 0.0
+
+    def test_runs_on_synthetic_service(self):
+        from repro.measurement.records import TraceMeta
+        from repro.simcore.random import RngHub
+        from repro.workloads.services import (SERVICE_PROFILES,
+                                              generate_host_trace)
+        trace = generate_host_trace(
+            SERVICE_PROFILES["aggregator"],
+            TraceMeta(service="aggregator", host_id=0),
+            RngHub(3).fresh("trains"), duration_ms=1000)
+        stats = analyze_trains(trace)
+        assert stats.n_bursts > 10
+        assert stats.median_gap_ms > 0

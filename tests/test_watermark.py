@@ -1,0 +1,68 @@
+"""Tests for switch high-watermark sampling."""
+
+import pytest
+
+from repro.measurement.watermark import WatermarkSampler
+from repro.netsim.packet import data_packet
+from repro.netsim.queues import DropTailQueue
+
+
+def pkt():
+    return data_packet(1, 0, 9, seq=0, payload_bytes=1460)
+
+
+class TestWatermark:
+    def test_records_peak_per_window(self, sim):
+        queue = DropTailQueue(capacity_packets=100)
+        sampler = WatermarkSampler(sim, queue, window_ns=1000)
+        sampler.start()
+        # Fill to 3, drain to 1 within the first window.
+        for _ in range(3):
+            queue.offer(pkt())
+        queue.pop()
+        queue.pop()
+        sim.run(until_ns=2500)
+        # Window 1 peak was 3; window 2 peak is the standing 1.
+        assert list(sampler.series.values) == [3.0, 1.0]
+
+    def test_reset_between_windows(self, sim):
+        queue = DropTailQueue(capacity_packets=100)
+        sampler = WatermarkSampler(sim, queue, window_ns=1000)
+        sampler.start()
+        queue.offer(pkt())
+        queue.pop()
+        sim.run(until_ns=1500)
+        queue.offer(pkt())
+        queue.pop()
+        sim.run(until_ns=2500)
+        assert list(sampler.series.values) == [1.0, 1.0]
+
+    def test_read_now(self, sim):
+        queue = DropTailQueue(capacity_packets=100)
+        sampler = WatermarkSampler(sim, queue, window_ns=1000)
+        queue.offer(pkt())
+        queue.pop()
+        assert sampler.read_now() == 1
+        assert sampler.read_now() == 0  # reset happened
+
+    def test_stop(self, sim):
+        queue = DropTailQueue(capacity_packets=100)
+        sampler = WatermarkSampler(sim, queue, window_ns=1000)
+        sampler.start()
+        sim.run(until_ns=1000)
+        sampler.stop()
+        sim.run(until_ns=5000)
+        assert len(sampler.series) == 1
+
+    def test_fractions(self, sim):
+        queue = DropTailQueue(capacity_packets=10)
+        sampler = WatermarkSampler(sim, queue, window_ns=1000)
+        sampler.start()
+        for _ in range(5):
+            queue.offer(pkt())
+        sim.run(until_ns=1000)
+        assert sampler.watermark_fractions() == [0.5]
+
+    def test_rejects_bad_window(self, sim):
+        with pytest.raises(ValueError):
+            WatermarkSampler(sim, DropTailQueue(), window_ns=0)
