@@ -49,6 +49,17 @@ class EmpiricalCdf:
         """The 50th percentile."""
         return self.percentile(50.0)
 
+    def export_dict(self) -> dict:
+        """JSON-export summary: sample count, mean, and a fixed
+        percentile grid (consumed by :mod:`repro.analysis.export`)."""
+        grid = [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0]
+        return {
+            "name": self.name,
+            "n": len(self._sorted),
+            "mean": self.mean(),
+            "percentiles": {f"p{p:g}": self.percentile(p) for p in grid},
+        }
+
     def mean(self) -> float:
         """Sample mean. Zero for an empty sample set."""
         return float(self._sorted.mean()) if len(self._sorted) else 0.0

@@ -47,6 +47,11 @@ def jsonable(value: Any) -> Any:
         return {str(key): jsonable(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [jsonable(item) for item in value]
+    if isinstance(value, ExperimentResult):
+        return result_to_dict(value)
+    export = getattr(value, "export_dict", None)
+    if callable(export):
+        return {str(key): jsonable(item) for key, item in export().items()}
     return f"<{type(value).__name__}>"
 
 
@@ -68,4 +73,16 @@ def write_result(result: ExperimentResult, directory: Path) -> Path:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(result_to_dict(result), handle, indent=2,
                   allow_nan=False, default=lambda o: f"<{type(o).__name__}>")
+    return path
+
+
+def write_run_report(report: Any, directory: Path) -> Path:
+    """Write an engine :class:`~repro.experiments.engine.report.RunReport`
+    (anything with ``to_dict()``) as ``run_report.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "run_report.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(jsonable(report.to_dict()), handle, indent=2,
+                  allow_nan=False)
     return path

@@ -56,6 +56,19 @@ class StabilityReport:
         dispersion."""
         return self.cov_of_means <= cov_threshold
 
+    def export_dict(self) -> dict:
+        """JSON-export summary (consumed by :mod:`repro.analysis.export`)."""
+        return {
+            "group_label": self.group_label,
+            "group_keys": list(self.group_keys),
+            "means": self.means,
+            "p99s": self.p99s,
+            "mean_of_means": self.mean_of_means,
+            "cov_of_means": self.cov_of_means,
+            "cov_of_p99s": self.cov_of_p99s,
+            "stable": self.is_stable(),
+        }
+
 
 def _grouped_flow_stats(summaries: list[TraceSummary],
                         key_fn, label: str) -> StabilityReport:

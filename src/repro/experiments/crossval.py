@@ -24,12 +24,55 @@ import numpy as np
 
 from repro import units
 from repro.analysis.tables import format_table
+from repro.experiments.engine.spec import WorkUnit
 from repro.experiments.result import ExperimentResult
 from repro.netsim.fluid import FluidConfig, FluidIncast
 from repro.netsim.packet import TCP_IP_HEADER_BYTES
 
 
 FLOW_SWEEP = [25, 50, 100, 150, 250, 400]
+
+
+def sweep_params(scale: float) -> tuple[int, int]:
+    """``(burst_ns, n_bursts)`` of the sweep at a given scale."""
+    burst_ns = max(units.msec(2.0), int(units.msec(5.0) * scale))
+    n_bursts = max(4, int(round(8 * scale)))
+    return burst_ns, n_bursts
+
+
+def work_units(scale: float, seed: int) -> list[WorkUnit]:
+    """One packet-side unit per incast degree plus one (cheap) fluid-side
+    unit covering the whole sweep."""
+    work = [
+        WorkUnit(experiment="crossval", unit_id=f"packet:{flows}",
+                 fn="repro.experiments.crossval:run_unit",
+                 params={"side": "packet", "flows": flows},
+                 scale=scale, seed=seed)
+        for flows in FLOW_SWEEP
+    ]
+    work.append(WorkUnit(experiment="crossval", unit_id="fluid",
+                         fn="repro.experiments.crossval:run_unit",
+                         params={"side": "fluid"}, scale=scale, seed=seed))
+    return work
+
+
+def run_unit(unit: WorkUnit):
+    """Run one degree of the packet sweep, or the whole fluid sweep."""
+    burst_ns, n_bursts = sweep_params(unit.scale)
+    if unit.params["side"] == "fluid":
+        return run_fluid_side(FLOW_SWEEP, burst_ns)
+    return run_packet_side([unit.params["flows"]], burst_ns, n_bursts,
+                           unit.seed)[0]
+
+
+def merge(work: list[WorkUnit], payloads: list, *, scale: float,
+          seed: int) -> ExperimentResult:
+    """Reassemble the sweep in FLOW_SWEEP order and compare substrates."""
+    packet = [payload for unit, payload in zip(work, payloads)
+              if unit.params["side"] == "packet"]
+    fluid = next(payload for unit, payload in zip(work, payloads)
+                 if unit.params["side"] == "fluid")
+    return _report(packet, fluid)
 
 
 def run_packet_side(flow_sweep: list[int], burst_ns: int, n_bursts: int,
@@ -91,11 +134,14 @@ def rank_correlation(a: list[float], b: list[float]) -> float:
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     """Run the cross-validation sweep and report substrate agreement."""
-    burst_ns = max(units.msec(2.0), int(units.msec(5.0) * scale))
-    n_bursts = max(4, int(round(8 * scale)))
+    burst_ns, n_bursts = sweep_params(scale)
     packet = run_packet_side(FLOW_SWEEP, burst_ns, n_bursts, seed)
     fluid = run_fluid_side(FLOW_SWEEP, burst_ns)
+    return _report(packet, fluid)
 
+
+def _report(packet: list[tuple[float, float]],
+            fluid: list[tuple[float, float]]) -> ExperimentResult:
     rows = []
     for flows, (p_mark, p_queue), (f_mark, f_queue) in zip(
             FLOW_SWEEP, packet, fluid):

@@ -1,0 +1,39 @@
+"""Parallel, cached experiment-execution engine.
+
+Every experiment decomposes into independent *work units* (one flow-count
+point, one service's campaign slice, one figure panel, ...) via its module's
+``work_units()`` hook, and reassembles unit payloads into the final
+:class:`~repro.experiments.result.ExperimentResult` via ``merge()``. The
+engine:
+
+- fans units out across a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``jobs=1`` executes serially in-process, matching the classic
+  ``run()`` path bit for bit);
+- deduplicates identical units across experiments in one invocation (the
+  fig2/fig4 daily campaign is generated once, not twice);
+- memoizes finished payloads in an on-disk content-addressed cache keyed by
+  ``(unit fn, params, scale, seed, repro.__version__)``;
+- reports per-unit wall time, simulator events processed, cache hit/miss
+  counts and worker usage in a structured :class:`RunReport`.
+
+Because every RNG stream in the reproduction is derived from ``(seed,
+stream-name)`` (see :class:`repro.simcore.random.RngHub`), unit payloads are
+independent of execution order and worker placement, which is what makes
+``--jobs N`` results identical to ``--jobs 1``.
+"""
+
+from repro.experiments.engine.cache import ResultCache
+from repro.experiments.engine.core import (EXPERIMENT_MODULES, run_experiment,
+                                           run_experiments)
+from repro.experiments.engine.report import RunReport, UnitReport
+from repro.experiments.engine.spec import WorkUnit
+
+__all__ = [
+    "EXPERIMENT_MODULES",
+    "ResultCache",
+    "RunReport",
+    "UnitReport",
+    "WorkUnit",
+    "run_experiment",
+    "run_experiments",
+]

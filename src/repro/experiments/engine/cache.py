@@ -1,0 +1,109 @@
+"""On-disk content-addressed cache of work-unit payloads.
+
+Layout: ``<root>/v<repro.__version__>/<key[:2]>/<key>.pkl`` where ``key`` is
+:meth:`WorkUnit.cache_key` (which itself folds the version in, so entries
+from different releases can never collide even if the directory fan-out is
+bypassed). Writes are atomic (temp file + rename) so concurrent experiment
+runs sharing a cache directory cannot observe torn entries; unreadable or
+truncated entries are treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import repro
+
+_SENTINEL = object()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class ResultCache:
+    """Pickle-backed memo of work-unit payloads.
+
+    A disabled cache (``enabled=False``) keeps the same interface but never
+    reads or writes, which lets the engine treat ``--no-cache`` uniformly.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None,
+                 enabled: bool = True):
+        self.enabled = enabled
+        self.directory = (Path(directory).expanduser() if directory
+                          else default_cache_dir())
+
+    @property
+    def version_dir(self) -> Path:
+        """Subdirectory holding entries for the current repro version."""
+        return self.directory / f"v{repro.__version__}"
+
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s payload lives (whether or not it exists yet)."""
+        return self.version_dir / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached payload for ``key``, or ``None`` on a miss.
+
+        Payloads are never ``None`` (executors return results or raise), so
+        ``None`` is unambiguous.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Torn write or unpicklable leftover from an older code state:
+            # drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, payload: Any) -> None:
+        """Store ``payload`` under ``key`` (atomic; no-op when disabled)."""
+        if not self.enabled:
+            return
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+    def clear(self) -> int:
+        """Delete every entry for the current version; returns the count."""
+        removed = 0
+        if not self.version_dir.exists():
+            return removed
+        for entry in sorted(self.version_dir.rglob("*.pkl")):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"ResultCache({self.directory}, {state})"

@@ -1,0 +1,212 @@
+"""Engine core: plan work units, fan out, memoize, merge.
+
+The execution model:
+
+1. every requested experiment contributes its ``work_units(scale, seed)``;
+2. units are deduplicated across experiments by cache key (the fig2/fig4
+   daily campaign is one set of units, not two);
+3. cached payloads are loaded; the rest run — serially in-process when
+   ``jobs == 1`` (the classic path, bit for bit), otherwise on a
+   :class:`~concurrent.futures.ProcessPoolExecutor`;
+4. fresh payloads are written back to the cache;
+5. each experiment's ``merge(units, payloads, scale=..., seed=...)``
+   reassembles its :class:`~repro.experiments.result.ExperimentResult`.
+
+Determinism: units derive every RNG stream from ``(seed, name)`` (see
+:class:`repro.simcore.random.RngHub`), so payloads do not depend on worker
+placement or completion order, and merges consume payloads in planning
+order. ``--jobs N`` therefore reproduces ``--jobs 1`` exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Optional
+
+from repro.experiments import (ablations, crossval, fig1, fig2, fig3, fig4,
+                               fig5, fig6, fig7, table1)
+from repro.experiments.engine.cache import ResultCache
+from repro.experiments.engine.report import (SOURCE_CACHE, SOURCE_RUN,
+                                             SOURCE_SHARED, RunReport,
+                                             UnitReport)
+from repro.experiments.engine.spec import WorkUnit
+from repro.experiments.result import ExperimentResult
+from repro.simcore import kernel
+
+#: Registry of experiment modules, in canonical display/run order. Each
+#: module exposes ``run()``, ``work_units()`` and ``merge()``.
+EXPERIMENT_MODULES = {
+    "table1": table1,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "ablations": ablations,
+    "crossval": crossval,
+}
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` request (``None`` means every available CPU).
+
+    "Available" honours scheduler affinity where the platform exposes it:
+    in a container pinned to fewer CPUs than the host owns,
+    ``os.cpu_count()`` overcounts and extra workers would only add
+    process-pool overhead.
+    """
+    if jobs is None:
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except AttributeError:  # platforms without affinity (macOS)
+            return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def execute_unit(unit: WorkUnit) -> tuple[Any, float, int, int]:
+    """Run one unit where we stand; returns
+    ``(payload, wall_s, events_processed, pid)``.
+
+    Used directly for serial execution and as the worker entry point for
+    the process pool (it is module-level, hence picklable by reference).
+    """
+    fn = unit.resolve_fn()
+    events_before = kernel.total_events_processed()
+    started = time.perf_counter()
+    payload = fn(unit)
+    wall_s = time.perf_counter() - started
+    events = kernel.total_events_processed() - events_before
+    return payload, wall_s, events, os.getpid()
+
+
+def run_experiments(
+        names: list[str], *, scale: float = 1.0, seed: int = 0,
+        jobs: Optional[int] = None, cache: Optional[ResultCache] = None,
+        on_unit: Optional[Callable[[UnitReport], None]] = None,
+) -> tuple[dict[str, ExperimentResult], RunReport]:
+    """Run several experiments through the engine.
+
+    Args:
+        names: Experiment names from :data:`EXPERIMENT_MODULES`.
+        scale: Workload scale factor (1.0 = paper scale).
+        seed: Root random seed.
+        jobs: Worker processes; ``None`` uses every CPU, ``1`` runs
+            serially in-process.
+        cache: Payload memo; ``None`` disables caching (library callers
+            opt in, the CLI enables it by default).
+        on_unit: Optional progress callback, invoked with each
+            :class:`UnitReport` as its unit resolves.
+
+    Returns:
+        ``(results, report)`` — results keyed by experiment name in the
+        order requested, plus the structured run report.
+    """
+    unknown = [name for name in names if name not in EXPERIMENT_MODULES]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}; "
+                       f"choose from {sorted(EXPERIMENT_MODULES)}")
+    jobs = resolve_jobs(jobs)
+    cache = cache if cache is not None else ResultCache(enabled=False)
+    started = time.perf_counter()
+
+    # --- plan: collect units, dedup across experiments, consult cache ----
+    plan: dict[str, list[tuple[WorkUnit, str]]] = {}
+    payloads: dict[str, Any] = {}
+    reports: dict[tuple[str, str], UnitReport] = {}
+    ordered_records: list[UnitReport] = []
+    pending: list[tuple[WorkUnit, str]] = []
+    seen: set[str] = set()
+    for name in names:
+        units = EXPERIMENT_MODULES[name].work_units(scale, seed)
+        plan[name] = []
+        for unit in units:
+            key = unit.cache_key()
+            plan[name].append((unit, key))
+            report_key = (unit.experiment, unit.unit_id)
+            if report_key in reports:
+                continue  # same experiment listed twice in `names`
+            record = UnitReport(experiment=unit.experiment,
+                                unit_id=unit.unit_id)
+            reports[report_key] = record
+            ordered_records.append(record)
+            if key in seen:
+                record.source = SOURCE_SHARED
+                record.worker = "shared"
+                if on_unit:
+                    on_unit(record)
+                continue
+            seen.add(key)
+            cached = cache.get(key)
+            if cached is not None:
+                payloads[key] = cached
+                record.source = SOURCE_CACHE
+                record.worker = "cache"
+                if on_unit:
+                    on_unit(record)
+            else:
+                pending.append((unit, key))
+
+    # --- execute ---------------------------------------------------------
+    def record_done(unit: WorkUnit, key: str, payload: Any, wall_s: float,
+                    events: int, pid: int) -> None:
+        payloads[key] = payload
+        cache.put(key, payload)
+        record = reports[(unit.experiment, unit.unit_id)]
+        record.source = SOURCE_RUN
+        record.wall_s = wall_s
+        record.events = events
+        record.worker = f"pid:{pid}"
+        if on_unit:
+            on_unit(record)
+
+    if pending and (jobs == 1 or len(pending) == 1):
+        for unit, key in pending:
+            payload, wall_s, events, pid = execute_unit(unit)
+            record_done(unit, key, payload, wall_s, events, pid)
+    elif pending:
+        workers = min(jobs, len(pending))
+        # Longest-expected-first: a dominant unit submitted late would
+        # serialize the end of the run. Stable sort, so equal hints keep
+        # plan order; results are keyed by unit, so scheduling order can
+        # never affect payloads or merges.
+        queue = sorted(pending, key=lambda item: -item[0].cost_hint)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(execute_unit, unit): (unit, key)
+                       for unit, key in queue}
+            for future in as_completed(futures):
+                unit, key = futures[future]
+                payload, wall_s, events, pid = future.result()
+                record_done(unit, key, payload, wall_s, events, pid)
+
+    # --- merge -----------------------------------------------------------
+    results: dict[str, ExperimentResult] = {}
+    for name in names:
+        units = [unit for unit, _ in plan[name]]
+        unit_payloads = [payloads[key] for _, key in plan[name]]
+        results[name] = EXPERIMENT_MODULES[name].merge(
+            units, unit_payloads, scale=scale, seed=seed)
+
+    report = RunReport(
+        jobs=jobs,
+        cache_enabled=cache.enabled,
+        cache_dir=str(cache.directory) if cache.enabled else None,
+        wall_s=time.perf_counter() - started,
+        units=ordered_records,
+    )
+    return results, report
+
+
+def run_experiment(
+        name: str, *, scale: float = 1.0, seed: int = 0,
+        jobs: Optional[int] = None, cache: Optional[ResultCache] = None,
+) -> tuple[ExperimentResult, RunReport]:
+    """Single-experiment convenience wrapper around :func:`run_experiments`."""
+    results, report = run_experiments(
+        [name], scale=scale, seed=seed, jobs=jobs, cache=cache)
+    return results[name], report

@@ -1,0 +1,66 @@
+"""Fleet-campaign work units shared by the Section 3 experiments.
+
+table1, fig2, fig3 and fig4 all reduce to "generate and summarize a
+measurement campaign" with different shapes; one service's slice is the
+natural unit of work (its RNG streams are derived purely from
+``(seed, service, host, snapshot)`` names, so slices are order-independent).
+fig2 and fig4 request the *same* daily campaign, so their units carry equal
+parameters and the engine runs them once.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.engine.spec import WorkUnit
+from repro.measurement.collection import (CampaignConfig, FleetCampaign,
+                                          run_service_campaign)
+
+RUN_SERVICE_FN = "repro.experiments.engine.fleet:run_service_unit"
+
+
+def campaign_units(experiment: str, cfg: CampaignConfig, scale: float,
+                   seed: int) -> list[WorkUnit]:
+    """One work unit per service of ``cfg``'s campaign."""
+    return [
+        WorkUnit(
+            experiment=experiment,
+            unit_id=f"service:{service}",
+            fn=RUN_SERVICE_FN,
+            params={
+                "service": service,
+                "hosts": cfg.hosts_per_service,
+                "snapshots": cfg.n_snapshots,
+                "spacing_s": cfg.snapshot_spacing_s,
+                "duration_ms": cfg.trace_duration_ms,
+            },
+            scale=scale, seed=seed)
+        for service in cfg.services
+    ]
+
+
+def run_service_unit(unit: WorkUnit) -> dict:
+    """Execute one service-slice unit; payload carries the summaries and
+    the regime sequence the analyses need."""
+    params = unit.params
+    cfg = CampaignConfig(
+        services=(params["service"],),
+        hosts_per_service=params["hosts"],
+        n_snapshots=params["snapshots"],
+        snapshot_spacing_s=params["spacing_s"],
+        trace_duration_ms=params["duration_ms"],
+        seed=unit.seed)
+    summaries, regimes, _ = run_service_campaign(cfg, params["service"])
+    return {"summaries": summaries, "regimes": regimes}
+
+
+def assemble_campaign(cfg: CampaignConfig, units: list[WorkUnit],
+                      payloads: list[dict]) -> FleetCampaign:
+    """Reconstruct the :class:`FleetCampaign` a serial
+    :func:`~repro.measurement.collection.run_campaign` would have built."""
+    campaign = FleetCampaign(config=cfg)
+    by_service = {unit.params["service"]: payload
+                  for unit, payload in zip(units, payloads)}
+    for service in cfg.services:
+        payload = by_service[service]
+        campaign.summaries[service] = payload["summaries"]
+        campaign.regimes[service] = payload["regimes"]
+    return campaign

@@ -1,0 +1,167 @@
+"""Structured run report: what the engine did and what it cost.
+
+Rendered at the end of ``python -m repro.experiments`` and exported as JSON
+via :func:`repro.analysis.export.write_run_report`, so sweep performance can
+be archived and diffed alongside the experiment outputs themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.tables import format_table
+
+#: How a unit's payload was obtained.
+SOURCE_RUN = "run"        # executed this invocation
+SOURCE_CACHE = "cache"    # loaded from the on-disk cache
+SOURCE_SHARED = "shared"  # identical unit already produced by another
+#                           experiment in this same invocation
+
+
+@dataclass
+class UnitReport:
+    """One work unit's execution record."""
+
+    experiment: str
+    unit_id: str
+    source: str = SOURCE_RUN
+    wall_s: float = 0.0
+    events: int = 0
+    worker: str = "main"
+
+    @property
+    def label(self) -> str:
+        return f"{self.experiment}/{self.unit_id}"
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "unit_id": self.unit_id,
+            "source": self.source,
+            "wall_s": round(self.wall_s, 4),
+            "events": self.events,
+            "worker": self.worker,
+        }
+
+
+@dataclass
+class RunReport:
+    """Aggregate record of one engine invocation."""
+
+    jobs: int
+    cache_enabled: bool
+    cache_dir: Optional[str] = None
+    wall_s: float = 0.0
+    units: list[UnitReport] = field(default_factory=list)
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def executed(self) -> int:
+        """Units actually computed this invocation."""
+        return sum(1 for u in self.units if u.source == SOURCE_RUN)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for u in self.units if u.source == SOURCE_CACHE)
+
+    @property
+    def shared(self) -> int:
+        """Units deduplicated against another experiment in this run."""
+        return sum(1 for u in self.units if u.source == SOURCE_SHARED)
+
+    @property
+    def total_events(self) -> int:
+        """Simulator events fired across every executed unit."""
+        return sum(u.events for u in self.units)
+
+    @property
+    def busy_s(self) -> float:
+        """Sum of per-unit wall times (serial-equivalent work)."""
+        return sum(u.wall_s for u in self.units)
+
+    @property
+    def workers_used(self) -> int:
+        return len({u.worker for u in self.units
+                    if u.source == SOURCE_RUN})
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Serial-equivalent work over actual wall time (>= 1 when the
+        fan-out or the cache paid off)."""
+        return self.busy_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def by_experiment(self) -> dict[str, list[UnitReport]]:
+        """Unit records grouped by owning experiment, in report order."""
+        grouped: dict[str, list[UnitReport]] = {}
+        for unit in self.units:
+            grouped.setdefault(unit.experiment, []).append(unit)
+        return grouped
+
+    def render(self, max_unit_rows: int = 12) -> str:
+        """The printable report: per-experiment totals, slowest units, and
+        the engine summary."""
+        exp_rows = []
+        for experiment, units in self.by_experiment().items():
+            exp_rows.append([
+                experiment,
+                len(units),
+                sum(1 for u in units if u.source == SOURCE_CACHE),
+                sum(1 for u in units if u.source == SOURCE_SHARED),
+                sum(u.events for u in units),
+                round(sum(u.wall_s for u in units), 2),
+            ])
+        blocks = [format_table(
+            ["experiment", "units", "cache hits", "shared", "events",
+             "busy (s)"],
+            exp_rows, title="Run report: per-experiment work")]
+
+        slowest = sorted((u for u in self.units if u.source == SOURCE_RUN),
+                         key=lambda u: u.wall_s, reverse=True)
+        if slowest:
+            unit_rows = [[u.label, round(u.wall_s, 2), u.events, u.worker]
+                         for u in slowest[:max_unit_rows]]
+            blocks.append(format_table(
+                ["unit", "wall (s)", "events", "worker"], unit_rows,
+                title=f"Run report: slowest executed units "
+                      f"(top {min(max_unit_rows, len(slowest))} "
+                      f"of {len(slowest)})"))
+
+        summary = [
+            ["work units", self.n_units],
+            ["executed", self.executed],
+            ["cache hits", self.cache_hits],
+            ["shared (deduplicated)", self.shared],
+            ["cache", ("on" if self.cache_enabled else "off")
+             + (f" ({self.cache_dir})" if self.cache_dir else "")],
+            ["worker processes", max(self.workers_used, 1)],
+            ["jobs", self.jobs],
+            ["simulator events", self.total_events],
+            ["busy time (s)", round(self.busy_s, 2)],
+            ["wall time (s)", round(self.wall_s, 2)],
+            ["speedup (busy/wall)", round(self.parallel_speedup, 2)],
+        ]
+        blocks.append(format_table(["quantity", "value"], summary,
+                                   title="Run report: engine summary"))
+        return "\n\n".join(blocks)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form for :func:`write_run_report`."""
+        return {
+            "jobs": self.jobs,
+            "cache_enabled": self.cache_enabled,
+            "cache_dir": self.cache_dir,
+            "wall_s": round(self.wall_s, 4),
+            "n_units": self.n_units,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "shared": self.shared,
+            "total_events": self.total_events,
+            "busy_s": round(self.busy_s, 4),
+            "workers_used": self.workers_used,
+            "parallel_speedup": round(self.parallel_speedup, 4),
+            "units": [u.to_dict() for u in self.units],
+        }

@@ -106,7 +106,7 @@ class IncastSimResult:
     steady_retransmits: int
     mode: DctcpMode
     flow_sampler: Optional[FlowStateSampler]
-    network: Dumbbell
+    network: Optional[Dumbbell]
 
     @property
     def optimal_bct_ms(self) -> float:
@@ -118,6 +118,40 @@ class IncastSimResult:
         """Mean steady BCT over the optimal BCT."""
         return self.mean_bct_ms / self.optimal_bct_ms \
             if self.optimal_bct_ms else 0.0
+
+    def __getstate__(self) -> dict:
+        # Results cross process boundaries (and land in the on-disk cache)
+        # as work-unit payloads. The live object graph behind ``network``
+        # is not picklable and carries no measurement the figures need, so
+        # it is dropped; every numeric field travels intact.
+        state = self.__dict__.copy()
+        state["network"] = None
+        return state
+
+    def export_dict(self) -> dict:
+        """Scalar summary used by JSON export (:mod:`repro.analysis.export`).
+
+        Keeps the exported documents small and diffable while still pinning
+        the headline numbers a figure is judged by.
+        """
+        finite = self.aligned_queue_packets[
+            np.isfinite(self.aligned_queue_packets)]
+        return {
+            "n_flows": self.config.n_flows,
+            "cca": self.config.cca,
+            "mode": self.mode.name,
+            "mean_bct_ms": self.mean_bct_ms,
+            "optimal_bct_ms": self.optimal_bct_ms,
+            "bct_inflation": self.bct_inflation,
+            "steady_drops": self.steady_drops,
+            "steady_rtos": self.steady_rtos,
+            "steady_marked_packets": self.steady_marked_packets,
+            "steady_retransmits": self.steady_retransmits,
+            "peak_queue_packets": float(finite.max()) if finite.size else 0.0,
+            "mean_queue_packets": float(finite.mean()) if finite.size
+            else 0.0,
+            "n_bursts": len(self.burst_results),
+        }
 
 
 def _make_cca(cfg: IncastSimConfig) -> CongestionControl:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.core.bursts import burst_frequency_hz, detect_bursts
+from repro.experiments.engine.spec import WorkUnit
 from repro.experiments.environment import production_fluid_config
 from repro.experiments.result import ExperimentResult
 from repro.measurement.records import TraceMeta
@@ -22,6 +23,24 @@ from repro.simcore.random import RngHub
 from repro.workloads.services import SERVICE_PROFILES, generate_host_trace
 
 SERVICE = "aggregator"
+
+
+def work_units(scale: float, seed: int) -> list[WorkUnit]:
+    """One unit: the single synthetic capture behind every panel."""
+    return [WorkUnit(experiment="fig1", unit_id="trace",
+                     fn="repro.experiments.fig1:run_unit",
+                     params={}, scale=scale, seed=seed)]
+
+
+def run_unit(unit: WorkUnit) -> ExperimentResult:
+    """Execute the capture+analysis unit (the whole figure)."""
+    return run(scale=unit.scale, seed=unit.seed)
+
+
+def merge(units: list[WorkUnit], payloads: list[ExperimentResult], *,
+          scale: float, seed: int) -> ExperimentResult:
+    """Single-unit experiment: the payload *is* the result."""
+    return payloads[0]
 
 
 def run(scale: float = 1.0, seed: int = 17) -> ExperimentResult:

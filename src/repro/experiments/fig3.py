@@ -16,18 +16,43 @@ import numpy as np
 from repro.analysis.tables import format_table
 from repro.core.stability import (cross_host_stability, regime_separation,
                                   temporal_stability)
+from repro.experiments.engine import fleet
+from repro.experiments.engine.spec import WorkUnit
 from repro.experiments.result import ExperimentResult
-from repro.measurement.collection import CampaignConfig, run_campaign
+from repro.measurement.collection import (CampaignConfig, FleetCampaign,
+                                          run_campaign)
 
 HOST_DETAIL_SERVICE = "aggregator"
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    """Reproduce Figure 3 (a-b) from the 18-hour stability campaign."""
+def stability_campaign_config(scale: float, seed: int) -> CampaignConfig:
+    """The 18-hour stability campaign shape (20 hosts, 108 snapshots at
+    scale=1)."""
     hosts = max(3, int(round(20 * scale)))
     snapshots = max(4, int(round(108 * scale)))
-    campaign = run_campaign(CampaignConfig.stability(
-        hosts_per_service=hosts, n_snapshots=snapshots, seed=seed))
+    return CampaignConfig.stability(
+        hosts_per_service=hosts, n_snapshots=snapshots, seed=seed)
+
+
+def work_units(scale: float, seed: int) -> list[WorkUnit]:
+    """One unit per service of the stability campaign."""
+    return fleet.campaign_units(
+        "fig3", stability_campaign_config(scale, seed), scale, seed)
+
+
+def merge(units: list[WorkUnit], payloads: list[dict], *, scale: float,
+          seed: int) -> ExperimentResult:
+    """Reassemble the campaign from service slices and analyze."""
+    campaign = fleet.assemble_campaign(
+        stability_campaign_config(scale, seed), units, payloads)
+    return run(scale=scale, seed=seed, campaign=campaign)
+
+
+def run(scale: float = 1.0, seed: int = 0,
+        campaign: FleetCampaign | None = None) -> ExperimentResult:
+    """Reproduce Figure 3 (a-b) from the 18-hour stability campaign."""
+    if campaign is None:
+        campaign = run_campaign(stability_campaign_config(scale, seed))
 
     result = ExperimentResult(
         name="fig3",

@@ -32,6 +32,7 @@ import numpy as np
 from repro import units
 from repro.analysis.ascii_plot import line_plot
 from repro.analysis.tables import format_figure_series, format_table
+from repro.experiments.engine.spec import WorkUnit
 from repro.experiments.environment import (IncastSimConfig, IncastSimResult,
                                            run_incast_sim)
 from repro.experiments.result import ExperimentResult
@@ -45,47 +46,40 @@ PANELS: list[tuple[str, int, Optional[int]]] = [
 """(panel name, flow count, shared buffer bytes or None for private)."""
 
 
-def panel_config(n_flows: int, shared_buffer_bytes: Optional[int],
-                 scale: float, seed: int) -> IncastSimConfig:
-    """Build one panel's simulation config at the requested scale."""
-    burst_ns = max(units.msec(2.0), int(units.msec(15.0) * scale))
-    n_bursts = max(3, int(round(11 * scale)))
-    return IncastSimConfig(
-        n_flows=n_flows,
-        burst_duration_ns=burst_ns,
-        n_bursts=n_bursts,
-        seed=seed,
-        dumbbell=DumbbellConfig(shared_buffer_bytes=shared_buffer_bytes),
-        max_sim_time_ns=units.sec(60.0),
-    )
+def work_units(scale: float, seed: int) -> list[WorkUnit]:
+    """One unit per operating-mode panel (independent simulations)."""
+    return [
+        WorkUnit(experiment="fig5", unit_id=f"panel:{name}",
+                 fn="repro.experiments.fig5:run_unit",
+                 params={"panel": name, "n_flows": n_flows,
+                         "shared_buffer_bytes": shared},
+                 scale=scale, seed=seed)
+        for name, n_flows, shared in PANELS
+    ]
 
 
-def series_rows(result: IncastSimResult,
-                step_ms: float = 1.0) -> tuple[list[float], list[float]]:
-    """Down-sample the aligned queue trace to ``step_ms`` for rendering."""
-    offsets_ms = result.aligned_offsets_ns / units.NS_PER_MS
-    values = result.aligned_queue_packets
-    xs, ys = [], []
-    next_t = 0.0
-    for t, v in zip(offsets_ms, values):
-        if t >= next_t and np.isfinite(v):
-            xs.append(round(float(t), 2))
-            ys.append(round(float(v), 1))
-            next_t += step_ms
-    return xs, ys
+def run_unit(unit: WorkUnit) -> IncastSimResult:
+    """Simulate one panel."""
+    cfg = panel_config(unit.params["n_flows"],
+                       unit.params["shared_buffer_bytes"],
+                       unit.scale, unit.seed)
+    return run_incast_sim(cfg)
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    """Reproduce Figure 5 (a-c)."""
+def merge(work: list[WorkUnit], payloads: list[IncastSimResult], *,
+          scale: float, seed: int) -> ExperimentResult:
+    """Assemble the three panels into the figure."""
     result = ExperimentResult(
         name="fig5",
         description="DCTCP operating modes: bottleneck queue vs time for "
                     "100/500/1000-flow incasts",
     )
     summary_rows = []
-    for panel, n_flows, shared in PANELS:
-        cfg = panel_config(n_flows, shared, scale, seed)
-        sim_result = run_incast_sim(cfg)
+    for unit, sim_result in zip(work, payloads):
+        panel = unit.params["panel"]
+        n_flows = unit.params["n_flows"]
+        shared = unit.params["shared_buffer_bytes"]
+        cfg = sim_result.config
         result.data[panel] = sim_result
         finite = sim_result.aligned_queue_packets[
             np.isfinite(sim_result.aligned_queue_packets)]
@@ -120,3 +114,39 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         title="Figure 5 summary (paper: Mode 1 oscillates near the 65-pkt "
               "threshold; Mode 2 pinned at ~K-BDP; Mode 3 BCT ~200 ms)"))
     return result
+
+
+def panel_config(n_flows: int, shared_buffer_bytes: Optional[int],
+                 scale: float, seed: int) -> IncastSimConfig:
+    """Build one panel's simulation config at the requested scale."""
+    burst_ns = max(units.msec(2.0), int(units.msec(15.0) * scale))
+    n_bursts = max(3, int(round(11 * scale)))
+    return IncastSimConfig(
+        n_flows=n_flows,
+        burst_duration_ns=burst_ns,
+        n_bursts=n_bursts,
+        seed=seed,
+        dumbbell=DumbbellConfig(shared_buffer_bytes=shared_buffer_bytes),
+        max_sim_time_ns=units.sec(60.0),
+    )
+
+
+def series_rows(result: IncastSimResult,
+                step_ms: float = 1.0) -> tuple[list[float], list[float]]:
+    """Down-sample the aligned queue trace to ``step_ms`` for rendering."""
+    offsets_ms = result.aligned_offsets_ns / units.NS_PER_MS
+    values = result.aligned_queue_packets
+    xs, ys = [], []
+    next_t = 0.0
+    for t, v in zip(offsets_ms, values):
+        if t >= next_t and np.isfinite(v):
+            xs.append(round(float(t), 2))
+            ys.append(round(float(v), 1))
+            next_t += step_ms
+    return xs, ys
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 5 (a-c)."""
+    plan = work_units(scale, seed)
+    return merge(plan, [run_unit(u) for u in plan], scale=scale, seed=seed)

@@ -13,34 +13,51 @@ import numpy as np
 from repro import units
 from repro.analysis.ascii_plot import line_plot
 from repro.analysis.tables import format_figure_series, format_table
-from repro.experiments.environment import IncastSimConfig, run_incast_sim
+from repro.experiments.engine.spec import WorkUnit
+from repro.experiments.environment import (IncastSimConfig, IncastSimResult,
+                                           run_incast_sim)
 from repro.experiments.fig5 import series_rows
 from repro.experiments.result import ExperimentResult
 
 FLOW_COUNTS = [50, 100, 200, 500]
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    """Reproduce Figure 6 for several incast degrees."""
-    n_bursts = max(3, int(round(11 * scale)))
+def work_units(scale: float, seed: int) -> list[WorkUnit]:
+    """One unit per incast degree (independent simulations)."""
+    return [
+        WorkUnit(experiment="fig6", unit_id=f"flows:{n_flows}",
+                 fn="repro.experiments.fig6:run_unit",
+                 params={"n_flows": n_flows}, scale=scale, seed=seed)
+        for n_flows in FLOW_COUNTS
+    ]
+
+
+def run_unit(unit: WorkUnit) -> IncastSimResult:
+    """Simulate 2 ms bursts at one incast degree."""
+    cfg = IncastSimConfig(
+        n_flows=unit.params["n_flows"],
+        burst_duration_ns=units.msec(2.0),
+        n_bursts=max(3, int(round(11 * unit.scale))),
+        seed=unit.seed,
+        max_sim_time_ns=units.sec(60.0),
+    )
+    return run_incast_sim(cfg)
+
+
+def merge(work: list[WorkUnit], payloads: list[IncastSimResult], *,
+          scale: float, seed: int) -> ExperimentResult:
+    """Assemble the per-degree traces into the figure."""
     result = ExperimentResult(
         name="fig6",
         description="Queue behaviour during 2 ms incast bursts",
     )
     rows = []
-    for n_flows in FLOW_COUNTS:
-        cfg = IncastSimConfig(
-            n_flows=n_flows,
-            burst_duration_ns=units.msec(2.0),
-            n_bursts=n_bursts,
-            seed=seed,
-            max_sim_time_ns=units.sec(60.0),
-        )
-        sim_result = run_incast_sim(cfg)
+    for unit, sim_result in zip(work, payloads):
+        n_flows = unit.params["n_flows"]
         result.data[f"flows_{n_flows}"] = sim_result
         finite = sim_result.aligned_queue_packets[
             np.isfinite(sim_result.aligned_queue_packets)]
-        threshold = cfg.dumbbell.ecn_threshold_packets or 0
+        threshold = sim_result.config.dumbbell.ecn_threshold_packets or 0
         above = float((finite > threshold).mean()) if finite.size else 0.0
         rows.append([
             n_flows,
@@ -68,3 +85,9 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         title="Figure 6 summary (paper: short bursts are dominated by the "
               "initial spike; deep queues for most of the burst)"))
     return result
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 6 for several incast degrees."""
+    plan = work_units(scale, seed)
+    return merge(plan, [run_unit(u) for u in plan], scale=scale, seed=seed)

@@ -15,10 +15,29 @@ import numpy as np
 from repro import units
 from repro.analysis.tables import format_table
 from repro.core.divergence import analyze_divergence
+from repro.experiments.engine.spec import WorkUnit
 from repro.experiments.environment import IncastSimConfig, run_incast_sim
 from repro.experiments.result import ExperimentResult
 
 N_FLOWS = 100
+
+
+def work_units(scale: float, seed: int) -> list[WorkUnit]:
+    """A single unit: one simulation feeds the whole figure."""
+    return [WorkUnit(experiment="fig7", unit_id="trace",
+                     fn="repro.experiments.fig7:run_unit",
+                     params={}, scale=scale, seed=seed)]
+
+
+def run_unit(unit: WorkUnit) -> ExperimentResult:
+    """Run the full figure in one unit (analysis included, since the
+    per-flow sampler arrays dominate the payload otherwise)."""
+    return run(scale=unit.scale, seed=unit.seed)
+
+
+def merge(work: list[WorkUnit], payloads: list[ExperimentResult], *,
+          scale: float, seed: int) -> ExperimentResult:
+    return payloads[0]
 
 
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:

@@ -32,5 +32,11 @@ class ExperimentResult:
         header = f"=== {self.name}: {self.description} ==="
         return "\n\n".join([header] + self.sections)
 
+    def merge_sub_result(self, key: str, sub: "ExperimentResult") -> None:
+        """Fold a sub-experiment in: store it under ``data[key]`` and
+        append its rendered sections (the ablations composition pattern)."""
+        self.data[key] = sub
+        self.sections.extend(sub.sections)
+
     def __repr__(self) -> str:
         return f"ExperimentResult({self.name}, sections={len(self.sections)})"

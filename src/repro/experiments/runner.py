@@ -4,18 +4,25 @@ Usage::
 
     python -m repro.experiments --list
     python -m repro.experiments --experiment fig5 --scale 0.25
-    python -m repro.experiments --all --scale 0.1
+    python -m repro.experiments --all --scale 0.1 --jobs 4
+
+Experiments execute through :mod:`repro.experiments.engine`: independent
+trials fan out across worker processes (``--jobs``) and completed units
+are memoized on disk (``--cache-dir`` / ``--no-cache``); a structured run
+report is printed after the results.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+from pathlib import Path
 from typing import Callable
 
+from repro.analysis.export import write_result, write_run_report
 from repro.experiments import (ablations, crossval, fig1, fig2, fig3, fig4,
                                fig5, fig6, fig7, table1)
+from repro.experiments.engine import ResultCache, run_experiments
 from repro.experiments.result import ExperimentResult
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -49,15 +56,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload scale factor (1.0 = paper scale)")
     parser.add_argument("--seed", type=int, default=0,
                         help="root random seed")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for independent trials "
+                             "(default: all CPUs; 1 = serial in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result "
+                             "cache")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="result cache location (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
     parser.add_argument("--json-dir", type=str, default=None,
-                        help="also write each result as JSON into this "
-                             "directory")
+                        help="also write each result (and the run report) "
+                             "as JSON into this directory")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if (args.cache_dir is not None and not args.no_cache
+            and Path(args.cache_dir).exists()
+            and not Path(args.cache_dir).is_dir()):
+        parser.error(f"--cache-dir {args.cache_dir} is not a directory")
     if args.list:
         for name in EXPERIMENTS:
             doc = sys.modules[EXPERIMENTS[name].__module__].__doc__ or ""
@@ -69,17 +92,23 @@ def main(argv: list[str] | None = None) -> int:
         print("nothing to run: pass --experiment NAME, --all, or --list",
               file=sys.stderr)
         return 2
-    for name in names:
-        started = time.time()
-        result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
-        print(result.render())
-        if args.json_dir is not None:
-            from pathlib import Path
 
-            from repro.analysis.export import write_result
-            path = write_result(result, Path(args.json_dir))
+    cache = ResultCache(
+        directory=Path(args.cache_dir) if args.cache_dir else None,
+        enabled=not args.no_cache)
+    results, report = run_experiments(
+        names, scale=args.scale, seed=args.seed, jobs=args.jobs,
+        cache=cache)
+    for name in names:
+        print(results[name].render())
+        if args.json_dir is not None:
+            path = write_result(results[name], Path(args.json_dir))
             print(f"[wrote {path}]")
-        print(f"\n[{name} finished in {time.time() - started:.1f}s]\n")
+        print()
+    print(report.render())
+    if args.json_dir is not None:
+        path = write_run_report(report, Path(args.json_dir))
+        print(f"[wrote {path}]")
     return 0
 
 

@@ -11,21 +11,45 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.tables import format_table
+from repro.experiments.engine import fleet
+from repro.experiments.engine.spec import WorkUnit
 from repro.experiments.result import ExperimentResult
-from repro.measurement.collection import CampaignConfig, run_campaign
+from repro.measurement.collection import (CampaignConfig, FleetCampaign,
+                                          run_campaign)
 from repro.workloads.services import SERVICE_PROFILES
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+def sampling_campaign_config(scale: float, seed: int) -> CampaignConfig:
+    """The small sampling campaign behind the measured columns."""
+    hosts = max(2, int(round(8 * scale)))
+    snapshots = max(1, int(round(3 * scale)))
+    return CampaignConfig(hosts_per_service=hosts, n_snapshots=snapshots,
+                          seed=seed)
+
+
+def work_units(scale: float, seed: int) -> list[WorkUnit]:
+    """One unit per service of the sampling campaign."""
+    return fleet.campaign_units(
+        "table1", sampling_campaign_config(scale, seed), scale, seed)
+
+
+def merge(units: list[WorkUnit], payloads: list[dict], *, scale: float,
+          seed: int) -> ExperimentResult:
+    """Reassemble the campaign from service slices and tabulate."""
+    campaign = fleet.assemble_campaign(
+        sampling_campaign_config(scale, seed), units, payloads)
+    return run(scale=scale, seed=seed, campaign=campaign)
+
+
+def run(scale: float = 1.0, seed: int = 0,
+        campaign: FleetCampaign | None = None) -> ExperimentResult:
     """Reproduce Table 1 (plus measured fleet summary columns).
 
     ``scale`` shrinks the sampling campaign used for the measured columns;
     the service inventory itself is scale-independent.
     """
-    hosts = max(2, int(round(8 * scale)))
-    snapshots = max(1, int(round(3 * scale)))
-    campaign = run_campaign(CampaignConfig(
-        hosts_per_service=hosts, n_snapshots=snapshots, seed=seed))
+    if campaign is None:
+        campaign = run_campaign(sampling_campaign_config(scale, seed))
 
     rows = []
     for name, profile in SERVICE_PROFILES.items():

@@ -91,40 +91,57 @@ class FleetCampaign:
                            for s in self.summaries[service]])
 
 
+def run_service_campaign(
+        cfg: CampaignConfig, service: str,
+        fluid_config: Optional[FluidConfig] = None
+) -> tuple[list[TraceSummary], list[int], list[HostTrace]]:
+    """Generate and summarize one service's slice of a campaign.
+
+    Every RNG stream is derived from ``(cfg.seed, service, host, snapshot)``
+    names, so services are independent of each other and of execution order —
+    this is the unit of work the parallel experiment engine fans out.
+    Returns ``(summaries, regimes, kept_traces)``; ``kept_traces`` is empty
+    unless ``cfg.keep_traces`` is set.
+    """
+    fluid = fluid_config or FluidConfig()
+    hub = RngHub(cfg.seed)
+    profile = SERVICE_PROFILES[service]
+    regime_rng = hub.fresh(f"{service}/regimes")
+    regimes = regime_sequence(profile, cfg.n_snapshots, regime_rng)
+    summaries: list[TraceSummary] = []
+    kept: list[HostTrace] = []
+    for host_id in range(cfg.hosts_per_service):
+        host_rng = hub.fresh(f"{service}/host{host_id}")
+        rate_mult = host_rate_multiplier(profile, host_rng)
+        for snapshot in range(cfg.n_snapshots):
+            trace_rng = hub.fresh(
+                f"{service}/host{host_id}/snap{snapshot}")
+            meta = TraceMeta(
+                service=service, host_id=host_id,
+                snapshot_index=snapshot,
+                snapshot_time_s=snapshot * cfg.snapshot_spacing_s)
+            trace = generate_host_trace(
+                profile, meta, trace_rng,
+                duration_ms=cfg.trace_duration_ms,
+                fluid_config=fluid,
+                regime_index=regimes[snapshot],
+                rate_multiplier=rate_mult)
+            summaries.append(summarize_trace(trace))
+            if cfg.keep_traces:
+                kept.append(trace)
+    return summaries, regimes, kept
+
+
 def run_campaign(config: Optional[CampaignConfig] = None,
                  fluid_config: Optional[FluidConfig] = None
                  ) -> FleetCampaign:
     """Generate and summarize a full fleet campaign."""
     cfg = config or CampaignConfig()
-    fluid = fluid_config or FluidConfig()
-    hub = RngHub(cfg.seed)
     campaign = FleetCampaign(config=cfg)
     for service in cfg.services:
-        profile = SERVICE_PROFILES[service]
-        regime_rng = hub.fresh(f"{service}/regimes")
-        regimes = regime_sequence(profile, cfg.n_snapshots, regime_rng)
+        summaries, regimes, kept = run_service_campaign(
+            cfg, service, fluid_config)
         campaign.regimes[service] = regimes
-        summaries: list[TraceSummary] = []
-        kept: list[HostTrace] = []
-        for host_id in range(cfg.hosts_per_service):
-            host_rng = hub.fresh(f"{service}/host{host_id}")
-            rate_mult = host_rate_multiplier(profile, host_rng)
-            for snapshot in range(cfg.n_snapshots):
-                trace_rng = hub.fresh(
-                    f"{service}/host{host_id}/snap{snapshot}")
-                meta = TraceMeta(
-                    service=service, host_id=host_id,
-                    snapshot_index=snapshot,
-                    snapshot_time_s=snapshot * cfg.snapshot_spacing_s)
-                trace = generate_host_trace(
-                    profile, meta, trace_rng,
-                    duration_ms=cfg.trace_duration_ms,
-                    fluid_config=fluid,
-                    regime_index=regimes[snapshot],
-                    rate_multiplier=rate_mult)
-                summaries.append(summarize_trace(trace))
-                if cfg.keep_traces:
-                    kept.append(trace)
         campaign.summaries[service] = summaries
         if cfg.keep_traces:
             campaign.traces[service] = kept

@@ -13,6 +13,24 @@ from typing import Any, Callable, Optional
 
 from repro.simcore.event import Event, EventQueue
 
+_total_events_processed = 0
+
+
+def total_events_processed() -> int:
+    """Events fired by *every* :class:`Simulator` in this process so far.
+
+    The experiment engine samples this around each work unit to report how
+    much simulation work the unit performed, including across the several
+    simulators some experiments create internally.
+    """
+    return _total_events_processed
+
+
+def reset_total_events_processed() -> None:
+    """Reset the process-wide event tally (test isolation helper)."""
+    global _total_events_processed
+    _total_events_processed = 0
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. scheduling into the past)."""
@@ -82,6 +100,7 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire the next event. Returns ``False`` when the queue is empty."""
+        global _total_events_processed
         event = self._queue.pop()
         if event is None:
             return False
@@ -90,6 +109,7 @@ class Simulator:
         fn, args = event.fn, event.args
         event.cancel()  # mark consumed; keeps handles inert after firing
         self._events_processed += 1
+        _total_events_processed += 1
         assert fn is not None
         fn(*args)
         return True

@@ -1,0 +1,162 @@
+"""Golden-result fixtures for the regression suite.
+
+Each golden case runs one experiment (or one cheap ablation) at a small
+fixed scale and seed, flattens the JSON-exportable ``data`` of its
+:class:`~repro.experiments.result.ExperimentResult` into scalar leaves,
+and stores them as a committed fixture. ``tests/test_golden_results.py``
+recomputes the cases and compares leaf-by-leaf with tolerances, so a
+behaviour change in any layer (kernel, TCP, workloads, analysis) surfaces
+as a named metric diff instead of a silent drift.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python -m repro.tools.golden
+
+and commit the updated ``tests/golden/*.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.analysis.export import result_to_dict
+from repro.experiments.result import ExperimentResult
+
+#: All golden cases share one small scale and one fixed seed.
+SCALE = 0.05
+SEED = 3
+
+#: Experiments cheap enough to run end-to-end in the suite. The full
+#: ``ablations`` experiment takes minutes even at this scale, so it is
+#: covered by representative sub-ablations below instead.
+GOLDEN_EXPERIMENTS = ["table1", "fig1", "fig2", "fig3", "fig4", "fig5",
+                      "fig6", "fig7", "crossval"]
+
+#: Cheap, layer-diverse ablation representatives (fleet predictor, TCP
+#: idle-restart, receiver delayed ACKs).
+GOLDEN_ABLATIONS = ["predictability", "idle", "delayed_ack"]
+
+#: Comparison tolerances for numeric leaves.
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
+
+
+def golden_dir() -> Path:
+    """The committed fixture directory (``tests/golden``)."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def scalar_leaves(value: Any, prefix: str = "data") -> dict[str, Any]:
+    """Flatten JSON-compatible data into ``{dotted.path: scalar}`` leaves."""
+    out: dict[str, Any] = {}
+    if isinstance(value, dict):
+        for key in value:
+            out.update(scalar_leaves(value[key], f"{prefix}.{key}"))
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            out.update(scalar_leaves(item, f"{prefix}[{index}]"))
+    else:
+        out[prefix] = value
+    return out
+
+
+def golden_payload(result: ExperimentResult) -> dict:
+    """The stored form of one case: scale/seed plus metric leaves."""
+    return {
+        "scale": SCALE,
+        "seed": SEED,
+        "n_sections": len(result.sections),
+        "metrics": scalar_leaves(result_to_dict(result)["data"]),
+    }
+
+
+def golden_cases() -> dict[str, Callable[[], ExperimentResult]]:
+    """Case name -> thunk computing its ExperimentResult."""
+    from repro.experiments.ablations import ALL_ABLATIONS
+    from repro.experiments.engine import EXPERIMENT_MODULES
+
+    cases: dict[str, Callable[[], ExperimentResult]] = {}
+    for name in GOLDEN_EXPERIMENTS:
+        module = EXPERIMENT_MODULES[name]
+        cases[name] = (lambda m=module: m.run(scale=SCALE, seed=SEED))
+    for name in GOLDEN_ABLATIONS:
+        runner = ALL_ABLATIONS[name]
+        cases[f"ablation_{name}"] = (
+            lambda r=runner: r(scale=SCALE, seed=SEED))
+    return cases
+
+
+def compare_payloads(expected: dict, actual: dict,
+                     rel_tol: float = REL_TOL,
+                     abs_tol: float = ABS_TOL) -> list[str]:
+    """Tolerance-based diff of two golden payloads; returns mismatch
+    descriptions (empty = match)."""
+    problems: list[str] = []
+    if expected.get("n_sections") != actual.get("n_sections"):
+        problems.append(f"n_sections: expected {expected.get('n_sections')}"
+                        f", got {actual.get('n_sections')}")
+    want: dict = expected["metrics"]
+    have: dict = actual["metrics"]
+    for path in want:
+        if path not in have:
+            problems.append(f"missing metric {path}")
+            continue
+        a, b = want[path], have[path]
+        numeric = (isinstance(a, (int, float))
+                   and isinstance(b, (int, float))
+                   and not isinstance(a, bool) and not isinstance(b, bool))
+        if numeric:
+            if not math.isclose(float(a), float(b), rel_tol=rel_tol,
+                                abs_tol=abs_tol):
+                problems.append(f"{path}: expected {a!r}, got {b!r}")
+        elif a != b:
+            problems.append(f"{path}: expected {a!r}, got {b!r}")
+    for path in have:
+        if path not in want:
+            problems.append(f"unexpected metric {path}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Regenerate (default) or ``--check`` the committed fixtures."""
+    parser = argparse.ArgumentParser(
+        prog="repro-golden",
+        description="Regenerate or verify the golden-result fixtures")
+    parser.add_argument("--dir", type=str, default=None,
+                        help="fixture directory (default: tests/golden)")
+    parser.add_argument("--check", action="store_true",
+                        help="verify fixtures instead of rewriting them")
+    parser.add_argument("--case", action="append", default=None,
+                        help="restrict to specific case name(s)")
+    args = parser.parse_args(argv)
+
+    directory = Path(args.dir) if args.dir else golden_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for name, thunk in golden_cases().items():
+        if args.case and name not in args.case:
+            continue
+        payload = golden_payload(thunk())
+        path = directory / f"{name}.json"
+        if args.check:
+            expected = json.loads(path.read_text(encoding="utf-8"))
+            problems = compare_payloads(expected, payload)
+            status = "ok" if not problems else f"FAIL ({len(problems)})"
+            print(f"{name:24s} {status}")
+            for problem in problems[:10]:
+                print(f"    {problem}")
+            failures += bool(problems)
+        else:
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True),
+                            encoding="utf-8")
+            print(f"wrote {path} ({len(payload['metrics'])} metrics)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -151,6 +151,17 @@ class FlowStateSampler:
             count=len(self._senders)))
         self._sim.schedule(self._period_ns, self._tick)
 
+    def __getstate__(self) -> dict:
+        # The sampler is pickled as part of work-unit payloads crossing
+        # process boundaries in the experiment engine. The captured samples
+        # travel; the live simulator/sender graph (unpicklable and huge)
+        # does not — an unpickled sampler is a read-only record.
+        state = self.__dict__.copy()
+        state["_sim"] = None
+        state["_senders"] = []
+        state["_running"] = False
+        return state
+
     def active_percentiles(self, percentiles: list[float]
                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Per-sample percentiles of in-flight bytes across *active* flows.

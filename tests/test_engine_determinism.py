@@ -1,0 +1,119 @@
+"""Engine equivalence: parallel == serial == classic, cache == cold.
+
+The engine's contract is that ``--jobs N`` and the on-disk cache are pure
+optimizations: the merged ``ExperimentResult`` payloads (as JSON
+documents) must be identical along every path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.export import result_to_dict
+from repro.experiments import fig6
+from repro.experiments.engine import (EXPERIMENT_MODULES, ResultCache,
+                                      run_experiments)
+from repro.experiments.engine.report import (SOURCE_CACHE, SOURCE_RUN,
+                                             SOURCE_SHARED)
+
+SCALE = 0.05
+SEED = 11
+
+
+def doc(result) -> str:
+    """Canonical JSON form of a result for cross-path comparison."""
+    return json.dumps(result_to_dict(result), sort_keys=True,
+                      allow_nan=False,
+                      default=lambda o: f"<{type(o).__name__}>")
+
+
+class TestJobsEquivalence:
+    def test_serial_engine_matches_classic_run(self):
+        classic = fig6.run(scale=SCALE, seed=SEED)
+        results, report = run_experiments(["fig6"], scale=SCALE, seed=SEED,
+                                          jobs=1)
+        assert doc(results["fig6"]) == doc(classic)
+        assert report.jobs == 1
+        assert report.executed == len(fig6.FLOW_COUNTS)
+        assert report.total_events > 0  # packet sims fire kernel events
+
+    def test_jobs4_matches_jobs1(self):
+        serial, _ = run_experiments(["fig6"], scale=SCALE, seed=SEED,
+                                    jobs=1)
+        parallel, report = run_experiments(["fig6"], scale=SCALE,
+                                           seed=SEED, jobs=4)
+        assert doc(parallel["fig6"]) == doc(serial["fig6"])
+        # More than one worker process actually participated.
+        assert report.workers_used >= 2
+
+    def test_campaign_units_shared_across_experiments(self):
+        """fig2 and fig4 decompose into the same daily-campaign units, so
+        a joint run executes each unit once and both results still match
+        their solo runs."""
+        solo2, _ = run_experiments(["fig2"], scale=SCALE, seed=SEED, jobs=1)
+        solo4, _ = run_experiments(["fig4"], scale=SCALE, seed=SEED, jobs=1)
+        joint, report = run_experiments(["fig2", "fig4"], scale=SCALE,
+                                        seed=SEED, jobs=2)
+        assert doc(joint["fig2"]) == doc(solo2["fig2"])
+        assert doc(joint["fig4"]) == doc(solo4["fig4"])
+        assert report.shared == report.n_units // 2
+        assert report.executed == report.n_units // 2
+
+
+class TestCacheEquivalence:
+    def test_warm_cache_replays_cold_run(self, tmp_path: Path):
+        cache_dir = tmp_path / "cache"
+        cold, cold_report = run_experiments(
+            ["fig6"], scale=SCALE, seed=SEED, jobs=2,
+            cache=ResultCache(directory=cache_dir))
+        warm, warm_report = run_experiments(
+            ["fig6"], scale=SCALE, seed=SEED, jobs=2,
+            cache=ResultCache(directory=cache_dir))
+        assert doc(warm["fig6"]) == doc(cold["fig6"])
+        assert cold_report.cache_hits == 0
+        assert cold_report.executed == warm_report.n_units
+        assert warm_report.cache_hits == warm_report.n_units
+        assert warm_report.executed == 0
+
+    def test_unit_sources_are_labelled(self, tmp_path: Path):
+        cache = ResultCache(directory=tmp_path / "cache")
+        _, cold = run_experiments(["fig1"], scale=SCALE, seed=SEED,
+                                  jobs=1, cache=cache)
+        _, warm = run_experiments(["fig1"], scale=SCALE, seed=SEED,
+                                  jobs=1, cache=cache)
+        assert [u.source for u in cold.units] == [SOURCE_RUN]
+        assert [u.source for u in warm.units] == [SOURCE_CACHE]
+
+    def test_seed_and_scale_partition_the_cache(self, tmp_path: Path):
+        cache = ResultCache(directory=tmp_path / "cache")
+        run_experiments(["fig1"], scale=SCALE, seed=SEED, jobs=1,
+                        cache=cache)
+        _, other_seed = run_experiments(["fig1"], scale=SCALE,
+                                        seed=SEED + 1, jobs=1, cache=cache)
+        _, other_scale = run_experiments(["fig1"], scale=SCALE * 2,
+                                         seed=SEED, jobs=1, cache=cache)
+        assert other_seed.cache_hits == 0
+        assert other_scale.cache_hits == 0
+
+
+class TestEngineValidation:
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiments"):
+            run_experiments(["nope"], scale=SCALE, seed=SEED, jobs=1)
+
+    def test_bad_jobs_raises(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_experiments(["fig1"], scale=SCALE, seed=SEED, jobs=0)
+
+    def test_every_experiment_plans_units(self):
+        for name, module in EXPERIMENT_MODULES.items():
+            units = module.work_units(SCALE, SEED)
+            assert units, f"{name} planned no work units"
+            ids = [(u.experiment, u.unit_id) for u in units]
+            assert len(ids) == len(set(ids)), f"{name} has duplicate ids"
+            for unit in units:
+                assert unit.scale == SCALE and unit.seed == SEED
+                assert callable(unit.resolve_fn())

@@ -1,0 +1,154 @@
+"""Unit tests for the engine building blocks: WorkUnit, ResultCache,
+RunReport."""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments.engine.cache import ResultCache, default_cache_dir
+from repro.experiments.engine.report import (SOURCE_CACHE, SOURCE_RUN,
+                                             SOURCE_SHARED, RunReport,
+                                             UnitReport)
+from repro.experiments.engine.spec import WorkUnit
+
+
+def unit(**overrides) -> WorkUnit:
+    fields = dict(experiment="fig6", unit_id="flows:50",
+                  fn="repro.experiments.fig6:run_unit",
+                  params={"n_flows": 50}, scale=0.1, seed=3)
+    fields.update(overrides)
+    return WorkUnit(**fields)
+
+
+class TestWorkUnit:
+    def test_cache_key_is_stable(self):
+        assert unit().cache_key() == unit().cache_key()
+
+    def test_cache_key_ignores_experiment_name(self):
+        """fig2/fig4 share campaign units: the key covers only what the
+        payload depends on (fn, params, scale, seed, version)."""
+        assert (unit(experiment="a").cache_key()
+                == unit(experiment="b").cache_key())
+
+    @pytest.mark.parametrize("override", [
+        {"fn": "repro.experiments.fig5:run_unit"},
+        {"params": {"n_flows": 100}},
+        {"scale": 0.2},
+        {"seed": 4},
+    ])
+    def test_cache_key_covers_payload_inputs(self, override):
+        assert unit().cache_key() != unit(**override).cache_key()
+
+    def test_cache_key_ignores_cost_hint(self):
+        """Scheduling hints may be retuned freely without invalidating
+        cached payloads."""
+        assert (unit(cost_hint=40.0).cache_key()
+                == unit(cost_hint=1.0).cache_key())
+
+    def test_cache_key_folds_in_version(self, monkeypatch):
+        before = unit().cache_key()
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert unit().cache_key() != before
+
+    def test_rejects_fn_without_colon(self):
+        with pytest.raises(ValueError, match="module:function"):
+            unit(fn="repro.experiments.fig6.run_unit")
+
+    def test_rejects_unjsonable_params(self):
+        with pytest.raises(TypeError):
+            unit(params={"bad": object()})
+
+    def test_resolve_fn(self):
+        from repro.experiments import fig6
+        assert unit().resolve_fn() is fig6.run_unit
+
+    def test_label(self):
+        assert unit().label == "fig6/flows:50"
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path: Path):
+        cache = ResultCache(directory=tmp_path)
+        assert cache.get("ab" + "0" * 62) is None
+        cache.put("ab" + "0" * 62, {"x": 1})
+        assert cache.get("ab" + "0" * 62) == {"x": 1}
+
+    def test_disabled_cache_never_stores(self, tmp_path: Path):
+        cache = ResultCache(directory=tmp_path, enabled=False)
+        cache.put("ab" + "0" * 62, {"x": 1})
+        assert cache.get("ab" + "0" * 62) is None
+        assert not any(tmp_path.rglob("*.pkl"))
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path: Path):
+        cache = ResultCache(directory=tmp_path)
+        key = "cd" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"definitely not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_entries_partitioned_by_version(self, tmp_path: Path,
+                                            monkeypatch):
+        cache = ResultCache(directory=tmp_path)
+        key = "ef" + "0" * 62
+        cache.put(key, 42)
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert ResultCache(directory=tmp_path).get(key) is None
+
+    def test_clear(self, tmp_path: Path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("aa" + "0" * 62, 1)
+        cache.put("bb" + "0" * 62, 2)
+        assert cache.clear() == 2
+        assert cache.get("aa" + "0" * 62) is None
+
+    def test_default_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+
+    def test_payloads_roundtrip_pickle(self, tmp_path: Path):
+        cache = ResultCache(directory=tmp_path)
+        payload = {"rows": [[1, "x", 2.5]], "arr": (1, 2)}
+        cache.put("1a" + "0" * 62, payload)
+        assert pickle.loads(pickle.dumps(payload)) == cache.get(
+            "1a" + "0" * 62)
+
+
+class TestRunReport:
+    def make_report(self) -> RunReport:
+        return RunReport(jobs=4, cache_enabled=True, cache_dir="/tmp/c",
+                         wall_s=2.0, units=[
+            UnitReport("fig5", "a", SOURCE_RUN, 1.5, 100, "pid:1"),
+            UnitReport("fig5", "b", SOURCE_RUN, 2.5, 200, "pid:2"),
+            UnitReport("fig4", "c", SOURCE_CACHE, 0.0, 0, "cache"),
+            UnitReport("fig4", "d", SOURCE_SHARED, 0.0, 0, "shared"),
+        ])
+
+    def test_totals(self):
+        report = self.make_report()
+        assert report.n_units == 4
+        assert report.executed == 2
+        assert report.cache_hits == 1
+        assert report.shared == 1
+        assert report.total_events == 300
+        assert report.busy_s == 4.0
+        assert report.workers_used == 2
+        assert report.parallel_speedup == 2.0
+
+    def test_render_mentions_everything(self):
+        text = self.make_report().render()
+        assert "fig5/b" in text          # slowest unit first
+        assert "cache hits" in text
+        assert "speedup" in text
+
+    def test_to_dict_is_json_ready(self):
+        import json
+        doc = self.make_report().to_dict()
+        json.dumps(doc)
+        assert doc["executed"] == 2
+        assert len(doc["units"]) == 4

@@ -1,0 +1,117 @@
+"""Property-style tests: EventQueue under interleaved load, event counters.
+
+Complements ``test_event_queue.py`` (single-shot ordering/cancellation)
+with randomized interleavings of push/pop/cancel — the access pattern TCP
+timers produce — plus the per-simulator and process-wide event counters
+the engine's run report relies on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.simcore.event import EventQueue
+from repro.simcore.kernel import (Simulator, reset_total_events_processed,
+                                  total_events_processed)
+
+
+class TestInterleavedQueueOps:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_no_event_lost_under_interleaved_push_pop(self, seed: int):
+        """Every pushed event is popped exactly once (none lost, none
+        duplicated), in nondecreasing time order, for arbitrary
+        interleavings of pushes and pops."""
+        rng = random.Random(seed)
+        q = EventQueue()
+        pushed, popped = [], []
+        for _ in range(rng.randint(1, 200)):
+            if rng.random() < 0.6 or not q:
+                pushed.append(q.push(rng.randint(0, 50), lambda: None))
+            else:
+                outstanding = {id(e) for e in pushed} - {id(e)
+                                                         for e in popped}
+                floor = min(e.time_ns for e in pushed
+                            if id(e) in outstanding)
+                event = q.pop()
+                assert event is not None
+                # Each pop returns the earliest event still queued.
+                assert event.time_ns == floor
+                popped.append(event)
+        drain = []
+        while (event := q.pop()) is not None:
+            drain.append(event)
+        assert len(q) == 0
+        popped.extend(drain)
+        assert {id(e) for e in popped} == {id(e) for e in pushed}
+        assert len(popped) == len(pushed)
+        drain_keys = [(e.time_ns, e.seq) for e in drain]
+        assert drain_keys == sorted(drain_keys)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_drain_after_interleaving_is_time_sorted_and_fifo(self, seed):
+        """After any interleaving of pushes and cancels, a full drain
+        yields nondecreasing times with FIFO order among equal times."""
+        rng = random.Random(seed)
+        q = EventQueue()
+        live = []
+        for _ in range(rng.randint(1, 200)):
+            roll = rng.random()
+            if roll < 0.7 or not live:
+                live.append(q.push(rng.randint(0, 20), lambda: None))
+            else:
+                victim = live.pop(rng.randrange(len(live)))
+                q.cancel(victim)
+        assert len(q) == len(live)
+        drained = []
+        while (event := q.pop()) is not None:
+            drained.append(event)
+        assert q.pop() is None and len(q) == 0
+        assert {id(e) for e in drained} == {id(e) for e in live}
+        keys = [(e.time_ns, e.seq) for e in drained]
+        assert keys == sorted(keys)
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                    max_size=50))
+    def test_cancelled_events_never_fire(self, times):
+        q = EventQueue()
+        fired = []
+        events = [q.push(t, fired.append, (i,))
+                  for i, t in enumerate(times)]
+        for event in events[::2]:
+            q.cancel(event)
+        while (event := q.pop()) is not None:
+            assert event.fn is not None
+            event.fn(*event.args)
+        survivors = [i for i in range(len(times)) if i % 2 == 1]
+        assert fired == sorted(survivors, key=lambda i: (times[i], i))
+
+
+class TestEventCounters:
+    def test_simulator_counts_fired_events(self):
+        sim = Simulator()
+        for delay in (5, 10, 15):
+            sim.schedule(delay, lambda: None)
+        cancelled = sim.schedule(20, lambda: None)
+        sim.cancel(cancelled)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_process_total_accumulates_across_simulators(self):
+        reset_total_events_processed()
+        for _ in range(3):
+            sim = Simulator()
+            sim.schedule(1, lambda: None)
+            sim.schedule(2, lambda: None)
+            sim.run()
+            assert sim.events_processed == 2
+        assert total_events_processed() == 6
+
+    def test_reset_total(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.run()
+        assert total_events_processed() >= 1
+        reset_total_events_processed()
+        assert total_events_processed() == 0

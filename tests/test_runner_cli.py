@@ -1,0 +1,102 @@
+"""CLI coverage for ``python -m repro.experiments``.
+
+``--list``, unknown-experiment rejection, the ``--jobs``/cache flags, and
+the ``--json-dir`` round trip (results plus the engine run report).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.jobs is None
+        assert args.no_cache is False
+        assert args.cache_dir is None
+
+    def test_jobs_flag(self):
+        assert build_parser().parse_args(["--jobs", "4"]).jobs == 4
+        assert build_parser().parse_args(["-j", "2"]).jobs == 2
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["-e", "not_an_experiment"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_nonpositive_jobs_rejected(self, capsys):
+        for bad in ("0", "-3"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["-e", "fig1", "--jobs", bad])
+            assert excinfo.value.code == 2
+            assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_cache_dir_must_be_a_directory(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "plain_file"
+        not_a_dir.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--cache-dir", str(not_a_dir)])
+        assert excinfo.value.code == 2
+        assert "is not a directory" in capsys.readouterr().err
+
+    def test_cache_flags(self):
+        args = build_parser().parse_args(
+            ["--no-cache", "--cache-dir", "/tmp/somewhere"])
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/somewhere"
+
+
+class TestMain:
+    def test_list_names_every_experiment(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_nothing_to_run_exits_2(self, capsys):
+        assert main([]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_json_dir_round_trip(self, tmp_path: Path, capsys):
+        json_dir = tmp_path / "out"
+        code = main(["-e", "fig1", "--scale", "0.05", "--seed", "7",
+                     "--jobs", "1", "--no-cache",
+                     "--json-dir", str(json_dir)])
+        assert code == 0
+        doc = json.loads((json_dir / "fig1.json").read_text("utf-8"))
+        assert doc["name"] == "fig1"
+        assert doc["sections"]
+
+        report = json.loads(
+            (json_dir / "run_report.json").read_text("utf-8"))
+        assert report["jobs"] == 1
+        assert report["cache_enabled"] is False
+        assert [u["experiment"] for u in report["units"]] == ["fig1"]
+        assert report["executed"] == 1
+        # fig1 is fluid-model-based, so no simulator events — but the
+        # counter field must be present and well-formed.
+        assert report["total_events"] >= 0
+
+        out = capsys.readouterr().out
+        assert "Run report" in out
+        assert "fig1" in out
+
+    def test_cache_dir_flag_caches_across_invocations(self, tmp_path,
+                                                      capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["-e", "fig1", "--scale", "0.05", "--seed", "7",
+                "--jobs", "1", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        json_dir = tmp_path / "out"
+        assert main(args + ["--json-dir", str(json_dir)]) == 0
+        report = json.loads(
+            (json_dir / "run_report.json").read_text("utf-8"))
+        assert report["cache_hits"] == 1
+        assert report["executed"] == 0
