@@ -19,6 +19,10 @@ class EmpiricalCdf:
 
     def __init__(self, samples: Iterable[float], name: str = ""):
         values = np.asarray(list(samples), dtype=np.float64)
+        if np.isnan(values).any():
+            raise ValueError(
+                f"EmpiricalCdf({name or 'unnamed'}): NaN samples are not "
+                f"meaningful in a CDF; filter them before construction")
         self._sorted = np.sort(values)
         self.name = name
 
@@ -38,12 +42,19 @@ class EmpiricalCdf:
                      / len(self._sorted))
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0-100). Zero for an empty sample set."""
+        """The ``p``-th percentile (0-100). Zero for an empty sample set.
+
+        Uses ``method="inverted_cdf"`` so the answer is always an observed
+        sample and agrees with :meth:`evaluate`: numpy's default linear
+        interpolation invents values between samples, so
+        ``evaluate(percentile(p))`` could disagree with ``p`` — wrong for
+        an *empirical* distribution.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if len(self._sorted) == 0:
             return 0.0
-        return float(np.percentile(self._sorted, p))
+        return float(np.percentile(self._sorted, p, method="inverted_cdf"))
 
     def median(self) -> float:
         """The 50th percentile."""

@@ -20,6 +20,31 @@ import repro
 _SENTINEL = object()
 
 
+def _writer_pid(tmp_name: str) -> Optional[int]:
+    """The PID embedded in a ``.<key>.pkl.<pid>.tmp`` file name, or
+    ``None`` if the name does not follow the spill-file convention."""
+    parts = tmp_name.rsplit(".", 2)
+    if len(parts) == 3 and parts[2] == "tmp":
+        try:
+            return int(parts[1])
+        except ValueError:
+            return None
+    return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process we could signal."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -92,11 +117,38 @@ class ResultCache:
                     pass
 
     def clear(self) -> int:
-        """Delete every entry for the current version; returns the count."""
+        """Delete every entry for the current version — including stale
+        ``.tmp`` spill files from interrupted writes; returns the count."""
         removed = 0
         if not self.version_dir.exists():
             return removed
-        for entry in sorted(self.version_dir.rglob("*.pkl")):
+        for pattern in ("*.pkl", ".*.tmp"):
+            for entry in sorted(self.version_dir.rglob(pattern)):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def sweep_stale(self) -> int:
+        """Remove leftover ``.<key>.pkl.<pid>.tmp`` spill files.
+
+        A worker killed mid-:meth:`put` (before ``os.replace``) leaks its
+        temp file; nothing ever reads those, so any that exist are garbage.
+        The engine calls this once per invocation at startup. Only files
+        whose writer PID is *not* a live process are removed, so a
+        concurrent run sharing the cache directory keeps its in-flight
+        writes. Returns the number of files removed; no-op when disabled
+        or the cache directory does not exist yet.
+        """
+        if not self.enabled or not self.directory.exists():
+            return 0
+        removed = 0
+        for entry in sorted(self.directory.rglob(".*.tmp")):
+            pid = _writer_pid(entry.name)
+            if pid is not None and _pid_alive(pid):
+                continue
             try:
                 entry.unlink()
                 removed += 1

@@ -20,6 +20,7 @@ order. ``--jobs N`` therefore reproduces ``--jobs 1`` exactly.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -49,6 +50,9 @@ EXPERIMENT_MODULES = {
     "ablations": ablations,
     "crossval": crossval,
 }
+
+DEFAULT_TELEMETRY_INTERVAL_NS = 1_000_000
+"""Millisampler's 1 ms sampling interval."""
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -89,6 +93,8 @@ def run_experiments(
         names: list[str], *, scale: float = 1.0, seed: int = 0,
         jobs: Optional[int] = None, cache: Optional[ResultCache] = None,
         on_unit: Optional[Callable[[UnitReport], None]] = None,
+        telemetry: bool = False,
+        telemetry_interval_ns: Optional[int] = None,
 ) -> tuple[dict[str, ExperimentResult], RunReport]:
     """Run several experiments through the engine.
 
@@ -102,6 +108,13 @@ def run_experiments(
             opt in, the CLI enables it by default).
         on_unit: Optional progress callback, invoked with each
             :class:`UnitReport` as its unit resolves.
+        telemetry: Record Millisampler-style in-sim telemetry. A
+            ``"telemetry"`` spec is injected into every unit's params —
+            packet-level executors enable the recorder, others carry it
+            inertly — so telemetry runs get distinct cache keys and can
+            never pollute (or be satisfied by) telemetry-off entries.
+            Captures surface in the run report's ``telemetry`` section.
+        telemetry_interval_ns: Sampling interval; default 1 ms.
 
     Returns:
         ``(results, report)`` — results keyed by experiment name in the
@@ -113,6 +126,11 @@ def run_experiments(
                        f"choose from {sorted(EXPERIMENT_MODULES)}")
     jobs = resolve_jobs(jobs)
     cache = cache if cache is not None else ResultCache(enabled=False)
+    cache.sweep_stale()
+    tele_params = None
+    if telemetry:
+        tele_params = {"interval_ns": int(telemetry_interval_ns
+                                          or DEFAULT_TELEMETRY_INTERVAL_NS)}
     started = time.perf_counter()
 
     # --- plan: collect units, dedup across experiments, consult cache ----
@@ -124,6 +142,10 @@ def run_experiments(
     seen: set[str] = set()
     for name in names:
         units = EXPERIMENT_MODULES[name].work_units(scale, seed)
+        if tele_params is not None:
+            units = [dataclasses.replace(
+                unit, params={**unit.params, "telemetry": tele_params})
+                for unit in units]
         plan[name] = []
         for unit in units:
             key = unit.cache_key()
@@ -192,12 +214,26 @@ def run_experiments(
         results[name] = EXPERIMENT_MODULES[name].merge(
             units, unit_payloads, scale=scale, seed=seed)
 
+    # --- telemetry extraction --------------------------------------------
+    # Duck-typed: any payload carrying a TelemetryCapture (packet-level
+    # incast units) contributes a per-unit section; fluid-model payloads
+    # simply have no `telemetry` attribute.
+    telemetry_sections: dict[str, dict] = {}
+    if telemetry:
+        for name in names:
+            for unit, key in plan[name]:
+                capture = getattr(payloads[key], "telemetry", None)
+                if capture is not None and unit.label not in \
+                        telemetry_sections:
+                    telemetry_sections[unit.label] = capture.to_dict()
+
     report = RunReport(
         jobs=jobs,
         cache_enabled=cache.enabled,
         cache_dir=str(cache.directory) if cache.enabled else None,
         wall_s=time.perf_counter() - started,
         units=ordered_records,
+        telemetry=telemetry_sections,
     )
     return results, report
 
@@ -205,8 +241,11 @@ def run_experiments(
 def run_experiment(
         name: str, *, scale: float = 1.0, seed: int = 0,
         jobs: Optional[int] = None, cache: Optional[ResultCache] = None,
+        telemetry: bool = False,
+        telemetry_interval_ns: Optional[int] = None,
 ) -> tuple[ExperimentResult, RunReport]:
     """Single-experiment convenience wrapper around :func:`run_experiments`."""
     results, report = run_experiments(
-        [name], scale=scale, seed=seed, jobs=jobs, cache=cache)
+        [name], scale=scale, seed=seed, jobs=jobs, cache=cache,
+        telemetry=telemetry, telemetry_interval_ns=telemetry_interval_ns)
     return results[name], report

@@ -54,6 +54,10 @@ class RunReport:
     cache_dir: Optional[str] = None
     wall_s: float = 0.0
     units: list[UnitReport] = field(default_factory=list)
+    #: Per-unit telemetry captures (``experiment/unit_id`` ->
+    #: ``TelemetryCapture.to_dict()``); empty unless the engine ran with
+    #: ``telemetry=True`` and at least one unit produced a capture.
+    telemetry: dict[str, dict] = field(default_factory=dict)
 
     @property
     def n_units(self) -> int:
@@ -144,6 +148,8 @@ class RunReport:
             ["wall time (s)", round(self.wall_s, 2)],
             ["speedup (busy/wall)", round(self.parallel_speedup, 2)],
         ]
+        if self.telemetry:
+            summary.append(["telemetry captures", len(self.telemetry)])
         blocks.append(format_table(["quantity", "value"], summary,
                                    title="Run report: engine summary"))
         return "\n\n".join(blocks)
@@ -164,4 +170,5 @@ class RunReport:
             "workers_used": self.workers_used,
             "parallel_speedup": round(self.parallel_speedup, 4),
             "units": [u.to_dict() for u in self.units],
+            **({"telemetry": self.telemetry} if self.telemetry else {}),
         }

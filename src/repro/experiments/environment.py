@@ -33,6 +33,7 @@ from repro.tcp.cca.swiftlike import SwiftLike
 from repro.tcp.config import TcpConfig
 from repro.tcp.connection import open_connection
 from repro.tcp.guardrail import CwndGuardrail
+from repro.telemetry.recorder import TelemetryCapture, TelemetryRecorder
 from repro.workloads.incast import (BurstResult, FlowStateSampler,
                                     IncastConfig, IncastWorkload,
                                     demand_per_flow_bytes)
@@ -62,6 +63,8 @@ class IncastSimConfig:
     sample_flows: bool = False
     flow_sample_period_ns: int = units.usec(100.0)
     max_sim_time_ns: int = units.sec(20.0)
+    telemetry: bool = False
+    telemetry_interval_ns: int = units.msec(1.0)
 
     def __post_init__(self) -> None:
         if self.cca not in CCA_FACTORIES:
@@ -107,6 +110,7 @@ class IncastSimResult:
     mode: DctcpMode
     flow_sampler: Optional[FlowStateSampler]
     network: Optional[Dumbbell]
+    telemetry: Optional[TelemetryCapture] = None
 
     @property
     def optimal_bct_ms(self) -> float:
@@ -154,6 +158,21 @@ class IncastSimResult:
         }
 
 
+def telemetry_from_params(cfg: IncastSimConfig,
+                          params: dict) -> IncastSimConfig:
+    """Enable telemetry on ``cfg`` when a work unit's params request it.
+
+    The engine injects ``params["telemetry"] = {"interval_ns": ...}`` under
+    ``--telemetry``; packet-level executors funnel their config through
+    here. Returns ``cfg`` unchanged when the spec is absent.
+    """
+    spec = params.get("telemetry")
+    if not spec:
+        return cfg
+    return replace(cfg, telemetry=True,
+                   telemetry_interval_ns=int(spec["interval_ns"]))
+
+
 def _make_cca(cfg: IncastSimConfig) -> CongestionControl:
     cca = CCA_FACTORIES[cfg.cca](cfg.tcp, cfg.dctcp_g)
     if cfg.guardrail_cap_bytes is not None:
@@ -165,6 +184,19 @@ def run_incast_sim(cfg: IncastSimConfig) -> IncastSimResult:
     """Run one cyclic-incast packet simulation end to end."""
     sim = Simulator()
     net = build_dumbbell(sim, cfg.dumbbell)
+    recorder = None
+    if cfg.telemetry:
+        # Millisampler vantage points: the incast destination, one
+        # representative sender, and the two queues a burst traverses.
+        # The recorder must exist before connections open so it sees every
+        # flow.open event and every packet from t=0.
+        recorder = TelemetryRecorder(sim,
+                                     interval_ns=cfg.telemetry_interval_ns)
+        recorder.attach()
+        recorder.attach_host(net.receiver)
+        recorder.attach_host(net.senders[0])
+        recorder.attach_queue(net.bottleneck_queue)
+        recorder.attach_queue(net.trunk_queue)
     connections = [
         open_connection(sim, cfg.tcp, _make_cca(cfg), sender, net.receiver)
         for sender in net.senders
@@ -248,7 +280,25 @@ def run_incast_sim(cfg: IncastSimConfig) -> IncastSimResult:
         mode=mode,
         flow_sampler=sampler,
         network=net,
+        telemetry=_finish_telemetry(recorder, net, connections),
     )
+
+
+def _finish_telemetry(recorder: Optional[TelemetryRecorder], net: Dumbbell,
+                      connections: list) -> Optional[TelemetryCapture]:
+    if recorder is None:
+        return None
+    capture = recorder.export()
+    recorder.detach()
+    # Raw host addresses and flow ids come from process-global counters and
+    # would differ between serial and pooled execution; renumber to
+    # sim-local ids (sender index; receiver = n_senders) so captures are
+    # placement-independent.
+    addr_map = {host.address: i for i, host in enumerate(net.senders)}
+    addr_map[net.receiver.address] = len(net.senders)
+    flow_map = {sender.flow_id: i
+                for i, (sender, _) in enumerate(connections)}
+    return capture.renumbered(addr_map, flow_map)
 
 
 def production_fluid_config() -> FluidConfig:

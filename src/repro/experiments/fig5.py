@@ -34,7 +34,8 @@ from repro.analysis.ascii_plot import line_plot
 from repro.analysis.tables import format_figure_series, format_table
 from repro.experiments.engine.spec import WorkUnit
 from repro.experiments.environment import (IncastSimConfig, IncastSimResult,
-                                           run_incast_sim)
+                                           run_incast_sim,
+                                           telemetry_from_params)
 from repro.experiments.result import ExperimentResult
 from repro.netsim.topology import DumbbellConfig
 
@@ -63,7 +64,7 @@ def run_unit(unit: WorkUnit) -> IncastSimResult:
     cfg = panel_config(unit.params["n_flows"],
                        unit.params["shared_buffer_bytes"],
                        unit.scale, unit.seed)
-    return run_incast_sim(cfg)
+    return run_incast_sim(telemetry_from_params(cfg, unit.params))
 
 
 def merge(work: list[WorkUnit], payloads: list[IncastSimResult], *,

@@ -15,7 +15,8 @@ from repro.analysis.ascii_plot import line_plot
 from repro.analysis.tables import format_figure_series, format_table
 from repro.experiments.engine.spec import WorkUnit
 from repro.experiments.environment import (IncastSimConfig, IncastSimResult,
-                                           run_incast_sim)
+                                           run_incast_sim,
+                                           telemetry_from_params)
 from repro.experiments.fig5 import series_rows
 from repro.experiments.result import ExperimentResult
 
@@ -41,7 +42,7 @@ def run_unit(unit: WorkUnit) -> IncastSimResult:
         seed=unit.seed,
         max_sim_time_ns=units.sec(60.0),
     )
-    return run_incast_sim(cfg)
+    return run_incast_sim(telemetry_from_params(cfg, unit.params))
 
 
 def merge(work: list[WorkUnit], payloads: list[IncastSimResult], *,

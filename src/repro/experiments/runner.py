@@ -68,6 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json-dir", type=str, default=None,
                         help="also write each result (and the run report) "
                              "as JSON into this directory")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record Millisampler-style in-sim telemetry "
+                             "(per-ms host/queue series); captures land in "
+                             "the run report's 'telemetry' section — "
+                             "inspect with repro.tools.telemetry_view")
+    parser.add_argument("--telemetry-interval-us", type=float, default=None,
+                        help="telemetry sampling interval in microseconds "
+                             "(default 1000 = Millisampler's 1 ms)")
     return parser
 
 
@@ -96,9 +104,15 @@ def main(argv: list[str] | None = None) -> int:
     cache = ResultCache(
         directory=Path(args.cache_dir) if args.cache_dir else None,
         enabled=not args.no_cache)
+    interval_ns = None
+    if args.telemetry_interval_us is not None:
+        if args.telemetry_interval_us <= 0:
+            parser.error("--telemetry-interval-us must be positive")
+        interval_ns = int(args.telemetry_interval_us * 1000)
     results, report = run_experiments(
         names, scale=args.scale, seed=args.seed, jobs=args.jobs,
-        cache=cache)
+        cache=cache, telemetry=args.telemetry,
+        telemetry_interval_ns=interval_ns)
     for name in names:
         print(results[name].render())
         if args.json_dir is not None:

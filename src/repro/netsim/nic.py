@@ -19,6 +19,10 @@ from repro.simcore.kernel import Simulator
 IngressHook = Callable[[Packet, int], None]
 """Observer called as ``hook(packet, now_ns)`` for every delivered packet."""
 
+EgressHook = Callable[[Packet, int], None]
+"""Observer called as ``hook(packet, now_ns)`` for every packet the host
+hands to its NIC for transmission."""
+
 
 class PacketHandler(Protocol):
     """A connection endpoint able to consume packets for its flow."""
@@ -44,6 +48,7 @@ class HostNIC:
         self._egress_fifo: deque[Packet] = deque()
         self._handlers: dict[int, PacketHandler] = {}
         self._ingress_hooks: list[IngressHook] = []
+        self._egress_hooks: list[EgressHook] = []
         self.bytes_received = 0
         self.packets_received = 0
         self.bytes_sent = 0
@@ -60,9 +65,23 @@ class HostNIC:
             raise ValueError(f"{self.name}: flow {flow_id} already registered")
         self._handlers[flow_id] = handler
 
-    def add_ingress_hook(self, hook: IngressHook) -> None:
+    def add_ingress_hook(self, hook: IngressHook) -> IngressHook:
         """Observe every delivered packet (measurement tap)."""
         self._ingress_hooks.append(hook)
+        return hook
+
+    def remove_ingress_hook(self, hook: IngressHook) -> None:
+        """Stop observing ingress. Raises ValueError if not registered."""
+        self._ingress_hooks.remove(hook)
+
+    def add_egress_hook(self, hook: EgressHook) -> EgressHook:
+        """Observe every packet queued for transmission (measurement tap)."""
+        self._egress_hooks.append(hook)
+        return hook
+
+    def remove_egress_hook(self, hook: EgressHook) -> None:
+        """Stop observing egress. Raises ValueError if not registered."""
+        self._egress_hooks.remove(hook)
 
     # --- egress ----------------------------------------------------------
 
@@ -76,6 +95,10 @@ class HostNIC:
         if self.egress_link is None:
             raise RuntimeError(f"{self.name}: send before connect()")
         self.bytes_sent += packet.size_bytes
+        if self._egress_hooks:
+            now = self._sim.now
+            for hook in tuple(self._egress_hooks):
+                hook(packet, now)
         self._egress_fifo.append(packet)
         self._pump()
 

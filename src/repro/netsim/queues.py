@@ -15,10 +15,16 @@ paper's configuration of the NS3 model:
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.netsim.buffers import BufferPool
 from repro.netsim.packet import Packet
+
+QueueWatcher = Callable[[str, "DropTailQueue", Packet], None]
+"""Observer called as ``watcher(event, queue, packet)`` where ``event`` is
+``"enqueue"``, ``"drop"`` or ``"dequeue"``. Enqueue watchers see the queue
+*after* the packet was appended (so ``queue.len_packets`` is the depth the
+packet produced), and a CE-marked packet is visible as such."""
 
 
 class QueueStats:
@@ -81,10 +87,23 @@ class DropTailQueue:
         DropTailQueue._next_queue_id += 1
         self._fifo: deque[Packet] = deque()
         self._len_bytes = 0
+        self._watchers: list[QueueWatcher] = []
         self.stats = QueueStats()
 
     def __len__(self) -> int:
         return len(self._fifo)
+
+    # --- observation -----------------------------------------------------
+
+    def add_watcher(self, watcher: QueueWatcher) -> QueueWatcher:
+        """Observe every enqueue/drop/dequeue (measurement tap); returns
+        ``watcher`` for later :meth:`remove_watcher`."""
+        self._watchers.append(watcher)
+        return watcher
+
+    def remove_watcher(self, watcher: QueueWatcher) -> None:
+        """Stop observing. Raises ValueError if not registered."""
+        self._watchers.remove(watcher)
 
     @property
     def len_packets(self) -> int:
@@ -115,6 +134,9 @@ class DropTailQueue:
         if self._would_overflow(packet) or not self._pool_admit(packet):
             self.stats.dropped_packets += 1
             self.stats.dropped_bytes += packet.size_bytes
+            if self._watchers:
+                for watcher in tuple(self._watchers):
+                    watcher("drop", self, packet)
             return False
         if (self.ecn_threshold_packets is not None and packet.ecn_capable
                 and len(self._fifo) >= self.ecn_threshold_packets):
@@ -129,6 +151,9 @@ class DropTailQueue:
             self.stats.max_len_packets = len(self._fifo)
         if self._len_bytes > self.stats.max_len_bytes:
             self.stats.max_len_bytes = self._len_bytes
+        if self._watchers:
+            for watcher in tuple(self._watchers):
+                watcher("enqueue", self, packet)
         return True
 
     def _pool_admit(self, packet: Packet) -> bool:
@@ -147,6 +172,9 @@ class DropTailQueue:
         self.stats.dequeued_bytes += packet.size_bytes
         if self.pool is not None:
             self.pool.release(self.queue_id, packet.size_bytes)
+        if self._watchers:
+            for watcher in tuple(self._watchers):
+                watcher("dequeue", self, packet)
         return packet
 
     def __repr__(self) -> str:

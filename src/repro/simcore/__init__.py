@@ -10,18 +10,24 @@ This package is the substrate on which the packet-level network model
   :class:`~repro.simcore.kernel.Timer` objects (used for TCP RTOs).
 - :class:`~repro.simcore.random.RngHub` — named, seeded random substreams so
   each stochastic component draws from its own reproducible stream.
+- :class:`~repro.simcore.hooks.HookRegistry` — named observer channels;
+  every :class:`Simulator` carries one as ``sim.hooks`` for the telemetry
+  layer and other observers.
 - :mod:`repro.simcore.trace` — lightweight time-series probes and counters.
 """
 
 from repro.simcore.event import Event, EventQueue
-from repro.simcore.kernel import Simulator, Timer
+from repro.simcore.hooks import HookRegistry
+from repro.simcore.kernel import Simulator, StopReason, Timer
 from repro.simcore.random import RngHub
 from repro.simcore.trace import Counter, PeriodicProbe, TimeSeries
 
 __all__ = [
     "Event",
     "EventQueue",
+    "HookRegistry",
     "Simulator",
+    "StopReason",
     "Timer",
     "RngHub",
     "Counter",

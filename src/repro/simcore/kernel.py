@@ -9,9 +9,11 @@ timeouts (TCP RTO, delayed-ACK) need.
 
 from __future__ import annotations
 
+import enum
 from typing import Any, Callable, Optional
 
 from repro.simcore.event import Event, EventQueue
+from repro.simcore.hooks import HookRegistry
 
 _total_events_processed = 0
 
@@ -36,6 +38,14 @@ class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. scheduling into the past)."""
 
 
+class StopReason(enum.Enum):
+    """Why :meth:`Simulator.run` returned."""
+
+    DRAINED = "drained"        # the event queue emptied
+    UNTIL = "until"            # until_ns reached; later events remain queued
+    MAX_EVENTS = "max_events"  # the event budget ran out mid-stream
+
+
 class Simulator:
     """Event loop with integer-nanosecond virtual time.
 
@@ -44,11 +54,17 @@ class Simulator:
         >>> fired = []
         >>> _ = sim.schedule(100, fired.append, (1,))
         >>> _ = sim.schedule(50, fired.append, (2,))
-        >>> sim.run()
+        >>> sim.run().name
+        'DRAINED'
         >>> fired
         [2, 1]
         >>> sim.now
         100
+
+    Attributes:
+        hooks: Named-channel observer registry. Instrumented components
+            (TCP endpoints, the telemetry layer) emit lifecycle events
+            here; emission with no subscribers costs one dict lookup.
     """
 
     def __init__(self) -> None:
@@ -56,6 +72,7 @@ class Simulator:
         self._now = 0
         self._events_processed = 0
         self._running = False
+        self.hooks = HookRegistry()
 
     @property
     def now(self) -> int:
@@ -115,12 +132,17 @@ class Simulator:
         return True
 
     def run(self, until_ns: Optional[int] = None,
-            max_events: Optional[int] = None) -> None:
+            max_events: Optional[int] = None) -> StopReason:
         """Run until the queue drains, ``until_ns`` is reached, or
-        ``max_events`` more events have fired.
+        ``max_events`` more events have fired; returns why it stopped.
 
-        When stopping on ``until_ns``, virtual time is advanced to exactly
-        ``until_ns`` and any event scheduled for a later time remains queued.
+        When stopping because the queue drained or ``until_ns`` was
+        reached, virtual time is advanced to exactly ``until_ns`` (when
+        given) and any event scheduled for a later time remains queued.
+        When stopping on :data:`StopReason.MAX_EVENTS`, runnable events at
+        or before ``until_ns`` remain queued, so virtual time stays at the
+        last fired event — advancing it would move those events into the
+        past.
         """
         if self._running:
             raise SimulationError("run() re-entered from within an event")
@@ -128,17 +150,22 @@ class Simulator:
         fired = 0
         try:
             while True:
-                if max_events is not None and fired >= max_events:
-                    return
                 next_time = self._queue.peek_time()
                 if next_time is None:
+                    reason = StopReason.DRAINED
                     break
                 if until_ns is not None and next_time > until_ns:
+                    reason = StopReason.UNTIL
+                    break
+                if max_events is not None and fired >= max_events:
+                    reason = StopReason.MAX_EVENTS
                     break
                 self.step()
                 fired += 1
-            if until_ns is not None and until_ns > self._now:
+            if (reason is not StopReason.MAX_EVENTS
+                    and until_ns is not None and until_ns > self._now):
                 self._now = until_ns
+            return reason
         finally:
             self._running = False
 

@@ -16,6 +16,13 @@ so the sender's marked-byte accounting stays exact.
 Connections are persistent: there is no handshake or teardown (the paper's
 workloads reuse connections across bursts, which is what makes CWND state
 carry over and diverge at burst boundaries — Section 4.3).
+
+Both endpoints emit flow lifecycle events into ``sim.hooks`` (see
+:mod:`repro.simcore.hooks`) on the channels ``flow.open``,
+``flow.first_byte``, ``flow.alpha``, ``flow.rto`` and ``flow.close`` —
+the per-flow signals the telemetry layer (:mod:`repro.telemetry`) records.
+Emission is observer-gated: with no subscribers the cost is one dict
+lookup, and behaviour is bit-identical to an uninstrumented stack.
 """
 
 from __future__ import annotations
@@ -103,6 +110,18 @@ class TcpSender:
                                 config.max_rto_ns)
         self._timer = Timer(sim, self._on_rto)
         self.stats = SenderStats()
+
+        # Telemetry: locate the innermost CCA carrying DCTCP's alpha state
+        # (unwrapping guardrail-style decorators) so window-completion
+        # alpha updates can be emitted as flow.alpha events.
+        inner = cca
+        while getattr(inner, "inner", None) is not None:
+            inner = inner.inner  # type: ignore[union-attr]
+        self._alpha_cca = (inner if hasattr(inner, "alpha")
+                           and hasattr(inner, "windows_completed") else None)
+        self._alpha_windows_seen = getattr(inner, "windows_completed", 0)
+        sim.hooks.emit("flow.open", flow_id, host.address, dst_address,
+                       sim.now)
 
     # --- queries ---------------------------------------------------------
 
@@ -291,6 +310,18 @@ class TcpSender:
             self._timer.start(self.current_rto_ns())
         else:
             self._timer.stop()
+        hooks = self._sim.hooks
+        if hooks.any_active:
+            if self._alpha_cca is not None:
+                windows = self._alpha_cca.windows_completed
+                if windows != self._alpha_windows_seen:
+                    self._alpha_windows_seen = windows
+                    hooks.emit("flow.alpha", self.flow_id,
+                               self._host.address, self._alpha_cca.alpha,
+                               now)
+            if self.snd_una >= self._demand_end:
+                hooks.emit("flow.close", self.flow_id, self._host.address,
+                           now)
 
     def _on_dup_ack(self, ece: bool, now: int) -> None:
         if self.inflight_bytes == 0:
@@ -360,6 +391,8 @@ class TcpSender:
         # Go-back-N: rewind and resend from the last cumulative ACK.
         self.snd_nxt = self.snd_una
         self._rto_backoff = min(self._rto_backoff * 2, _MAX_RTO_BACKOFF)
+        self._sim.hooks.emit("flow.rto", self.flow_id, self._host.address,
+                             self._rto_backoff, self._sim.now)
         self._timer.start(self.current_rto_ns())
         self._retransmit_after_rto()
 
@@ -417,6 +450,7 @@ class TcpReceiver:
         # Controllers (e.g. the ICTCP-like throttle) mutate this at runtime.
         self.advertised_window_bytes = config.receiver_window_bytes
         self.stats = ReceiverStats()
+        self._first_byte_emitted = False
 
         # Delayed-ACK state (DCTCP receiver state machine).
         self._pending_acks = 0
@@ -451,6 +485,10 @@ class TcpReceiver:
         else:
             self._send_ack(ce)
         if advanced:
+            if not self._first_byte_emitted:
+                self._first_byte_emitted = True
+                self._sim.hooks.emit("flow.first_byte", self.flow_id,
+                                     self._host.address, self._sim.now)
             for hook in self._hooks:
                 hook(self.rcv_nxt)
 

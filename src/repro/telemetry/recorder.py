@@ -1,0 +1,421 @@
+"""Millisampler-style in-simulation recorder.
+
+A :class:`TelemetryRecorder` is created alongside a :class:`Simulator` and
+taps the observation points the substrate exposes:
+
+- ``sim.hooks`` flow-lifecycle channels (see :data:`FLOW_CHANNELS`),
+- :meth:`HostNIC.add_ingress_hook` / :meth:`HostNIC.add_egress_hook` per
+  attached host,
+- :meth:`DropTailQueue.add_watcher` per attached queue.
+
+Per attached host it accumulates, per fixed interval (default 1 ms, the
+Millisampler granularity), ingress bytes, egress bytes, distinct active
+flows, CE-marked ingress bytes, and retransmitted egress bytes. Per
+attached queue it records the peak occupancy each interval reached. All
+accumulation is sparse (interval-index dicts) during the run and densified
+into numpy arrays at :meth:`TelemetryRecorder.export` time.
+
+Every subscription is remembered so :meth:`TelemetryRecorder.detach` can
+restore the simulation to an unobserved state — tests rely on this to show
+that attach/detach round-trips leave no residue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro import units
+from repro.netsim.host import Host
+from repro.netsim.packet import ECN, Packet
+from repro.netsim.queues import DropTailQueue
+from repro.simcore.kernel import Simulator
+
+FLOW_CHANNELS = ("flow.open", "flow.first_byte", "flow.alpha", "flow.rto",
+                 "flow.close")
+"""Hook channels emitted by :mod:`repro.tcp.connection` that the recorder
+subscribes to."""
+
+DEFAULT_EVENT_CAP = 100_000
+"""Lifecycle events retained before the recorder starts counting drops
+instead of appending (keeps worst-case memory bounded)."""
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One flow lifecycle event.
+
+    ``value`` carries the channel's extra datum: the destination address for
+    ``flow.open``, the new alpha for ``flow.alpha``, the RTO backoff
+    exponent for ``flow.rto``, and ``0.0`` otherwise.
+    """
+
+    time_ns: int
+    kind: str
+    flow_id: int
+    host: int
+    value: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"time_ns": self.time_ns, "kind": self.kind,
+                "flow_id": self.flow_id, "host": self.host,
+                "value": self.value}
+
+
+@dataclass
+class HostSeries:
+    """Dense per-interval series for one host (Millisampler's record).
+
+    ``marked_bytes`` counts CE-marked *ingress* bytes (the direction ECN
+    marks are observable from a host); ``retransmit_bytes`` counts
+    retransmitted-segment bytes crossing the host in either direction, so
+    the series is populated both at senders (which emit retransmissions)
+    and at the incast receiver (which absorbs them).
+    """
+
+    name: str
+    address: int
+    ingress_bytes: np.ndarray
+    egress_bytes: np.ndarray
+    flow_count: np.ndarray
+    marked_bytes: np.ndarray
+    retransmit_bytes: np.ndarray
+
+    SIGNALS = ("ingress_bytes", "egress_bytes", "flow_count", "marked_bytes",
+               "retransmit_bytes")
+
+    def to_dict(self) -> dict:
+        out: dict = {"address": self.address}
+        for signal in self.SIGNALS:
+            series = getattr(self, signal)
+            out[signal] = [int(v) for v in series]
+            out[f"total_{signal}"] = int(series.sum())
+        return out
+
+
+@dataclass
+class QueueSeries:
+    """Per-interval peak occupancy for one queue."""
+
+    name: str
+    capacity_packets: Optional[int]
+    peak_packets: np.ndarray
+
+    def to_dict(self) -> dict:
+        return {"capacity_packets": self.capacity_packets,
+                "peak_packets": [int(v) for v in self.peak_packets],
+                "max_peak_packets": int(self.peak_packets.max())
+                if self.peak_packets.size else 0}
+
+
+@dataclass
+class TelemetryCapture:
+    """Picklable snapshot of everything a recorder observed.
+
+    This is what rides back from a worker process inside a work-unit
+    payload, lands in the result cache, and (as :meth:`to_dict`) in
+    ``run_report.json``.
+    """
+
+    interval_ns: int
+    n_intervals: int
+    hosts: dict[str, HostSeries] = field(default_factory=dict)
+    queues: dict[str, QueueSeries] = field(default_factory=dict)
+    events: list[FlowEvent] = field(default_factory=list)
+    events_dropped: int = 0
+    event_counts: dict[str, int] = field(default_factory=dict)
+
+    def renumbered(self, addr_map: dict[int, int],
+                   flow_map: dict[int, int]) -> "TelemetryCapture":
+        """A copy with host addresses and flow ids rewritten to sim-local
+        values.
+
+        Hosts and flows draw their raw ids from process-global counters, so
+        the same simulation yields different ids depending on how many
+        simulations the worker process ran before it. Renumbering to
+        run-local ids (sender index, connection index) restores the
+        engine's contract that ``--jobs N`` output is byte-identical to
+        serial output. Ids absent from a map pass through unchanged; a
+        ``flow.open`` event's value (the destination address) is remapped
+        like any other address.
+        """
+        def remap_event(event: FlowEvent) -> FlowEvent:
+            value = event.value
+            if event.kind == "open":
+                value = float(addr_map.get(int(value), int(value)))
+            return replace(event,
+                           flow_id=flow_map.get(event.flow_id,
+                                                event.flow_id),
+                           host=addr_map.get(event.host, event.host),
+                           value=value)
+
+        return replace(
+            self,
+            hosts={name: replace(series,
+                                 address=addr_map.get(series.address,
+                                                      series.address))
+                   for name, series in self.hosts.items()},
+            events=[remap_event(e) for e in self.events],
+        )
+
+    def to_dict(self, max_events: int = 200) -> dict:
+        """JSON-ready form; the event log is truncated to ``max_events``
+        entries (counts stay exact)."""
+        return {
+            "interval_ns": self.interval_ns,
+            "n_intervals": self.n_intervals,
+            "hosts": {name: series.to_dict()
+                      for name, series in self.hosts.items()},
+            "queues": {name: series.to_dict()
+                       for name, series in self.queues.items()},
+            "event_counts": dict(self.event_counts),
+            "n_events": len(self.events) + self.events_dropped,
+            "events_dropped": self.events_dropped,
+            "events": [e.to_dict() for e in self.events[:max_events]],
+        }
+
+
+class _HostAccum:
+    """Sparse per-interval accumulators for one host."""
+
+    __slots__ = ("name", "address", "ingress", "egress", "marked", "rtx",
+                 "flows", "hooks")
+
+    def __init__(self, name: str, address: int) -> None:
+        self.name = name
+        self.address = address
+        self.ingress: dict[int, int] = {}
+        self.egress: dict[int, int] = {}
+        self.marked: dict[int, int] = {}
+        self.rtx: dict[int, int] = {}
+        self.flows: dict[int, set[int]] = {}
+        self.hooks: list = []  # (unsubscribe-callable,) pairs, see detach
+
+    def max_index(self) -> int:
+        indices = [max(d) for d in (self.ingress, self.egress, self.marked,
+                                    self.rtx, self.flows) if d]
+        return max(indices) if indices else -1
+
+
+class _QueueAccum:
+    """Sparse per-interval peak occupancy for one queue."""
+
+    __slots__ = ("name", "capacity_packets", "peaks", "watcher", "queue")
+
+    def __init__(self, name: str, queue: DropTailQueue) -> None:
+        self.name = name
+        self.capacity_packets = queue.capacity_packets
+        self.peaks: dict[int, int] = {}
+        self.watcher = None
+        self.queue = queue
+
+    def max_index(self) -> int:
+        return max(self.peaks) if self.peaks else -1
+
+
+class TelemetryRecorder:
+    """Record Millisampler-style interval series from a live simulation.
+
+    Usage::
+
+        recorder = TelemetryRecorder(sim)
+        recorder.attach()                     # flow lifecycle channels
+        recorder.attach_host(net.receiver)    # per-host byte/flow series
+        recorder.attach_queue(net.bottleneck_queue)
+        ... sim.run(...) ...
+        capture = recorder.export()
+
+    Args:
+        sim: The simulator whose clock and hook registry to observe.
+        interval_ns: Sampling interval; intervals are aligned to t=0, so
+            interval ``k`` covers ``[k*interval_ns, (k+1)*interval_ns)``.
+        event_cap: Maximum lifecycle events retained verbatim.
+    """
+
+    def __init__(self, sim: Simulator,
+                 interval_ns: int = units.msec(1.0),
+                 event_cap: int = DEFAULT_EVENT_CAP):
+        if interval_ns <= 0:
+            raise ValueError("interval_ns must be positive")
+        self._sim = sim
+        self.interval_ns = int(interval_ns)
+        self.event_cap = event_cap
+        self._hosts: dict[str, _HostAccum] = {}
+        self._queues: dict[str, _QueueAccum] = {}
+        self._events: list[FlowEvent] = []
+        self._events_dropped = 0
+        self._event_counts: dict[str, int] = {}
+        self._flow_handlers: dict[str, object] = {}
+        self._attached = False
+
+    # --- wiring -----------------------------------------------------------
+
+    def attach(self) -> None:
+        """Subscribe to the flow lifecycle channels on ``sim.hooks``."""
+        if self._attached:
+            raise RuntimeError("recorder already attached")
+        handlers = {
+            "flow.open": self._on_flow_open,
+            "flow.first_byte": self._on_flow_simple("first_byte"),
+            "flow.alpha": self._on_flow_valued("alpha"),
+            "flow.rto": self._on_flow_valued("rto"),
+            "flow.close": self._on_flow_simple("close"),
+        }
+        for channel, handler in handlers.items():
+            self._sim.hooks.subscribe(channel, handler)
+        self._flow_handlers = handlers
+        self._attached = True
+
+    def attach_host(self, host: Host, name: Optional[str] = None) -> None:
+        """Record per-interval ingress/egress/flow/mark/retransmit series
+        for ``host``."""
+        label = name or host.name
+        if label in self._hosts:
+            raise ValueError(f"host {label!r} already attached")
+        accum = _HostAccum(label, host.address)
+
+        def on_ingress(packet: Packet, now: int) -> None:
+            idx = now // self.interval_ns
+            size = packet.size_bytes
+            accum.ingress[idx] = accum.ingress.get(idx, 0) + size
+            if packet.ecn == ECN.CE:
+                accum.marked[idx] = accum.marked.get(idx, 0) + size
+            if packet.is_retransmit:
+                accum.rtx[idx] = accum.rtx.get(idx, 0) + size
+            accum.flows.setdefault(idx, set()).add(packet.flow_id)
+
+        def on_egress(packet: Packet, now: int) -> None:
+            idx = now // self.interval_ns
+            size = packet.size_bytes
+            accum.egress[idx] = accum.egress.get(idx, 0) + size
+            if packet.is_retransmit:
+                accum.rtx[idx] = accum.rtx.get(idx, 0) + size
+            accum.flows.setdefault(idx, set()).add(packet.flow_id)
+
+        host.nic.add_ingress_hook(on_ingress)
+        host.nic.add_egress_hook(on_egress)
+        accum.hooks = [
+            lambda: host.nic.remove_ingress_hook(on_ingress),
+            lambda: host.nic.remove_egress_hook(on_egress),
+        ]
+        self._hosts[label] = accum
+
+    def attach_queue(self, queue: DropTailQueue,
+                     name: Optional[str] = None) -> None:
+        """Record per-interval peak occupancy of ``queue``."""
+        label = name or queue.name
+        if label in self._queues:
+            raise ValueError(f"queue {label!r} already attached")
+        accum = _QueueAccum(label, queue)
+
+        def on_queue_event(event: str, q: DropTailQueue,
+                           packet: Packet) -> None:
+            if event != "enqueue":
+                return
+            idx = self._sim.now // self.interval_ns
+            depth = q.len_packets
+            if depth > accum.peaks.get(idx, 0):
+                accum.peaks[idx] = depth
+
+        queue.add_watcher(on_queue_event)
+        accum.watcher = on_queue_event
+        self._queues[label] = accum
+
+    def detach(self) -> None:
+        """Remove every subscription this recorder installed.
+
+        After this call the simulator, NICs and queues carry no trace of
+        the recorder; recorded data stays available for :meth:`export`.
+        """
+        if self._attached:
+            for channel, handler in self._flow_handlers.items():
+                self._sim.hooks.unsubscribe(channel, handler)
+            self._flow_handlers = {}
+            self._attached = False
+        for accum in self._hosts.values():
+            for undo in accum.hooks:
+                undo()
+            accum.hooks = []
+        for qaccum in self._queues.values():
+            if qaccum.watcher is not None:
+                qaccum.queue.remove_watcher(qaccum.watcher)
+                qaccum.watcher = None
+
+    # --- flow lifecycle handlers -----------------------------------------
+
+    def _record_event(self, event: FlowEvent) -> None:
+        self._event_counts[event.kind] = \
+            self._event_counts.get(event.kind, 0) + 1
+        if len(self._events) < self.event_cap:
+            self._events.append(event)
+        else:
+            self._events_dropped += 1
+
+    def _on_flow_open(self, flow_id: int, src: int, dst: int,
+                      t_ns: int) -> None:
+        self._record_event(FlowEvent(t_ns, "open", flow_id, src,
+                                     value=float(dst)))
+
+    def _on_flow_simple(self, kind: str):
+        def handler(flow_id: int, host: int, t_ns: int) -> None:
+            self._record_event(FlowEvent(t_ns, kind, flow_id, host))
+        return handler
+
+    def _on_flow_valued(self, kind: str):
+        def handler(flow_id: int, host: int, value: float,
+                    t_ns: int) -> None:
+            self._record_event(FlowEvent(t_ns, kind, flow_id, host,
+                                         value=float(value)))
+        return handler
+
+    # --- export -----------------------------------------------------------
+
+    def export(self) -> TelemetryCapture:
+        """Densify accumulators into a :class:`TelemetryCapture`.
+
+        Series share one global length (the latest interval any signal
+        touched, across all hosts and queues), so per-host arrays line up
+        index-for-index.
+        """
+        max_idx = -1
+        for accum in self._hosts.values():
+            max_idx = max(max_idx, accum.max_index())
+        for qaccum in self._queues.values():
+            max_idx = max(max_idx, qaccum.max_index())
+        n = max_idx + 1
+
+        def densify(sparse: dict[int, int]) -> np.ndarray:
+            dense = np.zeros(n, dtype=np.int64)
+            for idx, value in sparse.items():
+                dense[idx] = value
+            return dense
+
+        hosts = {}
+        for label, accum in self._hosts.items():
+            hosts[label] = HostSeries(
+                name=label,
+                address=accum.address,
+                ingress_bytes=densify(accum.ingress),
+                egress_bytes=densify(accum.egress),
+                flow_count=densify(
+                    {idx: len(s) for idx, s in accum.flows.items()}),
+                marked_bytes=densify(accum.marked),
+                retransmit_bytes=densify(accum.rtx),
+            )
+        queues = {
+            label: QueueSeries(name=label,
+                               capacity_packets=qaccum.capacity_packets,
+                               peak_packets=densify(qaccum.peaks))
+            for label, qaccum in self._queues.items()
+        }
+        return TelemetryCapture(
+            interval_ns=self.interval_ns,
+            n_intervals=n,
+            hosts=hosts,
+            queues=queues,
+            events=list(self._events),
+            events_dropped=self._events_dropped,
+            event_counts=dict(self._event_counts),
+        )

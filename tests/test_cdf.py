@@ -26,6 +26,10 @@ class TestEvaluate:
         cdf = EmpiricalCdf([0.0, 0.0, 1.0, 1.0])
         assert cdf.fraction_at_or_below(0.0) == 0.5
 
+    def test_nan_samples_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            EmpiricalCdf([1.0, float("nan"), 3.0], name="bct")
+
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
                     max_size=200),
            st.floats(min_value=-1e6, max_value=1e6),
@@ -38,10 +42,22 @@ class TestEvaluate:
 
 class TestPercentiles:
     def test_median_and_tails(self):
+        # inverted_cdf percentiles: always an observed sample, never an
+        # interpolated value (the default linear method would give 50.5).
         cdf = EmpiricalCdf(range(1, 101))
-        assert cdf.median() == pytest.approx(50.5)
-        assert cdf.percentile(99) == pytest.approx(np.percentile(
-            np.arange(1, 101), 99))
+        assert cdf.median() == pytest.approx(50.0)
+        assert cdf.percentile(99) == pytest.approx(99.0)
+
+    def test_percentile_is_observed_sample(self):
+        samples = [0.5, 2.5, 7.0, 11.0, 40.0]
+        cdf = EmpiricalCdf(samples)
+        for p in (1, 25, 50, 75, 90, 99, 100):
+            assert cdf.percentile(p) in samples
+
+    def test_percentile_consistent_with_evaluate(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 4.0, 8.0])
+        for p in (25, 50, 75, 100):
+            assert cdf.evaluate(cdf.percentile(p)) >= p / 100.0
 
     def test_invalid_percentile(self):
         with pytest.raises(ValueError):

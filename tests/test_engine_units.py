@@ -3,6 +3,7 @@ RunReport."""
 
 from __future__ import annotations
 
+import os
 import pickle
 from pathlib import Path
 
@@ -110,6 +111,44 @@ class TestResultCache:
     def test_default_dir_honours_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
         assert default_cache_dir() == tmp_path / "alt"
+
+    @staticmethod
+    def _plant_stale_tmp(cache: ResultCache, key: str,
+                         pid: int = 999_999_999) -> Path:
+        # The spill-file name put() would use, from a writer PID that is
+        # guaranteed dead (beyond any real pid_max).
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{pid}.tmp")
+        tmp.write_bytes(b"interrupted write")
+        return tmp
+
+    def test_clear_removes_stale_tmp_files(self, tmp_path: Path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("aa" + "0" * 62, 1)
+        tmp = self._plant_stale_tmp(cache, "bb" + "0" * 62)
+        assert cache.clear() == 2
+        assert not tmp.exists()
+
+    def test_sweep_stale_removes_dead_writers_tmp(self, tmp_path: Path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("aa" + "0" * 62, 1)
+        tmp = self._plant_stale_tmp(cache, "bb" + "0" * 62)
+        assert cache.sweep_stale() == 1
+        assert not tmp.exists()
+        assert cache.get("aa" + "0" * 62) == 1  # real entries untouched
+
+    def test_sweep_stale_keeps_live_writers_tmp(self, tmp_path: Path):
+        cache = ResultCache(directory=tmp_path)
+        tmp = self._plant_stale_tmp(cache, "cc" + "0" * 62, pid=os.getpid())
+        assert cache.sweep_stale() == 0
+        assert tmp.exists()
+
+    def test_sweep_stale_noop_when_disabled_or_missing(self, tmp_path: Path):
+        disabled = ResultCache(directory=tmp_path, enabled=False)
+        assert disabled.sweep_stale() == 0
+        missing = ResultCache(directory=tmp_path / "never_created")
+        assert missing.sweep_stale() == 0
 
     def test_payloads_roundtrip_pickle(self, tmp_path: Path):
         cache = ResultCache(directory=tmp_path)

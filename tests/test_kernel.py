@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.simcore.kernel import SimulationError, Simulator, Timer
+from repro.simcore.kernel import (SimulationError, Simulator, StopReason,
+                                  Timer)
 
 
 class TestScheduling:
@@ -95,6 +96,47 @@ class TestRunControl:
         sim.schedule(1, bad)
         with pytest.raises(SimulationError):
             sim.run()
+
+
+class TestStopReason:
+    def test_drained(self, sim):
+        sim.schedule(10, lambda: None)
+        assert sim.run() is StopReason.DRAINED
+        assert sim.now == 10
+
+    def test_until(self, sim):
+        sim.schedule(100, lambda: None)
+        assert sim.run(until_ns=50) is StopReason.UNTIL
+        assert sim.now == 50
+
+    def test_until_with_empty_queue_is_drained(self, sim):
+        # until_ns was reached because there was nothing left, not because
+        # a later event was deferred: the horizon still advances the clock.
+        assert sim.run(until_ns=1234) is StopReason.DRAINED
+        assert sim.now == 1234
+
+    def test_max_events_budget(self, sim):
+        for i in range(5):
+            sim.schedule(i + 1, lambda: None)
+        assert sim.run(max_events=2) is StopReason.MAX_EVENTS
+        assert sim.now == 2
+        assert sim.pending_events == 3
+
+    def test_max_events_does_not_jump_to_until(self, sim):
+        # The docstring contract: a budget stop must NOT advance the clock
+        # to until_ns — the remaining events would then be in the past.
+        for i in range(5):
+            sim.schedule(i + 1, lambda: None)
+        assert sim.run(until_ns=1000, max_events=2) is StopReason.MAX_EVENTS
+        assert sim.now == 2
+        assert sim.run(until_ns=1000) is StopReason.DRAINED
+        assert sim.now == 1000
+
+    def test_exact_budget_with_drained_queue(self, sim):
+        # Queue empties exactly as the budget is reached: the drain wins.
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        assert sim.run(max_events=2) is StopReason.DRAINED
 
 
 class TestTimer:
