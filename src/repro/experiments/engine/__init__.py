@@ -1,4 +1,4 @@
-"""Parallel, cached experiment-execution engine.
+"""Parallel, cached, fault-tolerant experiment-execution engine.
 
 Every experiment decomposes into independent *work units* (one flow-count
 point, one service's campaign slice, one figure panel, ...) via its module's
@@ -13,27 +13,48 @@ engine:
   fig2/fig4 daily campaign is generated once, not twice);
 - memoizes finished payloads in an on-disk content-addressed cache keyed by
   ``(unit fn, params, scale, seed, repro.__version__)``;
-- reports per-unit wall time, simulator events processed, cache hit/miss
-  counts and worker usage in a structured :class:`RunReport`.
+- survives partial failure: failed attempts retry with exponential
+  backoff (``retries``), hung units are reaped by a per-unit wall-clock
+  timeout (``unit_timeout_s``), a crashed worker only costs a pool
+  respawn and the units that were in flight, and ``keep_going`` degrades
+  a permanent unit failure into the loss of exactly the experiments that
+  merge it (recorded in the report's ``failures`` section);
+- reports per-unit wall time, attempts, simulator events processed, cache
+  hit/miss counts, worker usage, pool respawns and permanent failures in
+  a structured :class:`RunReport`.
 
 Because every RNG stream in the reproduction is derived from ``(seed,
 stream-name)`` (see :class:`repro.simcore.random.RngHub`), unit payloads are
-independent of execution order and worker placement, which is what makes
-``--jobs N`` results identical to ``--jobs 1``.
+independent of execution order, worker placement and retry count, which is
+what makes ``--jobs N`` results identical to ``--jobs 1`` and
+fault-recovered runs identical to fault-free ones.
+
+Chaos testing hooks live in :mod:`repro.experiments.engine.faults`:
+deterministic crash/hang/flaky fault specs threaded into workers, off by
+default and invisible to cache keys.
 """
 
 from repro.experiments.engine.cache import ResultCache
-from repro.experiments.engine.core import (EXPERIMENT_MODULES, run_experiment,
-                                           run_experiments)
-from repro.experiments.engine.report import RunReport, UnitReport
+from repro.experiments.engine.core import (EXPERIMENT_MODULES, CampaignError,
+                                           run_experiment, run_experiments)
+from repro.experiments.engine.faults import (FaultInjected, FaultSpec,
+                                             faults_from_env, parse_faults)
+from repro.experiments.engine.report import (FailureRecord, RunReport,
+                                             UnitReport)
 from repro.experiments.engine.spec import WorkUnit
 
 __all__ = [
     "EXPERIMENT_MODULES",
+    "CampaignError",
+    "FailureRecord",
+    "FaultInjected",
+    "FaultSpec",
     "ResultCache",
     "RunReport",
     "UnitReport",
     "WorkUnit",
+    "faults_from_env",
+    "parse_faults",
     "run_experiment",
     "run_experiments",
 ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 import pickle
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Iterable, Optional, Union
 
 import repro
 
@@ -131,23 +131,29 @@ class ResultCache:
                     pass
         return removed
 
-    def sweep_stale(self) -> int:
+    def sweep_stale(self, pids: Optional[Iterable[int]] = None) -> int:
         """Remove leftover ``.<key>.pkl.<pid>.tmp`` spill files.
 
         A worker killed mid-:meth:`put` (before ``os.replace``) leaks its
         temp file; nothing ever reads those, so any that exist are garbage.
-        The engine calls this once per invocation at startup. Only files
-        whose writer PID is *not* a live process are removed, so a
-        concurrent run sharing the cache directory keeps its in-flight
-        writes. Returns the number of files removed; no-op when disabled
-        or the cache directory does not exist yet.
+        The engine calls this once per invocation at startup, and again
+        whenever it kills a worker pool (crash recovery, unit timeout,
+        Ctrl-C). Only files whose writer PID is *not* a live process are
+        removed, so a concurrent run sharing the cache directory keeps its
+        in-flight writes; ``pids`` names writers the caller *knows* are
+        dead (the pool workers it just reaped), which are swept even if
+        the PID was already reused by an unrelated process. Returns the
+        number of files removed; no-op when disabled or the cache
+        directory does not exist yet.
         """
         if not self.enabled or not self.directory.exists():
             return 0
+        known_dead = frozenset(pids or ())
         removed = 0
         for entry in sorted(self.directory.rglob(".*.tmp")):
             pid = _writer_pid(entry.name)
-            if pid is not None and _pid_alive(pid):
+            if (pid is not None and pid not in known_dead
+                    and _pid_alive(pid)):
                 continue
             try:
                 entry.unlink()

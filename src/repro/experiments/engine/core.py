@@ -1,4 +1,4 @@
-"""Engine core: plan work units, fan out, memoize, merge.
+"""Engine core: plan work units, fan out, memoize, merge — and survive.
 
 The execution model:
 
@@ -12,25 +12,51 @@ The execution model:
 5. each experiment's ``merge(units, payloads, scale=..., seed=...)``
    reassembles its :class:`~repro.experiments.result.ExperimentResult`.
 
+Fault tolerance (campaigns on real fleets lose hosts, and the paper's
+Section 3 results only exist because collection tolerates that):
+
+- a failed attempt (worker exception, worker crash, or unit wall-clock
+  timeout) is retried up to ``retries`` times with exponential backoff;
+- a worker crash breaks the whole :class:`ProcessPoolExecutor`; the
+  engine kills the carcass, respawns a fresh pool and requeues **only**
+  the units that were in flight — completed payloads are kept, queued
+  units never notice;
+- a unit that exceeds ``unit_timeout_s`` is charged a failed attempt;
+  since a hung worker cannot be cancelled individually, the pool is
+  respawned and innocent in-flight units are requeued *uncharged*;
+- a unit that exhausts its attempts fails permanently: with
+  ``keep_going=False`` (default) the run aborts with
+  :class:`CampaignError`; with ``keep_going=True`` only the experiments
+  that merge that unit's payload fail — everything else still merges,
+  and the failure is recorded in the run report's ``failures`` section.
+
 Determinism: units derive every RNG stream from ``(seed, name)`` (see
 :class:`repro.simcore.random.RngHub`), so payloads do not depend on worker
-placement or completion order, and merges consume payloads in planning
-order. ``--jobs N`` therefore reproduces ``--jobs 1`` exactly.
+placement, completion order *or retry count*, and merges consume payloads
+in planning order. ``--jobs N`` therefore reproduces ``--jobs 1``
+exactly, and a run that recovered from faults is byte-identical to a
+fault-free one.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Any, Callable, Optional
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.experiments import (ablations, crossval, fig1, fig2, fig3, fig4,
                                fig5, fig6, fig7, table1)
 from repro.experiments.engine.cache import ResultCache
-from repro.experiments.engine.report import (SOURCE_CACHE, SOURCE_RUN,
-                                             SOURCE_SHARED, RunReport,
+from repro.experiments.engine.faults import FaultSpec, maybe_inject
+from repro.experiments.engine.report import (SOURCE_CACHE, SOURCE_FAILED,
+                                             SOURCE_RUN, SOURCE_SHARED,
+                                             FailureRecord, RunReport,
                                              UnitReport)
 from repro.experiments.engine.spec import WorkUnit
 from repro.experiments.result import ExperimentResult
@@ -54,6 +80,30 @@ EXPERIMENT_MODULES = {
 DEFAULT_TELEMETRY_INTERVAL_NS = 1_000_000
 """Millisampler's 1 ms sampling interval."""
 
+DEFAULT_RETRY_BACKOFF_S = 0.05
+"""Base delay before retry ``k`` (scaled by ``2**(k-1)``)."""
+
+
+class CampaignError(RuntimeError):
+    """A unit failed permanently and the run was not ``keep_going``.
+
+    Attributes:
+        failures: The :class:`FailureRecord` list (one entry here — the
+            engine aborts on the first permanent failure).
+        report: The partially filled :class:`RunReport`, so the CLI can
+            still render what happened (including the failures table).
+    """
+
+    def __init__(self, message: str, failures: list[FailureRecord],
+                 report: RunReport):
+        super().__init__(message)
+        self.failures = failures
+        self.report = report
+
+
+class _CampaignAbort(Exception):
+    """Internal: unwinds the execution phase on fail-fast."""
+
 
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a ``--jobs`` request (``None`` means every available CPU).
@@ -73,13 +123,21 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def execute_unit(unit: WorkUnit) -> tuple[Any, float, int, int]:
+def execute_unit(unit: WorkUnit, attempt: int = 0,
+                 faults: Sequence[FaultSpec] = ()) -> tuple[Any, float,
+                                                            int, int]:
     """Run one unit where we stand; returns
     ``(payload, wall_s, events_processed, pid)``.
 
     Used directly for serial execution and as the worker entry point for
     the process pool (it is module-level, hence picklable by reference).
+    ``attempt`` and ``faults`` exist for the injectable fault layer
+    (:mod:`repro.experiments.engine.faults`): they are execution context,
+    never part of the unit's identity, so they cannot influence
+    :meth:`WorkUnit.cache_key` or the payload of a successful run.
     """
+    if faults:
+        maybe_inject(unit, attempt, faults)
     fn = unit.resolve_fn()
     events_before = kernel.total_events_processed()
     started = time.perf_counter()
@@ -89,12 +147,285 @@ def execute_unit(unit: WorkUnit) -> tuple[Any, float, int, int]:
     return payload, wall_s, events, os.getpid()
 
 
+def _describe_exception(exc: BaseException) -> str:
+    """Full traceback text of ``exc`` (its own chain only)."""
+    return "".join(traceback.format_exception(type(exc), exc,
+                                              exc.__traceback__)).rstrip()
+
+
+def _summary_line(detail: str) -> str:
+    """Last non-empty line of a traceback/description, for table cells."""
+    lines = [line for line in detail.strip().splitlines() if line.strip()]
+    return lines[-1].strip() if lines else "unknown error"
+
+
+@dataclasses.dataclass(eq=False)
+class _Task:
+    """Mutable execution state of one pending unit (identity semantics)."""
+
+    unit: WorkUnit
+    key: str
+    attempts: int = 0  # charged (completed-and-failed) attempts so far
+    history: list[str] = dataclasses.field(default_factory=list)
+    last_error: str = ""
+    next_eligible: float = 0.0  # monotonic time the next attempt may start
+    started: float = 0.0        # monotonic submission time of this attempt
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> list[int]:
+    """Terminate a pool's workers and reap them; returns their PIDs.
+
+    ``shutdown(cancel_futures=True)`` alone never stops *running* work, so
+    hung or poisoned workers must be terminated directly. Termination is
+    escalated to SIGKILL for stragglers; afterwards every returned PID is
+    dead, which is what lets :meth:`ResultCache.sweep_stale` reclaim any
+    spill files the workers were writing.
+    """
+    processes = list(getattr(pool, "_processes", {}).values() or [])
+    pids = [proc.pid for proc in processes if proc.pid is not None]
+    for proc in processes:
+        with contextlib.suppress(Exception):
+            proc.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        with contextlib.suppress(Exception):
+            proc.join(timeout=5.0)
+    for proc in processes:
+        if proc.is_alive():
+            with contextlib.suppress(Exception):
+                proc.kill()
+                proc.join(timeout=5.0)
+    return pids
+
+
+def _execute_serial(
+        tasks: list[_Task], *, max_attempts: int, backoff_s: float,
+        faults: Sequence[FaultSpec],
+        on_success: Callable[[_Task, Any, float, int, int], None],
+        on_permanent_failure: Callable[[_Task], None]) -> None:
+    """The classic in-process path (``jobs == 1``), now with retries.
+
+    Wall-clock timeouts are not enforceable here — a hung unit would hang
+    the engine itself; ``unit_timeout_s`` therefore requires the pool
+    path (validated by the caller).
+    """
+    for task in tasks:
+        while True:
+            try:
+                payload, wall_s, events, pid = execute_unit(
+                    task.unit, attempt=task.attempts, faults=faults)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                detail = _describe_exception(exc)
+                task.attempts += 1
+                task.last_error = detail
+                task.history.append(f"attempt {task.attempts} error: "
+                                    f"{_summary_line(detail)}")
+                if task.attempts >= max_attempts:
+                    on_permanent_failure(task)
+                    break
+                if backoff_s > 0:
+                    time.sleep(backoff_s * (2 ** (task.attempts - 1)))
+            else:
+                on_success(task, payload, wall_s, events, pid)
+                break
+
+
+def _execute_pool(
+        tasks: list[_Task], *, workers: int,
+        unit_timeout_s: Optional[float], max_attempts: int,
+        backoff_s: float, faults: Sequence[FaultSpec], cache: ResultCache,
+        on_success: Callable[[_Task, Any, float, int, int], None],
+        on_permanent_failure: Callable[[_Task], None],
+        respawn_counter: list[int]) -> None:
+    """Fan ``tasks`` out over a (respawnable) process pool.
+
+    A worker crash breaks the whole :class:`ProcessPoolExecutor` and the
+    culprit is unknowable from outside — every in-flight future reports
+    the same :class:`BrokenProcessPool`. Charging all of them would let
+    one poison unit drain innocent units' retry budgets, so blame is
+    established by *quarantine*: the in-flight units are requeued
+    uncharged as suspects and probed one at a time in an otherwise idle
+    pool. A break with a single unit in flight is unambiguous — that
+    unit is charged, and the remaining suspects are presumed innocent
+    and released back to normal scheduling. Probing serializes a few
+    units after a crash, which is the price of never misattributing one.
+
+    Pool respawns are counted into ``respawn_counter[0]`` (a mutable
+    cell, so the count survives a fail-fast unwind). On any unwinding
+    exception (fail-fast abort, Ctrl-C) the pool's workers are killed
+    first and their spill files swept, so nothing orphaned outlives the
+    engine.
+    """
+    # Longest-expected-first: a dominant unit submitted late would
+    # serialize the end of the run. Stable sort, so equal hints keep
+    # plan order; results are keyed by unit, so scheduling order can
+    # never affect payloads or merges.
+    queue = sorted(tasks, key=lambda task: -task.unit.cost_hint)
+    active: dict[Future, _Task] = {}
+    # Crash suspects awaiting an isolated probe run (see docstring).
+    quarantine: list[_Task] = []
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def respawn() -> None:
+        nonlocal pool
+        dead = _kill_pool(pool)
+        cache.sweep_stale(pids=dead)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        respawn_counter[0] += 1
+
+    def charge_failure(task: _Task, kind: str, detail: str) -> None:
+        task.attempts += 1
+        task.last_error = detail
+        task.history.append(
+            f"attempt {task.attempts} {kind}: {_summary_line(detail)}")
+        if task.attempts >= max_attempts:
+            on_permanent_failure(task)  # raises _CampaignAbort on fail-fast
+            return
+        backoff = backoff_s * (2 ** (task.attempts - 1))
+        task.next_eligible = time.monotonic() + backoff
+        queue.append(task)
+
+    def submit(task: _Task) -> bool:
+        """Hand ``task`` to the pool; False if the pool was found dead
+        (task is left uncharged, the pool respawned)."""
+        task.started = time.monotonic()
+        try:
+            future = pool.submit(execute_unit, task.unit,
+                                 attempt=task.attempts,
+                                 faults=tuple(faults))
+        except (BrokenProcessPool, RuntimeError):
+            respawn()
+            return False
+        active[future] = task
+        return True
+
+    try:
+        while queue or active or quarantine:
+            # Submit eligible work. One task per worker: the engine keeps
+            # its own queue so per-unit deadlines start at true submission
+            # time and un-submitted units survive a pool respawn untouched.
+            if quarantine:
+                # Probe suspects one at a time; nothing else may share
+                # the pool or blame stays ambiguous.
+                while quarantine and not active:
+                    task = quarantine[0]
+                    if submit(task):
+                        quarantine.pop(0)
+            else:
+                now = time.monotonic()
+                while len(active) < workers:
+                    index = next((i for i, t in enumerate(queue)
+                                  if t.next_eligible <= now), None)
+                    if index is None:
+                        break
+                    task = queue.pop(index)
+                    if not submit(task):
+                        queue.insert(0, task)
+
+            if not active:
+                # Everything runnable is backing off.
+                pause = min(task.next_eligible for task in queue) \
+                    - time.monotonic()
+                if pause > 0:
+                    time.sleep(pause)
+                continue
+
+            wait_s: Optional[float] = None
+            if unit_timeout_s is not None:
+                deadline = min(task.started for task in active.values()) \
+                    + unit_timeout_s
+                wait_s = max(deadline - time.monotonic(), 0.0)
+            if not quarantine and len(active) < workers and queue:
+                # A worker is idle waiting on backoff; wake when the next
+                # retry becomes eligible.
+                eligible_in = max(
+                    min(task.next_eligible for task in queue)
+                    - time.monotonic(), 0.0)
+                wait_s = eligible_in if wait_s is None \
+                    else min(wait_s, eligible_in)
+            done, _ = futures_wait(set(active), timeout=wait_s,
+                                   return_when=FIRST_COMPLETED)
+
+            # Successful results first: when the pool breaks, completed
+            # futures may sit in `done` next to the poisoned one, and
+            # their payloads are still perfectly good.
+            pool_broke = False
+            for future in sorted(
+                    done, key=lambda f: isinstance(f.exception(),
+                                                   BrokenProcessPool)):
+                task = active.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    payload, wall_s, events, pid = future.result()
+                    on_success(task, payload, wall_s, events, pid)
+                elif isinstance(exc, BrokenProcessPool):
+                    active[future] = task  # back among the suspects
+                    pool_broke = True
+                    break
+                else:
+                    charge_failure(task, "error", _describe_exception(exc))
+            if pool_broke:
+                # Every unit still in flight died with the pool;
+                # completed and queued units are untouched.
+                suspects = list(active.values())
+                active.clear()
+                respawn()
+                if len(suspects) == 1:
+                    # Alone in the pool: blame is unambiguous. Charge it
+                    # and presume the remaining suspects innocent.
+                    charge_failure(
+                        suspects[0], "worker-crash",
+                        "worker process died while this unit ran alone "
+                        "in the pool")
+                    for task in quarantine:
+                        task.next_eligible = 0.0
+                    queue.extend(quarantine)
+                    quarantine.clear()
+                else:
+                    # Culprit unknown: probe the suspects one at a time,
+                    # uncharged until proven guilty.
+                    quarantine.extend(suspects)
+                continue
+
+            if unit_timeout_s is not None:
+                now = time.monotonic()
+                expired = [task for task in active.values()
+                           if now - task.started >= unit_timeout_s]
+                if expired:
+                    # A hung worker cannot be cancelled individually:
+                    # charge the expired unit(s), requeue innocent
+                    # in-flight units *uncharged*, and respawn the pool.
+                    victims = [task for task in active.values()
+                               if task not in expired]
+                    active.clear()
+                    respawn()
+                    for task in victims:
+                        task.next_eligible = 0.0
+                        queue.append(task)
+                    for task in expired:
+                        charge_failure(
+                            task, "timeout",
+                            f"unit exceeded the {unit_timeout_s:g}s "
+                            f"wall-clock timeout")
+    except BaseException:
+        cache.sweep_stale(pids=_kill_pool(pool))
+        raise
+    pool.shutdown(wait=True)
+
+
 def run_experiments(
         names: list[str], *, scale: float = 1.0, seed: int = 0,
         jobs: Optional[int] = None, cache: Optional[ResultCache] = None,
         on_unit: Optional[Callable[[UnitReport], None]] = None,
         telemetry: bool = False,
         telemetry_interval_ns: Optional[int] = None,
+        unit_timeout_s: Optional[float] = None,
+        retries: int = 0,
+        keep_going: bool = False,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        faults: Iterable[FaultSpec] = (),
 ) -> tuple[dict[str, ExperimentResult], RunReport]:
     """Run several experiments through the engine.
 
@@ -115,16 +446,48 @@ def run_experiments(
             never pollute (or be satisfied by) telemetry-off entries.
             Captures surface in the run report's ``telemetry`` section.
         telemetry_interval_ns: Sampling interval; default 1 ms.
+        unit_timeout_s: Per-unit wall-clock budget; a unit past it is
+            charged a failed attempt and its worker pool is respawned.
+            Requires ``jobs >= 2`` (a hung unit cannot be interrupted
+            in-process).
+        retries: Failed attempts retried per unit before the unit fails
+            permanently (total tries = ``retries + 1``).
+        keep_going: On a permanent unit failure, keep executing and
+            merge every experiment that does not depend on a failed
+            unit; failures land in the report's ``failures`` section.
+            When ``False`` (default) the first permanent failure raises
+            :class:`CampaignError`.
+        retry_backoff_s: Base retry delay; attempt ``k`` waits
+            ``retry_backoff_s * 2**(k-1)``. Pass 0 for immediate retries
+            (tests).
+        faults: :class:`FaultSpec` chaos hooks threaded into
+            :func:`execute_unit`; deterministic, off by default, and
+            invisible to cache keys.
 
     Returns:
         ``(results, report)`` — results keyed by experiment name in the
-        order requested, plus the structured run report.
+        order requested, plus the structured run report. With
+        ``keep_going=True``, experiments that lost a unit are absent
+        from ``results`` and listed in ``report.failed_experiments``.
+
+    Raises:
+        CampaignError: A unit failed permanently and ``keep_going`` is
+            off. The exception carries the partial run report.
     """
     unknown = [name for name in names if name not in EXPERIMENT_MODULES]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}; "
                        f"choose from {sorted(EXPERIMENT_MODULES)}")
     jobs = resolve_jobs(jobs)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if unit_timeout_s is not None and unit_timeout_s <= 0:
+        raise ValueError(f"unit_timeout_s must be positive, "
+                         f"got {unit_timeout_s}")
+    if unit_timeout_s is not None and jobs == 1:
+        raise ValueError("unit_timeout_s requires jobs >= 2: a hung unit "
+                         "cannot be interrupted in-process")
+    faults = tuple(faults)
     cache = cache if cache is not None else ResultCache(enabled=False)
     cache.sweep_stale()
     tele_params = None
@@ -138,7 +501,14 @@ def run_experiments(
     payloads: dict[str, Any] = {}
     reports: dict[tuple[str, str], UnitReport] = {}
     ordered_records: list[UnitReport] = []
-    pending: list[tuple[WorkUnit, str]] = []
+    pending: list[_Task] = []
+    # Records whose payload is owed by a *pending* unit of another
+    # experiment: they resolve (or fail) only when that unit does. A
+    # shared record must never be reported done at plan time — the
+    # backing unit may still fail, which would strand merge() on a
+    # missing payload.
+    shared_waiting: dict[str, list[UnitReport]] = {}
+    primary_record: dict[str, UnitReport] = {}
     seen: set[str] = set()
     for name in names:
         units = EXPERIMENT_MODULES[name].work_units(scale, seed)
@@ -158,12 +528,16 @@ def run_experiments(
             reports[report_key] = record
             ordered_records.append(record)
             if key in seen:
-                record.source = SOURCE_SHARED
-                record.worker = "shared"
-                if on_unit:
-                    on_unit(record)
+                if key in payloads:  # backed by a cache hit: done now
+                    record.source = SOURCE_SHARED
+                    record.worker = "shared"
+                    if on_unit:
+                        on_unit(record)
+                else:  # backed by a pending unit: resolves with it
+                    shared_waiting.setdefault(key, []).append(record)
                 continue
             seen.add(key)
+            primary_record[key] = record
             cached = cache.get(key)
             if cached is not None:
                 payloads[key] = cached
@@ -172,43 +546,100 @@ def run_experiments(
                 if on_unit:
                     on_unit(record)
             else:
-                pending.append((unit, key))
+                pending.append(_Task(unit=unit, key=key))
 
     # --- execute ---------------------------------------------------------
-    def record_done(unit: WorkUnit, key: str, payload: Any, wall_s: float,
-                    events: int, pid: int) -> None:
-        payloads[key] = payload
-        cache.put(key, payload)
-        record = reports[(unit.experiment, unit.unit_id)]
+    failures: list[FailureRecord] = []
+    failed_keys: set[str] = set()
+    respawn_counter = [0]
+
+    def on_success(task: _Task, payload: Any, wall_s: float, events: int,
+                   pid: int) -> None:
+        payloads[task.key] = payload
+        cache.put(task.key, payload)
+        record = primary_record[task.key]
         record.source = SOURCE_RUN
         record.wall_s = wall_s
         record.events = events
         record.worker = f"pid:{pid}"
+        record.attempts = task.attempts + 1
         if on_unit:
             on_unit(record)
+        for dependent in shared_waiting.pop(task.key, []):
+            dependent.source = SOURCE_SHARED
+            dependent.worker = "shared"
+            if on_unit:
+                on_unit(dependent)
 
-    if pending and (jobs == 1 or len(pending) == 1):
-        for unit, key in pending:
-            payload, wall_s, events, pid = execute_unit(unit)
-            record_done(unit, key, payload, wall_s, events, pid)
-    elif pending:
-        workers = min(jobs, len(pending))
-        # Longest-expected-first: a dominant unit submitted late would
-        # serialize the end of the run. Stable sort, so equal hints keep
-        # plan order; results are keyed by unit, so scheduling order can
-        # never affect payloads or merges.
-        queue = sorted(pending, key=lambda item: -item[0].cost_hint)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(execute_unit, unit): (unit, key)
-                       for unit, key in queue}
-            for future in as_completed(futures):
-                unit, key = futures[future]
-                payload, wall_s, events, pid = future.result()
-                record_done(unit, key, payload, wall_s, events, pid)
+    def on_permanent_failure(task: _Task) -> None:
+        failed_keys.add(task.key)
+        record = primary_record[task.key]
+        record.source = SOURCE_FAILED
+        record.attempts = task.attempts
+        record.error = _summary_line(task.last_error)
+        if on_unit:
+            on_unit(record)
+        dependents = shared_waiting.pop(task.key, [])
+        for dependent in dependents:
+            dependent.source = SOURCE_FAILED
+            dependent.error = f"shared unit {record.label} failed"
+            if on_unit:
+                on_unit(dependent)
+        failures.append(FailureRecord(
+            experiment=record.experiment, unit_id=record.unit_id,
+            attempts=task.attempts, error=task.last_error,
+            history=list(task.history),
+            shared_with=[dependent.label for dependent in dependents]))
+        if not keep_going:
+            raise _CampaignAbort(record.label)
+
+    max_attempts = retries + 1
+
+    def finish_report() -> RunReport:
+        return RunReport(
+            jobs=jobs,
+            cache_enabled=cache.enabled,
+            cache_dir=str(cache.directory) if cache.enabled else None,
+            wall_s=time.perf_counter() - started,
+            units=ordered_records,
+            failures=failures,
+            pool_respawns=respawn_counter[0],
+        )
+
+    try:
+        if pending and (jobs == 1 or (len(pending) == 1
+                                      and unit_timeout_s is None
+                                      and not faults)):
+            _execute_serial(pending, max_attempts=max_attempts,
+                            backoff_s=retry_backoff_s, faults=faults,
+                            on_success=on_success,
+                            on_permanent_failure=on_permanent_failure)
+        elif pending:
+            _execute_pool(
+                pending, workers=min(jobs, len(pending)),
+                unit_timeout_s=unit_timeout_s, max_attempts=max_attempts,
+                backoff_s=retry_backoff_s, faults=faults, cache=cache,
+                on_success=on_success,
+                on_permanent_failure=on_permanent_failure,
+                respawn_counter=respawn_counter)
+    except _CampaignAbort as abort:
+        report = finish_report()
+        raise CampaignError(
+            f"unit {abort} failed after {max_attempts} attempt(s); "
+            f"rerun with keep_going/--keep-going for partial results",
+            failures, report) from None
 
     # --- merge -----------------------------------------------------------
+    # A failed unit fails exactly the experiments that merge it (by key,
+    # so a SOURCE_SHARED dependent of a failed unit fails too); everything
+    # else merges from complete payload sets.
     results: dict[str, ExperimentResult] = {}
+    failed_experiments: list[str] = []
     for name in names:
+        if any(key in failed_keys for _, key in plan[name]):
+            if name not in failed_experiments:
+                failed_experiments.append(name)
+            continue
         units = [unit for unit, _ in plan[name]]
         unit_payloads = [payloads[key] for _, key in plan[name]]
         results[name] = EXPERIMENT_MODULES[name].merge(
@@ -222,19 +653,14 @@ def run_experiments(
     if telemetry:
         for name in names:
             for unit, key in plan[name]:
-                capture = getattr(payloads[key], "telemetry", None)
+                capture = getattr(payloads.get(key), "telemetry", None)
                 if capture is not None and unit.label not in \
                         telemetry_sections:
                     telemetry_sections[unit.label] = capture.to_dict()
 
-    report = RunReport(
-        jobs=jobs,
-        cache_enabled=cache.enabled,
-        cache_dir=str(cache.directory) if cache.enabled else None,
-        wall_s=time.perf_counter() - started,
-        units=ordered_records,
-        telemetry=telemetry_sections,
-    )
+    report = finish_report()
+    report.telemetry = telemetry_sections
+    report.failed_experiments = failed_experiments
     return results, report
 
 
@@ -243,9 +669,19 @@ def run_experiment(
         jobs: Optional[int] = None, cache: Optional[ResultCache] = None,
         telemetry: bool = False,
         telemetry_interval_ns: Optional[int] = None,
+        **fault_tolerance: Any,
 ) -> tuple[ExperimentResult, RunReport]:
-    """Single-experiment convenience wrapper around :func:`run_experiments`."""
+    """Single-experiment convenience wrapper around :func:`run_experiments`.
+
+    ``**fault_tolerance`` forwards ``unit_timeout_s`` / ``retries`` /
+    ``keep_going`` / ``retry_backoff_s`` / ``faults``.
+    """
     results, report = run_experiments(
         [name], scale=scale, seed=seed, jobs=jobs, cache=cache,
-        telemetry=telemetry, telemetry_interval_ns=telemetry_interval_ns)
+        telemetry=telemetry, telemetry_interval_ns=telemetry_interval_ns,
+        **fault_tolerance)
+    if name not in results:  # keep_going run whose only experiment failed
+        raise CampaignError(f"experiment {name} failed: "
+                            f"{[f.label for f in report.failures]}",
+                            report.failures, report)
     return results[name], report

@@ -1,0 +1,149 @@
+"""Deterministic fault injection for the engine's chaos tests.
+
+Millisampler campaigns only produce the paper's 18-hour stability result
+because the collection fleet tolerates partial failure; this module makes
+that failure mode *testable* here. A :class:`FaultSpec` describes one
+deterministic misbehaviour — raise an exception, hard-kill the worker
+process, or hang past the unit timeout — scoped to the units whose
+``experiment/unit_id`` label matches a glob and to the first ``times``
+attempts of each matching unit. Specs are threaded into
+:func:`repro.experiments.engine.core.execute_unit` as plain call
+arguments, so they are
+
+- **off by default** (no spec, no behaviour change, zero overhead), and
+- **never cache-key-visible**: :meth:`WorkUnit.cache_key` hashes only
+  ``(fn, params, scale, seed, version)``; a payload computed on a
+  recovered retry is indistinguishable from a fault-free one.
+
+Because a fault fires as a pure function of ``(unit label, attempt
+index)``, chaos runs are reproducible: "flaky once" is
+``FaultSpec(unit="fig6/flows:50", mode="error", times=1)`` — the first
+attempt fails, every later attempt succeeds, on any worker, in any order.
+
+The CLI picks specs up from the ``REPRO_FAULTS`` environment variable (a
+JSON list of spec objects), which is what the CI chaos smoke job and the
+Ctrl-C subprocess tests use::
+
+    REPRO_FAULTS='[{"unit": "fig6/flows:*", "mode": "error", "times": 1}]' \
+        python -m repro.experiments -e fig6 --retries 2
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.engine.spec import WorkUnit
+
+#: Environment variable the CLI reads fault specs from.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+MODE_ERROR = "error"  # raise FaultInjected inside the worker
+MODE_CRASH = "crash"  # hard-kill the worker process (BrokenProcessPool)
+MODE_HANG = "hang"    # sleep past any sane unit timeout
+MODES = (MODE_ERROR, MODE_CRASH, MODE_HANG)
+
+#: Exit status used by MODE_CRASH so a crashed worker is recognizable in
+#: process listings and core-dump-free in CI.
+CRASH_EXIT_STATUS = 13
+
+
+class FaultInjected(RuntimeError):
+    """Raised inside a worker by an ``error`` (or expired ``hang``) fault."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault, scoped by unit label and attempt index.
+
+    Attributes:
+        unit: :func:`fnmatch.fnmatchcase` glob matched against the unit's
+            ``experiment/unit_id`` label (``"fig6/flows:50"``,
+            ``"fig6/*"``).
+        mode: One of :data:`MODES` — ``"error"`` raises
+            :class:`FaultInjected`, ``"crash"`` kills the worker process
+            with :func:`os._exit` (the engine sees ``BrokenProcessPool``),
+            ``"hang"`` sleeps ``hang_s`` seconds (the engine's
+            ``--unit-timeout`` must reap it).
+        times: Fire on attempt indices ``0 .. times-1`` of each matching
+            unit; negative means *every* attempt (a permanent failure).
+        hang_s: Sleep duration for ``"hang"``; if the sleep ever finishes
+            (no timeout configured), the fault still raises so it cannot
+            silently pass.
+        marker: Optional file path touched when the fault fires — lets a
+            test (or the Ctrl-C harness) wait until a worker has
+            provably entered the fault before acting.
+    """
+
+    unit: str
+    mode: str = MODE_ERROR
+    times: int = 1
+    hang_s: float = 3600.0
+    marker: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"fault mode must be one of {MODES}, "
+                             f"got {self.mode!r}")
+
+    def should_fire(self, unit: "WorkUnit", attempt: int) -> bool:
+        """Whether this spec fires for ``unit``'s ``attempt``-th try."""
+        if not fnmatchcase(unit.label, self.unit):
+            return False
+        return self.times < 0 or attempt < self.times
+
+    def fire(self, unit: "WorkUnit", attempt: int) -> None:
+        """Carry out the fault (does not return for ``crash``)."""
+        if self.marker:
+            Path(self.marker).touch()
+        detail = (f"injected {self.mode} fault: unit {unit.label} "
+                  f"attempt {attempt}")
+        if self.mode == MODE_CRASH:
+            # A real worker crash: no exception, no cleanup, no cache
+            # write — the pool observes a dead process.
+            os._exit(CRASH_EXIT_STATUS)
+        if self.mode == MODE_HANG:
+            time.sleep(self.hang_s)
+            raise FaultInjected(detail + f" (hang outlived {self.hang_s}s)")
+        raise FaultInjected(detail)
+
+
+def maybe_inject(unit: "WorkUnit", attempt: int,
+                 faults: Iterable[FaultSpec]) -> None:
+    """Fire the first spec in ``faults`` that matches ``(unit, attempt)``."""
+    for spec in faults:
+        if spec.should_fire(unit, attempt):
+            spec.fire(unit, attempt)
+            return
+
+
+def parse_faults(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a JSON list of spec objects (the ``REPRO_FAULTS`` format)."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"fault spec is not valid JSON: {exc}") from exc
+    if not isinstance(raw, list):
+        raise ValueError("fault spec must be a JSON list of objects, "
+                         f"got {type(raw).__name__}")
+    specs = []
+    for entry in raw:
+        if not isinstance(entry, dict) or "unit" not in entry:
+            raise ValueError(f"each fault spec needs a 'unit' glob: {entry!r}")
+        unknown = set(entry) - {"unit", "mode", "times", "hang_s", "marker"}
+        if unknown:
+            raise ValueError(f"unknown fault spec fields: {sorted(unknown)}")
+        specs.append(FaultSpec(**entry))
+    return tuple(specs)
+
+
+def faults_from_env(environ=os.environ) -> tuple[FaultSpec, ...]:
+    """Specs from :data:`FAULTS_ENV_VAR`, or ``()`` when unset/empty."""
+    text = environ.get(FAULTS_ENV_VAR, "").strip()
+    return parse_faults(text) if text else ()

@@ -17,6 +17,8 @@ SOURCE_RUN = "run"        # executed this invocation
 SOURCE_CACHE = "cache"    # loaded from the on-disk cache
 SOURCE_SHARED = "shared"  # identical unit already produced by another
 #                           experiment in this same invocation
+SOURCE_FAILED = "failed"  # no payload: every attempt failed (or the
+#                           backing shared unit did)
 
 
 @dataclass
@@ -29,10 +31,20 @@ class UnitReport:
     wall_s: float = 0.0
     events: int = 0
     worker: str = "main"
+    #: Execution tries this invocation (failed + the final one); 0 for
+    #: cache hits and shared units, which never execute.
+    attempts: int = 0
+    #: Last failure summary; only set when ``source == SOURCE_FAILED``.
+    error: Optional[str] = None
 
     @property
     def label(self) -> str:
         return f"{self.experiment}/{self.unit_id}"
+
+    @property
+    def retried(self) -> int:
+        """Retried attempts beyond the first try (0 when never retried)."""
+        return max(0, self.attempts - 1)
 
     def to_dict(self) -> dict:
         return {
@@ -42,6 +54,44 @@ class UnitReport:
             "wall_s": round(self.wall_s, 4),
             "events": self.events,
             "worker": self.worker,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+@dataclass
+class FailureRecord:
+    """One permanently failed computation (all retry attempts exhausted).
+
+    There is one record per failed *computation*; experiments that merely
+    shared the failed unit's payload are listed in :attr:`shared_with`
+    (their own :class:`UnitReport` entries are also marked
+    :data:`SOURCE_FAILED`).
+    """
+
+    experiment: str
+    unit_id: str
+    attempts: int
+    #: Full traceback (or timeout/crash description) of the last attempt.
+    error: str
+    #: One summary line per failed attempt, in order.
+    history: list[str] = field(default_factory=list)
+    #: Labels of deduplicated units that needed this payload and fail
+    #: with it.
+    shared_with: list[str] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return f"{self.experiment}/{self.unit_id}"
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "unit_id": self.unit_id,
+            "attempts": self.attempts,
+            "error": self.error,
+            "history": list(self.history),
+            "shared_with": list(self.shared_with),
         }
 
 
@@ -58,6 +108,14 @@ class RunReport:
     #: ``TelemetryCapture.to_dict()``); empty unless the engine ran with
     #: ``telemetry=True`` and at least one unit produced a capture.
     telemetry: dict[str, dict] = field(default_factory=dict)
+    #: Permanently failed computations (empty on a clean run).
+    failures: list[FailureRecord] = field(default_factory=list)
+    #: Experiments that could not merge because a unit they depend on
+    #: failed (``keep_going`` runs only; fail-fast aborts before merging).
+    failed_experiments: list[str] = field(default_factory=list)
+    #: Times the worker pool was killed and respawned (worker crash or
+    #: unit timeout).
+    pool_respawns: int = 0
 
     @property
     def n_units(self) -> int:
@@ -67,6 +125,16 @@ class RunReport:
     def executed(self) -> int:
         """Units actually computed this invocation."""
         return sum(1 for u in self.units if u.source == SOURCE_RUN)
+
+    @property
+    def failed(self) -> int:
+        """Units without a payload after all retries."""
+        return sum(1 for u in self.units if u.source == SOURCE_FAILED)
+
+    @property
+    def retries(self) -> int:
+        """Retried attempts across the run (0 on a first-try-clean run)."""
+        return sum(u.retried for u in self.units)
 
     @property
     def cache_hits(self) -> int:
@@ -134,11 +202,27 @@ class RunReport:
                       f"(top {min(max_unit_rows, len(slowest))} "
                       f"of {len(slowest)})"))
 
+        if self.failures:
+            failure_rows = [
+                [f.label, f.attempts,
+                 ", ".join(f.shared_with) if f.shared_with else "-",
+                 f.history[-1] if f.history else f.error.splitlines()[-1]]
+                for f in self.failures]
+            blocks.append(format_table(
+                ["unit", "attempts", "also fails", "last error"],
+                failure_rows, title="Run report: permanent failures"))
+
         summary = [
             ["work units", self.n_units],
             ["executed", self.executed],
             ["cache hits", self.cache_hits],
             ["shared (deduplicated)", self.shared],
+            *([["failed units", self.failed],
+               ["failed experiments", ", ".join(self.failed_experiments)]]
+              if self.failures else []),
+            *([["retried attempts", self.retries]] if self.retries else []),
+            *([["pool respawns", self.pool_respawns]]
+              if self.pool_respawns else []),
             ["cache", ("on" if self.cache_enabled else "off")
              + (f" ({self.cache_dir})" if self.cache_dir else "")],
             ["worker processes", max(self.workers_used, 1)],
@@ -165,6 +249,11 @@ class RunReport:
             "executed": self.executed,
             "cache_hits": self.cache_hits,
             "shared": self.shared,
+            "failed": self.failed,
+            "retries": self.retries,
+            "pool_respawns": self.pool_respawns,
+            "failures": [f.to_dict() for f in self.failures],
+            "failed_experiments": list(self.failed_experiments),
             "total_events": self.total_events,
             "busy_s": round(self.busy_s, 4),
             "workers_used": self.workers_used,

@@ -55,23 +55,36 @@ class WorkUnit:
         # Fail fast on params a JSON cache key cannot represent.
         json.dumps(self.params)
 
+    def identity(self) -> dict:
+        """The fields that define this unit's payload, and nothing else.
+
+        This is the exact structure :meth:`cache_key` hashes. Everything
+        absent from it — the experiment name, ``cost_hint``, the engine's
+        attempt counter, injected fault specs — is execution context and
+        can never influence the key (the chaos and property suites pin
+        this down).
+        """
+        return {
+            "fn": self.fn,
+            "params": self.params,
+            "scale": self.scale,
+            "seed": self.seed,
+            "version": repro.__version__,
+        }
+
     def cache_key(self) -> str:
         """Content-addressed identity of this unit's payload.
 
-        Hashes ``(fn, params, scale, seed, repro.__version__)`` — the
-        experiment name is deliberately excluded so experiments sharing a
-        computation (same executor, same parameters) share cache entries.
-        A version bump invalidates every prior entry.
+        Hashes :meth:`identity` — ``(fn, params, scale, seed,
+        repro.__version__)``; the experiment name is deliberately
+        excluded so experiments sharing a computation (same executor,
+        same parameters) share cache entries. Keys are stable across
+        processes and interpreter restarts (canonical JSON + SHA-256, no
+        ``hash()`` randomization), and a version bump invalidates every
+        prior entry.
         """
-        token = json.dumps(
-            {
-                "fn": self.fn,
-                "params": self.params,
-                "scale": self.scale,
-                "seed": self.seed,
-                "version": repro.__version__,
-            },
-            sort_keys=True, separators=(",", ":"))
+        token = json.dumps(self.identity(), sort_keys=True,
+                           separators=(",", ":"))
         return hashlib.sha256(token.encode("utf-8")).hexdigest()
 
     @property

@@ -5,11 +5,20 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments --experiment fig5 --scale 0.25
     python -m repro.experiments --all --scale 0.1 --jobs 4
+    python -m repro.experiments --all --jobs 8 --retries 2 \
+        --unit-timeout 600 --keep-going
 
 Experiments execute through :mod:`repro.experiments.engine`: independent
 trials fan out across worker processes (``--jobs``) and completed units
 are memoized on disk (``--cache-dir`` / ``--no-cache``); a structured run
-report is printed after the results.
+report is printed after the results. Campaigns tolerate partial failure:
+failed units retry (``--retries``), hung units are reaped
+(``--unit-timeout``), and ``--keep-going`` trades a permanent unit
+failure for the loss of only the experiments that merge it (exit code 1,
+failures recorded in ``run_report.json``). Ctrl-C cancels the campaign,
+reaps the worker pool and exits with code 130. The ``REPRO_FAULTS``
+environment variable injects deterministic chaos faults (see
+:mod:`repro.experiments.engine.faults`).
 """
 
 from __future__ import annotations
@@ -22,8 +31,12 @@ from typing import Callable
 from repro.analysis.export import write_result, write_run_report
 from repro.experiments import (ablations, crossval, fig1, fig2, fig3, fig4,
                                fig5, fig6, fig7, table1)
-from repro.experiments.engine import ResultCache, run_experiments
+from repro.experiments.engine import (CampaignError, ResultCache,
+                                      faults_from_env, run_experiments)
 from repro.experiments.result import ExperimentResult
+
+#: Exit code for SIGINT, matching shell convention (128 + SIGINT).
+EXIT_INTERRUPTED = 130
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table1": table1.run,
@@ -65,6 +78,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="result cache location (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="failed attempts retried per work unit, with "
+                             "exponential backoff, before the unit fails "
+                             "permanently (default: 1)")
+    parser.add_argument("--unit-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-unit wall-clock budget; a unit past it "
+                             "is charged a failed attempt and its worker "
+                             "pool is respawned (requires --jobs >= 2)")
+    degradation = parser.add_mutually_exclusive_group()
+    degradation.add_argument(
+        "--keep-going", dest="keep_going", action="store_true",
+        help="on a permanent unit failure, still merge every experiment "
+             "that does not depend on it; failed experiments land in the "
+             "run report's 'failures' section and the exit code is 1")
+    degradation.add_argument(
+        "--fail-fast", dest="keep_going", action="store_false",
+        help="abort the whole campaign on the first permanent unit "
+             "failure (default)")
+    parser.set_defaults(keep_going=False)
     parser.add_argument("--json-dir", type=str, default=None,
                         help="also write each result (and the run report) "
                              "as JSON into this directory")
@@ -85,6 +118,18 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        parser.error(f"--unit-timeout must be positive, "
+                     f"got {args.unit_timeout}")
+    if args.unit_timeout is not None and args.jobs == 1:
+        parser.error("--unit-timeout requires --jobs >= 2 (a hung unit "
+                     "cannot be interrupted in-process)")
+    try:
+        faults = faults_from_env()
+    except ValueError as exc:
+        parser.error(f"$REPRO_FAULTS: {exc}")
     if (args.cache_dir is not None and not args.no_cache
             and Path(args.cache_dir).exists()
             and not Path(args.cache_dir).is_dir()):
@@ -109,11 +154,31 @@ def main(argv: list[str] | None = None) -> int:
         if args.telemetry_interval_us <= 0:
             parser.error("--telemetry-interval-us must be positive")
         interval_ns = int(args.telemetry_interval_us * 1000)
-    results, report = run_experiments(
-        names, scale=args.scale, seed=args.seed, jobs=args.jobs,
-        cache=cache, telemetry=args.telemetry,
-        telemetry_interval_ns=interval_ns)
+    try:
+        results, report = run_experiments(
+            names, scale=args.scale, seed=args.seed, jobs=args.jobs,
+            cache=cache, telemetry=args.telemetry,
+            telemetry_interval_ns=interval_ns,
+            unit_timeout_s=args.unit_timeout, retries=args.retries,
+            keep_going=args.keep_going, faults=faults)
+    except KeyboardInterrupt:
+        print("\ninterrupted: campaign cancelled, worker pool reaped",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except CampaignError as exc:
+        print(exc.report.render())
+        if args.json_dir is not None:
+            path = write_run_report(exc.report, Path(args.json_dir))
+            print(f"[wrote {path}]")
+        print(f"error: {exc} (see the failures table above)",
+              file=sys.stderr)
+        return 1
+
     for name in names:
+        if name not in results:  # lost to a failed unit under --keep-going
+            print(f"[{name}: FAILED — no result; see the failures table "
+                  f"below]\n")
+            continue
         print(results[name].render())
         if args.json_dir is not None:
             path = write_result(results[name], Path(args.json_dir))
@@ -123,6 +188,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.json_dir is not None:
         path = write_run_report(report, Path(args.json_dir))
         print(f"[wrote {path}]")
+    if report.failures:
+        print(f"error: {report.failed} unit(s) failed permanently; "
+              f"experiments lost: {', '.join(report.failed_experiments)}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -41,6 +41,14 @@ GOLDEN_EXPERIMENTS = ["table1", "fig1", "fig2", "fig3", "fig4", "fig5",
 #: idle-restart, receiver delayed ACKs).
 GOLDEN_ABLATIONS = ["predictability", "idle", "delayed_ack"]
 
+#: Experiments additionally pinned through the *engine* path (plan →
+#: pool fan-out → merge, ``jobs=2``, cache off). The classic ``run()``
+#: cases above cannot see an engine regression — a scheduling, retry or
+#: merge bug that perturbs payload assembly only shows up here. These are
+#: also the fault-free anchors the chaos suite's recovered runs must
+#: reproduce byte for byte.
+GOLDEN_ENGINE_EXPERIMENTS = ["fig5", "fig6"]
+
 #: Comparison tolerances for numeric leaves.
 REL_TOL = 1e-6
 ABS_TOL = 1e-9
@@ -75,6 +83,14 @@ def golden_payload(result: ExperimentResult) -> dict:
     }
 
 
+def _run_through_engine(name: str) -> ExperimentResult:
+    """One experiment through the parallel engine path (no cache)."""
+    from repro.experiments.engine import run_experiment
+
+    result, _report = run_experiment(name, scale=SCALE, seed=SEED, jobs=2)
+    return result
+
+
 def golden_cases() -> dict[str, Callable[[], ExperimentResult]]:
     """Case name -> thunk computing its ExperimentResult."""
     from repro.experiments.ablations import ALL_ABLATIONS
@@ -88,6 +104,9 @@ def golden_cases() -> dict[str, Callable[[], ExperimentResult]]:
         runner = ALL_ABLATIONS[name]
         cases[f"ablation_{name}"] = (
             lambda r=runner: r(scale=SCALE, seed=SEED))
+    for name in GOLDEN_ENGINE_EXPERIMENTS:
+        cases[f"engine_{name}"] = (
+            lambda n=name: _run_through_engine(n))
     return cases
 
 

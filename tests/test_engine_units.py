@@ -11,8 +11,9 @@ import pytest
 
 import repro
 from repro.experiments.engine.cache import ResultCache, default_cache_dir
-from repro.experiments.engine.report import (SOURCE_CACHE, SOURCE_RUN,
-                                             SOURCE_SHARED, RunReport,
+from repro.experiments.engine.report import (SOURCE_CACHE, SOURCE_FAILED,
+                                             SOURCE_RUN, SOURCE_SHARED,
+                                             FailureRecord, RunReport,
                                              UnitReport)
 from repro.experiments.engine.spec import WorkUnit
 
@@ -69,6 +70,11 @@ class TestWorkUnit:
 
     def test_label(self):
         assert unit().label == "fig6/flows:50"
+
+    def test_identity_is_exactly_what_the_key_hashes(self):
+        identity = unit().identity()
+        assert set(identity) == {"fn", "params", "scale", "seed", "version"}
+        assert identity["version"] == repro.__version__
 
 
 class TestResultCache:
@@ -144,6 +150,15 @@ class TestResultCache:
         assert cache.sweep_stale() == 0
         assert tmp.exists()
 
+    def test_sweep_stale_force_reaps_known_dead_pids(self, tmp_path: Path):
+        """After killing a worker pool the engine passes the reaped PIDs
+        explicitly, so their spill files go even if the PID looks alive
+        (reused by an unrelated process)."""
+        cache = ResultCache(directory=tmp_path)
+        tmp = self._plant_stale_tmp(cache, "dd" + "0" * 62, pid=os.getpid())
+        assert cache.sweep_stale(pids=[os.getpid()]) == 1
+        assert not tmp.exists()
+
     def test_sweep_stale_noop_when_disabled_or_missing(self, tmp_path: Path):
         disabled = ResultCache(directory=tmp_path, enabled=False)
         assert disabled.sweep_stale() == 0
@@ -191,3 +206,51 @@ class TestRunReport:
         json.dumps(doc)
         assert doc["executed"] == 2
         assert len(doc["units"]) == 4
+        # The failure-semantics fields are always present (stable shape).
+        assert doc["failed"] == 0
+        assert doc["retries"] == 0
+        assert doc["failures"] == []
+        assert doc["failed_experiments"] == []
+        assert doc["pool_respawns"] == 0
+
+    def make_failed_report(self) -> RunReport:
+        failed = UnitReport("fig6", "flows:200", SOURCE_FAILED,
+                            attempts=3, error="FaultInjected: boom")
+        shared = UnitReport("fig4", "service:web", SOURCE_FAILED,
+                            error="shared unit fig2/service:web failed")
+        ok = UnitReport("fig6", "flows:50", SOURCE_RUN, 1.0, 10, "pid:1",
+                        attempts=2)
+        return RunReport(
+            jobs=2, cache_enabled=False, wall_s=4.0,
+            units=[ok, failed, shared],
+            failures=[FailureRecord(
+                "fig6", "flows:200", attempts=3,
+                error="Traceback ...\nFaultInjected: boom",
+                history=[f"attempt {i} error: FaultInjected: boom"
+                         for i in (1, 2, 3)],
+                shared_with=["fig4/service:web"])],
+            failed_experiments=["fig6", "fig4"], pool_respawns=1)
+
+    def test_failure_accounting(self):
+        report = self.make_failed_report()
+        assert report.failed == 2            # primary + shared dependent
+        assert report.retries == 2 + 1       # failed tries + one retry
+        assert report.executed == 1
+        assert report.units[0].retried == 1
+
+    def test_render_includes_failures_table(self):
+        text = self.make_failed_report().render()
+        assert "permanent failures" in text
+        assert "fig6/flows:200" in text
+        assert "fig4/service:web" in text    # shared casualty listed
+        assert "pool respawns" in text
+        assert "retried attempts" in text
+
+    def test_failure_record_round_trips(self):
+        import json
+        doc = self.make_failed_report().to_dict()
+        payload = json.loads(json.dumps(doc))
+        assert payload["failures"][0]["shared_with"] == ["fig4/service:web"]
+        assert payload["failed_experiments"] == ["fig6", "fig4"]
+        assert payload["pool_respawns"] == 1
+        assert payload["units"][1]["error"] == "FaultInjected: boom"

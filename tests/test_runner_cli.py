@@ -52,6 +52,51 @@ class TestParser:
         assert args.no_cache is True
         assert args.cache_dir == "/tmp/somewhere"
 
+    def test_fault_tolerance_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.retries == 1
+        assert args.unit_timeout is None
+        assert args.keep_going is False
+
+    def test_fault_tolerance_flags(self):
+        args = build_parser().parse_args(
+            ["--retries", "3", "--unit-timeout", "120.5", "--keep-going"])
+        assert args.retries == 3
+        assert args.unit_timeout == 120.5
+        assert args.keep_going is True
+        assert build_parser().parse_args(["--fail-fast"]).keep_going \
+            is False
+
+    def test_keep_going_and_fail_fast_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--keep-going", "--fail-fast"])
+        assert excinfo.value.code == 2
+
+    def test_negative_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--retries", "-1"])
+        assert excinfo.value.code == 2
+        assert "--retries must be >= 0" in capsys.readouterr().err
+
+    def test_nonpositive_unit_timeout_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--jobs", "2", "--unit-timeout", "0"])
+        assert excinfo.value.code == 2
+        assert "--unit-timeout must be positive" in capsys.readouterr().err
+
+    def test_unit_timeout_requires_parallel_jobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--jobs", "1", "--unit-timeout", "60"])
+        assert excinfo.value.code == 2
+        assert "--jobs >= 2" in capsys.readouterr().err
+
+    def test_malformed_faults_env_rejected(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1"])
+        assert excinfo.value.code == 2
+        assert "REPRO_FAULTS" in capsys.readouterr().err
+
 
 class TestMain:
     def test_list_names_every_experiment(self, capsys):
