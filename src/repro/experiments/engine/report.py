@@ -39,6 +39,7 @@ class UnitReport:
 
     @property
     def label(self) -> str:
+        """``experiment/unit_id``, the name units go by in logs."""
         return f"{self.experiment}/{self.unit_id}"
 
     @property
@@ -47,6 +48,7 @@ class UnitReport:
         return max(0, self.attempts - 1)
 
     def to_dict(self) -> dict:
+        """JSON-ready form for ``run_report.json``."""
         return {
             "experiment": self.experiment,
             "unit_id": self.unit_id,
@@ -82,9 +84,11 @@ class FailureRecord:
 
     @property
     def label(self) -> str:
+        """``experiment/unit_id``, the name units go by in logs."""
         return f"{self.experiment}/{self.unit_id}"
 
     def to_dict(self) -> dict:
+        """JSON-ready form for ``run_report.json``."""
         return {
             "experiment": self.experiment,
             "unit_id": self.unit_id,
@@ -119,6 +123,7 @@ class RunReport:
 
     @property
     def n_units(self) -> int:
+        """Total work units in the plan (all sources combined)."""
         return len(self.units)
 
     @property
@@ -138,6 +143,7 @@ class RunReport:
 
     @property
     def cache_hits(self) -> int:
+        """Units served from the on-disk result cache."""
         return sum(1 for u in self.units if u.source == SOURCE_CACHE)
 
     @property
@@ -157,6 +163,7 @@ class RunReport:
 
     @property
     def workers_used(self) -> int:
+        """Distinct worker processes that executed at least one unit."""
         return len({u.worker for u in self.units
                     if u.source == SOURCE_RUN})
 

@@ -30,6 +30,8 @@ class Link:
         rate_bps: Link bandwidth in bits per second.
         prop_delay_ns: One-way propagation delay.
         name: Human-readable label used in traces and errors.
+        busy: Whether a packet is currently being serialized. Read-only
+            for callers; the link maintains it.
     """
 
     def __init__(self, sim: Simulator, rate_bps: float, prop_delay_ns: int,
@@ -44,22 +46,26 @@ class Link:
         self.prop_delay_ns = prop_delay_ns
         self.name = name
         self._sink: Optional[PacketSink] = None
-        self._busy = False
+        self.busy = False
         self.bytes_sent = 0
         self.packets_sent = 0
+        # Serialization times memoized by packet size: traffic uses only a
+        # handful of distinct sizes (full MSS, pure ACK, one tail
+        # segment), so a dict hit replaces the ceil-division arithmetic.
+        self._tx_time_cache: dict[int, int] = {}
 
     def connect(self, sink: PacketSink) -> None:
         """Attach the receiving endpoint."""
         self._sink = sink
 
-    @property
-    def busy(self) -> bool:
-        """Whether a packet is currently being serialized."""
-        return self._busy
-
     def tx_time_ns(self, packet: Packet) -> int:
         """Serialization delay for ``packet`` on this link."""
-        return units.tx_time_ns(packet.size_bytes, self.rate_bps)
+        size = packet.size_bytes
+        tx = self._tx_time_cache.get(size)
+        if tx is None:
+            tx = units.tx_time_ns(size, self.rate_bps)
+            self._tx_time_cache[size] = tx
+        return tx
 
     def transmit(self, packet: Packet,
                  on_done: Optional[Callable[[], None]] = None) -> None:
@@ -72,17 +78,17 @@ class Link:
         """
         if self._sink is None:
             raise RuntimeError(f"{self.name}: transmit before connect()")
-        if self._busy:
+        if self.busy:
             raise RuntimeError(f"{self.name}: transmit while busy")
-        self._busy = True
+        self.busy = True
         tx = self.tx_time_ns(packet)
         self.bytes_sent += packet.size_bytes
         self.packets_sent += 1
-        self._sim.schedule(tx, self._tx_complete, (packet, on_done))
+        self._sim.schedule_fire(tx, self._tx_complete, (packet, on_done))
 
     def _tx_complete(self, packet: Packet,
                      on_done: Optional[Callable[[], None]]) -> None:
-        self._busy = False
+        self.busy = False
         # Deliver after propagation; the transmitter is already free, so the
         # on_done callback may start the next packet before this one lands.
         sink = self._sink
@@ -90,7 +96,8 @@ class Link:
         if self.prop_delay_ns == 0:
             sink.receive(packet)
         else:
-            self._sim.schedule(self.prop_delay_ns, sink.receive, (packet,))
+            self._sim.schedule_fire(self.prop_delay_ns, sink.receive,
+                                    (packet,))
         if on_done is not None:
             on_done()
 

@@ -115,9 +115,10 @@ class HostNIC:
         """Accept a delivered packet (PacketSink API)."""
         self.bytes_received += packet.size_bytes
         self.packets_received += 1
-        now = self._sim.now
-        for hook in self._ingress_hooks:
-            hook(packet, now)
+        if self._ingress_hooks:
+            now = self._sim.now
+            for hook in self._ingress_hooks:
+                hook(packet, now)
         handler = self._handlers.get(packet.flow_id)
         if handler is not None:
             handler.handle_packet(packet)

@@ -40,6 +40,10 @@ class Packet:
             unused (0).
         payload_bytes: TCP payload length; 0 for pure ACKs.
         is_ack: Whether this is a pure ACK.
+        size_bytes: Total on-wire size (payload plus IP/TCP headers).
+            Precomputed at construction — the queue/link hot paths read it
+            several times per packet — and valid because ``payload_bytes``
+            is immutable after construction.
         ack_seq: Cumulative acknowledgment (next byte expected); ACKs only.
         ece: TCP-header ECN-Echo flag; ACKs only.
         sack_blocks: Selective-ACK ranges ``((start, end), ...)`` above the
@@ -56,7 +60,7 @@ class Packet:
 
     __slots__ = ("flow_id", "src", "dst", "seq", "payload_bytes", "is_ack",
                  "ack_seq", "ece", "ecn", "is_retransmit", "sent_time_ns",
-                 "sack_blocks", "rwnd_bytes")
+                 "sack_blocks", "rwnd_bytes", "size_bytes")
 
     def __init__(self, flow_id: int, src: int, dst: int, seq: int = 0,
                  payload_bytes: int = 0, is_ack: bool = False,
@@ -72,6 +76,7 @@ class Packet:
         self.dst = dst
         self.seq = seq
         self.payload_bytes = payload_bytes
+        self.size_bytes = payload_bytes + TCP_IP_HEADER_BYTES
         self.is_ack = is_ack
         self.ack_seq = ack_seq
         self.ece = ece
@@ -80,11 +85,6 @@ class Packet:
         self.sent_time_ns = sent_time_ns
         self.sack_blocks = sack_blocks
         self.rwnd_bytes = rwnd_bytes
-
-    @property
-    def size_bytes(self) -> int:
-        """Total on-wire size: payload plus IP/TCP headers."""
-        return self.payload_bytes + TCP_IP_HEADER_BYTES
 
     @property
     def end_seq(self) -> int:

@@ -131,26 +131,31 @@ class DropTailQueue:
         the shared buffer pool rejects the bytes. On success the packet may
         be CE-marked per the ECN threshold.
         """
+        fifo = self._fifo
+        stats = self.stats
+        size = packet.size_bytes
         if self._would_overflow(packet) or not self._pool_admit(packet):
-            self.stats.dropped_packets += 1
-            self.stats.dropped_bytes += packet.size_bytes
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
             if self._watchers:
                 for watcher in tuple(self._watchers):
                     watcher("drop", self, packet)
             return False
-        if (self.ecn_threshold_packets is not None and packet.ecn_capable
-                and len(self._fifo) >= self.ecn_threshold_packets):
+        threshold = self.ecn_threshold_packets
+        if (threshold is not None and len(fifo) >= threshold
+                and packet.ecn != 0):  # ecn_capable, inlined
             packet.mark_ce()
-            self.stats.marked_packets += 1
-            self.stats.marked_bytes += packet.size_bytes
-        self._fifo.append(packet)
-        self._len_bytes += packet.size_bytes
-        self.stats.enqueued_packets += 1
-        self.stats.enqueued_bytes += packet.size_bytes
-        if len(self._fifo) > self.stats.max_len_packets:
-            self.stats.max_len_packets = len(self._fifo)
-        if self._len_bytes > self.stats.max_len_bytes:
-            self.stats.max_len_bytes = self._len_bytes
+            stats.marked_packets += 1
+            stats.marked_bytes += size
+        fifo.append(packet)
+        depth_bytes = self._len_bytes + size
+        self._len_bytes = depth_bytes
+        stats.enqueued_packets += 1
+        stats.enqueued_bytes += size
+        if len(fifo) > stats.max_len_packets:
+            stats.max_len_packets = len(fifo)
+        if depth_bytes > stats.max_len_bytes:
+            stats.max_len_bytes = depth_bytes
         if self._watchers:
             for watcher in tuple(self._watchers):
                 watcher("enqueue", self, packet)
@@ -167,11 +172,13 @@ class DropTailQueue:
         if not self._fifo:
             return None
         packet = self._fifo.popleft()
-        self._len_bytes -= packet.size_bytes
-        self.stats.dequeued_packets += 1
-        self.stats.dequeued_bytes += packet.size_bytes
+        stats = self.stats
+        size = packet.size_bytes
+        self._len_bytes -= size
+        stats.dequeued_packets += 1
+        stats.dequeued_bytes += size
         if self.pool is not None:
-            self.pool.release(self.queue_id, packet.size_bytes)
+            self.pool.release(self.queue_id, size)
         if self._watchers:
             for watcher in tuple(self._watchers):
                 watcher("dequeue", self, packet)

@@ -10,9 +10,11 @@ timeouts (TCP RTO, delayed-ACK) need.
 from __future__ import annotations
 
 import enum
+import heapq
 from typing import Any, Callable, Optional
 
-from repro.simcore.event import Event, EventQueue
+from repro.simcore.event import (ARGS, FN, FREE_LIST_MAX, TIME, Event,
+                                 EventQueue)
 from repro.simcore.hooks import HookRegistry
 
 _total_events_processed = 0
@@ -108,6 +110,22 @@ class Simulator:
                 f"(t={time_ns} ns < now={self._now} ns)")
         return self._queue.push(time_ns, fn, args)
 
+    def schedule_fire(self, delay_ns: int, fn: Callable[..., Any],
+                      args: tuple = ()) -> None:
+        """Schedule ``fn(*args)`` to fire ``delay_ns`` from now, with no
+        cancellation handle.
+
+        The fast path for fire-and-forget events (link serialization
+        completions, packet deliveries): entries are pooled through the
+        event queue's free list, so steady-state scheduling allocates
+        nothing. Ordering semantics are identical to :meth:`schedule`.
+        Use :meth:`schedule` whenever the caller might need to cancel.
+        """
+        if delay_ns < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay {delay_ns} ns)")
+        self._queue.push_fire(self._now + delay_ns, fn, args)
+
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel a previously scheduled event. ``None`` is ignored."""
         if event is not None:
@@ -118,13 +136,17 @@ class Simulator:
     def step(self) -> bool:
         """Fire the next event. Returns ``False`` when the queue is empty."""
         global _total_events_processed
-        event = self._queue.pop()
-        if event is None:
+        queue = self._queue
+        entry = queue.pop()
+        if entry is None:
             return False
-        assert event.time_ns >= self._now, "event queue went backwards"
-        self._now = event.time_ns
-        fn, args = event.fn, event.args
-        event.cancel()  # mark consumed; keeps handles inert after firing
+        assert entry[TIME] >= self._now, "event queue went backwards"
+        self._now = entry[TIME]
+        fn, args = entry[FN], entry[ARGS]
+        entry[FN] = None  # mark consumed; keeps handles inert after firing
+        entry[ARGS] = ()
+        if type(entry) is list:
+            queue.recycle(entry)
         self._events_processed += 1
         _total_events_processed += 1
         assert fn is not None
@@ -143,30 +165,57 @@ class Simulator:
         or before ``until_ns`` remain queued, so virtual time stays at the
         last fired event — advancing it would move those events into the
         past.
+
+        The loop body inlines :meth:`step` and the queue's peek/pop (this
+        is the hottest loop in the repository); behaviour is identical,
+        including FIFO tie-breaking and the counters. Callbacks may
+        schedule, cancel, and thereby trigger in-place heap compaction
+        freely: the loop re-reads the (identity-stable) heap each
+        iteration.
         """
         if self._running:
             raise SimulationError("run() re-entered from within an event")
         self._running = True
+        global _total_events_processed
+        queue = self._queue
+        heap = queue._heap
+        free = queue._free
+        heappop = heapq.heappop
         fired = 0
         try:
             while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                # Inline peek: discard dead entries, find the next live one.
+                while heap and heap[0][FN] is None:
+                    heappop(heap)
+                if not heap:
                     reason = StopReason.DRAINED
                     break
-                if until_ns is not None and next_time > until_ns:
+                entry = heap[0]
+                time_ns = entry[TIME]
+                if until_ns is not None and time_ns > until_ns:
                     reason = StopReason.UNTIL
                     break
                 if max_events is not None and fired >= max_events:
                     reason = StopReason.MAX_EVENTS
                     break
-                self.step()
+                heappop(heap)
+                queue._live -= 1
+                self._now = time_ns
+                fn = entry[FN]
+                args = entry[ARGS]
+                entry[FN] = None  # mark consumed (handles stay inert)
+                entry[ARGS] = ()
+                if type(entry) is list and len(free) < FREE_LIST_MAX:
+                    free.append(entry)
                 fired += 1
+                self._events_processed += 1
+                fn(*args)
             if (reason is not StopReason.MAX_EVENTS
                     and until_ns is not None and until_ns > self._now):
                 self._now = until_ns
             return reason
         finally:
+            _total_events_processed += fired
             self._running = False
 
 

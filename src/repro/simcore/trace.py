@@ -31,11 +31,16 @@ class TimeSeries:
         return len(self._times)
 
     def record(self, time_ns: int, value: float) -> None:
-        """Append one sample. Times must be non-decreasing."""
-        if self._times and time_ns < self._times[-1]:
+        """Append one sample. Times must be non-decreasing.
+
+        This is called once per packet on instrumented paths, so it works
+        on local references and does only the ordering comparison.
+        """
+        times = self._times
+        if times and time_ns < times[-1]:
             raise ValueError(
-                f"samples must be time-ordered: {time_ns} < {self._times[-1]}")
-        self._times.append(time_ns)
+                f"samples must be time-ordered: {time_ns} < {times[-1]}")
+        times.append(time_ns)
         self._values.append(value)
 
     @property
@@ -51,9 +56,14 @@ class TimeSeries:
     def window(self, start_ns: int, end_ns: int) -> "TimeSeries":
         """Samples with ``start_ns <= t < end_ns``, as a new series."""
         out = TimeSeries(self.name)
+        times = out._times
+        values = out._values
+        # Samples are already time-ordered; append directly instead of
+        # re-validating through record().
         for t, v in zip(self._times, self._values):
             if start_ns <= t < end_ns:
-                out.record(t, v)
+                times.append(t)
+                values.append(v)
         return out
 
     def max(self) -> float:
@@ -79,10 +89,11 @@ class TimeSeries:
         last = self._times[-1] if end_ns is None else end_ns - 1
         n_bins = last // interval_ns + 1
         bins = np.zeros(n_bins)
-        for t, v in zip(self._times, self._values):
-            idx = t // interval_ns
-            if idx < n_bins:
-                bins[idx] += v
+        idx = self.times_ns // interval_ns
+        mask = idx < n_bins
+        # np.add.at is an unbuffered, in-order accumulate: it reproduces
+        # the reference python loop bit for bit even for repeated bins.
+        np.add.at(bins, idx[mask], self.values[mask])
         return bins
 
 

@@ -79,9 +79,13 @@ class TcpSender:
                  cca: CongestionControl, host: Host, dst_address: int,
                  flow_id: int):
         self._sim = sim
+        # Hoisted observer-gate: the hook registry is consulted on every
+        # ACK, so skip the sim attribute chain in the per-packet path.
+        self._hook_registry = sim.hooks
         self.config = config
         self.cca = cca
         self._host = host
+        self._nic = host.nic
         self._dst = dst_address
         self.flow_id = flow_id
         host.register_flow(flow_id, self)
@@ -202,11 +206,24 @@ class TcpSender:
             self._try_send_paced(pacing)
             return
         cwnd = self._send_window_bytes()
-        while self.snd_nxt < self._demand_end and self.pipe_bytes < cwnd:
-            payload = min(self.config.mss_bytes,
-                          self._demand_end - self.snd_nxt)
-            self._emit_segment(self.snd_nxt, payload, is_retransmit=False)
-            self.snd_nxt += payload
+        # Window-filling loop with the invariant quantities hoisted out:
+        # nothing inside _emit_segment can re-enter this sender (packet
+        # hand-off to the NIC only schedules events), so snd_una, the SACK
+        # scoreboard and the demand edge are loop constants and the pipe
+        # estimate can be advanced incrementally.
+        demand_end = self._demand_end
+        nxt = self.snd_nxt
+        if nxt >= demand_end:
+            return
+        mss = self.config.mss_bytes
+        sacked = self.sack.sacked_bytes() if self.sack is not None else 0
+        pipe = nxt - self.snd_una - sacked
+        while nxt < demand_end and (pipe if pipe > 0 else 0) < cwnd:
+            payload = mss if demand_end - nxt > mss else demand_end - nxt
+            self._emit_segment(nxt, payload, is_retransmit=False)
+            nxt += payload
+            pipe += payload
+            self.snd_nxt = nxt
 
     def _try_send_paced(self, interval_ns: int) -> None:
         """Pacing mode: one segment outstanding at a time, spaced by the
@@ -249,7 +266,7 @@ class TcpSender:
         if seq + payload > self._highest_sent:
             self._highest_sent = seq + payload
         self._last_send_ns = now
-        self._host.nic.send(packet)
+        self._nic.send(packet)
         if not self._timer.armed:
             self._timer.start(self.current_rto_ns())
 
@@ -310,7 +327,7 @@ class TcpSender:
             self._timer.start(self.current_rto_ns())
         else:
             self._timer.stop()
-        hooks = self._sim.hooks
+        hooks = self._hook_registry
         if hooks.any_active:
             if self._alpha_cca is not None:
                 windows = self._alpha_cca.windows_completed
@@ -391,8 +408,9 @@ class TcpSender:
         # Go-back-N: rewind and resend from the last cumulative ACK.
         self.snd_nxt = self.snd_una
         self._rto_backoff = min(self._rto_backoff * 2, _MAX_RTO_BACKOFF)
-        self._sim.hooks.emit("flow.rto", self.flow_id, self._host.address,
-                             self._rto_backoff, self._sim.now)
+        self._hook_registry.emit("flow.rto", self.flow_id,
+                                 self._host.address, self._rto_backoff,
+                                 self._sim.now)
         self._timer.start(self.current_rto_ns())
         self._retransmit_after_rto()
 
@@ -437,8 +455,10 @@ class TcpReceiver:
     def __init__(self, sim: Simulator, config: TcpConfig, host: Host,
                  peer_address: int, flow_id: int):
         self._sim = sim
+        self._hook_registry = sim.hooks
         self.config = config
         self._host = host
+        self._nic = host.nic
         self._peer = peer_address
         self.flow_id = flow_id
         host.register_flow(flow_id, self)
@@ -487,8 +507,8 @@ class TcpReceiver:
         if advanced:
             if not self._first_byte_emitted:
                 self._first_byte_emitted = True
-                self._sim.hooks.emit("flow.first_byte", self.flow_id,
-                                     self._host.address, self._sim.now)
+                self._hook_registry.emit("flow.first_byte", self.flow_id,
+                                         self._host.address, self._sim.now)
             for hook in self._hooks:
                 hook(self.rcv_nxt)
 
@@ -534,7 +554,7 @@ class TcpReceiver:
         self.stats.acks_sent += 1
         if ece:
             self.stats.ece_acks_sent += 1
-        self._host.nic.send(ack)
+        self._nic.send(ack)
 
     def _delayed_ack(self, ce: bool) -> None:
         """DCTCP delayed-ACK rule: flush immediately on a CE-state change so

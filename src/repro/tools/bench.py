@@ -1,0 +1,459 @@
+"""Reproducible performance benchmarks for the simulation stack.
+
+``python -m repro.tools.bench`` runs two suites and writes one JSON
+document per suite at the repository root (or ``--out-dir``):
+
+- **kernel** (``BENCH_kernel.json``) — pinned-seed micro-benchmarks of the
+  discrete-event hot path: pure event churn, the TCP-style timer
+  rearm/cancel pattern, a cancellation-heavy queue workload, and the
+  Figure 6 incast scenario at low and high flow counts (the high-N case is
+  the headline number ROADMAP's "fast as the hardware allows" goal is
+  tracked by).
+- **experiments** (``BENCH_experiments.json``) — end-to-end runs of the
+  simulation-backed figure modules (fig5/fig6/fig7) at a configurable
+  scale, the same scenarios ``benchmarks/bench_fig*.py`` exercises under
+  pytest.
+
+Every scenario runs ``--warmup`` throwaway iterations then ``--repeat``
+measured ones; the reported events/sec uses the best (minimum) wall time,
+which is the standard noise-robust statistic for micro-benchmarks. Event
+counts are produced by deterministic pinned-seed simulations and must be
+identical across repeats — the harness refuses to report a scenario whose
+event count wobbles, because that would mean the simulation itself (not
+just the clock) changed between runs.
+
+Comparing runs across machines by raw events/sec is meaningless, so each
+run also records a *calibration* rate (the pure event-churn micro-bench)
+and a per-scenario ``score`` = events/sec divided by the calibration
+rate. Scores are machine-speed-normalized to first order and are what the
+regression gate compares: a scenario regresses when its score drops more
+than ``--max-regression`` (default 20%) below the baseline's. The
+baseline is the previous run's JSON (``--baseline PATH``, defaulting to
+the existing output file), and the previous results are embedded in the
+new document under ``"baseline"`` so a single file tells the whole
+before/after story.
+
+Exit status: 0 on success, 2 when the regression gate trips (suppress
+with ``--no-fail``), 1 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro import units
+from repro.simcore import kernel
+from repro.simcore.event import EventQueue
+from repro.simcore.kernel import Simulator, Timer
+
+SCHEMA_VERSION = 1
+
+KERNEL_FILE = "BENCH_kernel.json"
+EXPERIMENTS_FILE = "BENCH_experiments.json"
+
+#: Scenario whose events/sec serves as the machine-speed calibration rate.
+CALIBRATION_SCENARIO = "event_churn"
+
+
+# --------------------------------------------------------------------------
+# Kernel micro-benchmarks. Each returns the number of "events" it
+# performed; all are deterministic for a fixed spec.
+# --------------------------------------------------------------------------
+
+def _bench_event_churn(n_events: int = 200_000, n_chains: int = 64) -> int:
+    """Pure event-loop throughput: ``n_chains`` self-rescheduling
+    callbacks, no cancellation, no network stack."""
+    sim = Simulator()
+
+    def tick() -> None:
+        sim.schedule(1_000, tick)
+
+    for i in range(n_chains):
+        sim.schedule(i + 1, tick)
+    sim.run(max_events=n_events)
+    return sim.events_processed
+
+
+def _bench_timer_rearm(n_iterations: int = 50_000) -> int:
+    """The TCP RTO pattern: every processed event rearms a long timer
+    (cancel + reschedule), so the heap fills with dead entries."""
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    remaining = n_iterations
+
+    def tick() -> None:
+        nonlocal remaining
+        timer.start(1_000_000)  # rearm: cancels the previous expiry
+        remaining -= 1
+        if remaining > 0:
+            sim.schedule(100, tick)
+
+    sim.schedule(0, tick)
+    sim.run()
+    return sim.events_processed
+
+
+def _bench_cancel_churn(rounds: int = 200, batch: int = 1_000) -> int:
+    """Queue-level push/cancel/pop churn: 90% of each batch is cancelled
+    before draining, the access pattern that stresses lazy deletion and
+    heap compaction. The reported count is total queue operations."""
+    q = EventQueue()
+    ops = 0
+    t = 0
+    for _ in range(rounds):
+        handles = []
+        for _ in range(batch):
+            t += 1
+            handles.append(q.push(t, int))
+        ops += batch
+        for handle in handles[: (batch * 9) // 10]:
+            q.cancel(handle)
+        ops += (batch * 9) // 10
+        while q.pop() is not None:
+            ops += 1
+    return ops
+
+
+def _bench_fig6_incast(n_flows: int) -> int:
+    """The Figure 6 scenario (2 ms bursts) at one incast degree — the
+    full packet-level stack: TCP, queues, links, probes."""
+    from repro.experiments.environment import (IncastSimConfig,
+                                               run_incast_sim)
+    before = kernel.total_events_processed()
+    cfg = IncastSimConfig(n_flows=n_flows,
+                          burst_duration_ns=units.msec(2.0),
+                          n_bursts=3, seed=0,
+                          max_sim_time_ns=units.sec(60.0))
+    run_incast_sim(cfg)
+    return kernel.total_events_processed() - before
+
+
+def kernel_scenarios() -> dict[str, tuple[dict, Callable[[], int]]]:
+    """The kernel suite: ``name -> (spec, callable)``.
+
+    Specs are embedded in the JSON and must match between two runs for
+    the regression gate to compare them.
+    """
+    return {
+        "event_churn": ({"n_events": 200_000, "n_chains": 64},
+                        lambda: _bench_event_churn(200_000, 64)),
+        "timer_rearm": ({"n_iterations": 50_000},
+                        lambda: _bench_timer_rearm(50_000)),
+        "cancel_churn": ({"rounds": 200, "batch": 1_000,
+                          "counts": "queue operations"},
+                         lambda: _bench_cancel_churn(200, 1_000)),
+        "fig6_incast_100": ({"n_flows": 100, "n_bursts": 3, "seed": 0,
+                             "burst_ms": 2.0},
+                            lambda: _bench_fig6_incast(100)),
+        "fig6_incast_500": ({"n_flows": 500, "n_bursts": 3, "seed": 0,
+                             "burst_ms": 2.0},
+                            lambda: _bench_fig6_incast(500)),
+    }
+
+
+def experiment_scenarios(scale: float
+                         ) -> dict[str, tuple[dict, Callable[[], int]]]:
+    """The experiments suite: full figure modules at ``scale``."""
+    # The engine package must be imported before any figure module to
+    # resolve the fig5 <-> engine module cycle in a consistent order.
+    import repro.experiments.engine  # noqa: F401
+    from repro.experiments import fig5, fig6, fig7
+
+    def run_module(module) -> Callable[[], int]:
+        def runner() -> int:
+            before = kernel.total_events_processed()
+            module.run(scale=scale, seed=0)
+            return kernel.total_events_processed() - before
+        return runner
+
+    spec = {"scale": scale, "seed": 0}
+    return {
+        "fig5": (dict(spec), run_module(fig5)),
+        "fig6": (dict(spec), run_module(fig6)),
+        "fig7": (dict(spec), run_module(fig7)),
+    }
+
+
+# --------------------------------------------------------------------------
+# Measurement
+# --------------------------------------------------------------------------
+
+class BenchError(RuntimeError):
+    """A scenario misbehaved (nondeterministic event count)."""
+
+
+def measure(fn: Callable[[], int], repeat: int,
+            warmup: int) -> tuple[int, list[float]]:
+    """Run ``fn`` ``warmup + repeat`` times; return its (stable) event
+    count and the measured wall times.
+
+    Raises :class:`BenchError` if the event count differs between any two
+    runs — pinned-seed scenarios must be deterministic.
+    """
+    counts: list[int] = []
+    walls: list[float] = []
+    for i in range(warmup + repeat):
+        t0 = time.perf_counter()
+        events = fn()
+        wall = time.perf_counter() - t0
+        counts.append(events)
+        if i >= warmup:
+            walls.append(wall)
+    if len(set(counts)) != 1:
+        raise BenchError(
+            f"nondeterministic event count across runs: {counts}")
+    return counts[0], walls
+
+
+def run_suite(scenarios: dict[str, tuple[dict, Callable[[], int]]],
+              repeat: int, warmup: int,
+              only: Optional[list[str]] = None,
+              verbose: bool = True) -> dict[str, dict]:
+    """Measure every scenario (filtered by ``only`` substrings); returns
+    the ``results`` mapping for the JSON document."""
+    results: dict[str, dict] = {}
+    for name, (spec, fn) in scenarios.items():
+        if only and not any(sub in name for sub in only):
+            continue
+        events, walls = measure(fn, repeat=repeat, warmup=warmup)
+        best = min(walls)
+        results[name] = {
+            "spec": spec,
+            "events": events,
+            "wall_s": [round(w, 6) for w in walls],
+            "best_wall_s": round(best, 6),
+            "events_per_sec": round(events / best, 1),
+        }
+        if verbose:
+            print(f"  {name:<18} {events:>9,} events  "
+                  f"best {best * 1e3:8.1f} ms  "
+                  f"{events / best:>12,.0f} events/sec")
+    return results
+
+
+def add_scores(results: dict[str, dict],
+               calibration_eps: Optional[float]) -> None:
+    """Attach machine-normalized ``score`` fields in place."""
+    if not calibration_eps:
+        return
+    for entry in results.values():
+        entry["score"] = round(entry["events_per_sec"] / calibration_eps, 6)
+
+
+# --------------------------------------------------------------------------
+# Baseline comparison
+# --------------------------------------------------------------------------
+
+def load_baseline(path: Path) -> Optional[dict]:
+    """Read a previous run's document; ``None`` when absent/unreadable."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def compare(results: dict[str, dict], baseline: dict,
+            max_regression: float) -> tuple[dict[str, dict], list[str]]:
+    """Diff ``results`` against a baseline document.
+
+    Returns ``(comparison, regressions)`` where ``comparison`` maps each
+    shared scenario (with a matching spec) to speedup/score-ratio fields
+    and ``regressions`` lists scenarios whose normalized score (falling
+    back to raw events/sec when either run lacks calibration) dropped by
+    more than ``max_regression``.
+    """
+    base_results = baseline.get("results", {})
+    comparison: dict[str, dict] = {}
+    regressions: list[str] = []
+    for name, entry in results.items():
+        base = base_results.get(name)
+        if base is None:
+            continue
+        if base.get("spec") != entry.get("spec"):
+            comparison[name] = {"skipped": "spec changed"}
+            continue
+        speedup = entry["events_per_sec"] / base["events_per_sec"]
+        row: dict[str, Any] = {
+            "baseline_events_per_sec": base["events_per_sec"],
+            "events_per_sec": entry["events_per_sec"],
+            "speedup": round(speedup, 3),
+        }
+        if "score" in entry and "score" in base and base["score"]:
+            ratio = entry["score"] / base["score"]
+            row["baseline_score"] = base["score"]
+            row["score"] = entry["score"]
+            row["score_ratio"] = round(ratio, 3)
+        else:
+            ratio = speedup
+        row["regressed"] = bool(ratio < 1.0 - max_regression)
+        if row["regressed"]:
+            regressions.append(name)
+        comparison[name] = row
+    return comparison, regressions
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+def _document(kind: str, params: dict, results: dict[str, dict],
+              calibration_eps: Optional[float],
+              baseline_doc: Optional[dict], baseline_source: Optional[str],
+              comparison: Optional[dict]) -> dict:
+    doc: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "params": params,
+        "calibration_events_per_sec": calibration_eps,
+        "results": results,
+    }
+    if baseline_doc is not None:
+        doc["baseline"] = {
+            "source": baseline_source,
+            "python": baseline_doc.get("python"),
+            "platform": baseline_doc.get("platform"),
+            "params": baseline_doc.get("params"),
+            "calibration_events_per_sec":
+                baseline_doc.get("calibration_events_per_sec"),
+            "results": baseline_doc.get("results", {}),
+        }
+        doc["comparison"] = comparison or {}
+    return doc
+
+
+def _print_comparison(comparison: dict[str, dict]) -> None:
+    for name, row in comparison.items():
+        if "skipped" in row:
+            print(f"  {name:<18} (skipped: {row['skipped']})")
+            continue
+        flag = "  REGRESSION" if row["regressed"] else ""
+        extra = (f"  score x{row['score_ratio']:.2f}"
+                 if "score_ratio" in row else "")
+        print(f"  {name:<18} {row['speedup']:5.2f}x events/sec vs "
+              f"baseline{extra}{flag}")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.bench",
+        description="Pinned-seed performance benchmarks for the "
+                    "simulation stack.")
+    parser.add_argument("--kernel", action="store_true",
+                        help="run the kernel micro-benchmark suite")
+    parser.add_argument("--experiments", action="store_true",
+                        help="run the end-to-end experiment suite")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI mode: kernel suite only, repeat=2, "
+                             "warmup=0 (unless overridden)")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="measured iterations per scenario "
+                             "(default 3, quick 2)")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="throwaway iterations per scenario "
+                             "(default 1, quick 0)")
+    parser.add_argument("--scale", type=float, default=0.35,
+                        help="scale factor for the experiment suite "
+                             "(default 0.35)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="SUBSTR",
+                        help="run only scenarios whose name contains "
+                             "SUBSTR (repeatable)")
+    parser.add_argument("--out-dir", type=Path, default=Path("."),
+                        help="directory for BENCH_*.json (default: cwd; "
+                             "run from the repo root)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="previous run to diff against (default: the "
+                             "existing output file, if any)")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="fail when a scenario's normalized score "
+                             "drops by more than this fraction "
+                             "(default 0.20)")
+    parser.add_argument("--no-fail", action="store_true",
+                        help="report regressions but exit 0")
+    args = parser.parse_args(argv)
+
+    suites = []
+    if args.kernel or args.quick or not args.experiments:
+        suites.append("kernel")
+    if args.experiments or not (args.kernel or args.quick):
+        suites.append("experiments")
+    repeat = args.repeat if args.repeat is not None else (
+        2 if args.quick else 3)
+    warmup = args.warmup if args.warmup is not None else (
+        0 if args.quick else 1)
+    if repeat <= 0:
+        parser.error("--repeat must be positive")
+    if warmup < 0:
+        parser.error("--warmup must be >= 0")
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    exit_code = 0
+    for kind in suites:
+        out_path = args.out_dir / (
+            KERNEL_FILE if kind == "kernel" else EXPERIMENTS_FILE)
+        baseline_path = args.baseline if args.baseline else out_path
+        baseline_doc = load_baseline(baseline_path)
+
+        print(f"[{kind}] repeat={repeat} warmup={warmup}")
+        if kind == "kernel":
+            scenarios = kernel_scenarios()
+            params = {"repeat": repeat, "warmup": warmup}
+        else:
+            scenarios = experiment_scenarios(args.scale)
+            params = {"repeat": repeat, "warmup": warmup,
+                      "scale": args.scale}
+        try:
+            results = run_suite(scenarios, repeat=repeat, warmup=warmup,
+                                only=args.only)
+        except BenchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not results:
+            print("  (no scenarios selected)")
+            continue
+
+        # Calibration: prefer an event_churn measured this run; otherwise
+        # measure a fresh one (cheap) so scores always exist.
+        if CALIBRATION_SCENARIO in results:
+            calibration_eps = results[CALIBRATION_SCENARIO][
+                "events_per_sec"]
+        else:
+            spec, fn = kernel_scenarios()[CALIBRATION_SCENARIO]
+            events, walls = measure(fn, repeat=1, warmup=0)
+            calibration_eps = round(events / min(walls), 1)
+        add_scores(results, calibration_eps)
+
+        comparison = None
+        if baseline_doc is not None:
+            comparison, regressions = compare(
+                results, baseline_doc, args.max_regression)
+            print(f"  -- vs baseline "
+                  f"({baseline_path}):")
+            _print_comparison(comparison)
+            if regressions and not args.no_fail:
+                print(f"error: events/sec regression beyond "
+                      f"{args.max_regression:.0%} in: "
+                      f"{', '.join(regressions)}", file=sys.stderr)
+                exit_code = 2
+
+        doc = _document(kind, params, results, calibration_eps,
+                        baseline_doc,
+                        str(baseline_path) if baseline_doc else None,
+                        comparison)
+        out_path.write_text(json.dumps(doc, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+        print(f"  wrote {out_path}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,7 @@ def dump_csv(telemetry: dict[str, dict], path: Path) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """CLI argument parser (exposed for the docs generator and tests)."""
     parser = argparse.ArgumentParser(
         prog="repro-telemetry-view",
         description="Render Millisampler-style telemetry from a "
@@ -119,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     telemetry = load_telemetry(Path(args.report))

@@ -1,0 +1,92 @@
+"""Smoke tests for the ``repro.tools.bench`` harness.
+
+Fast scenarios only (the incast micro-benches and the experiment suite
+are exercised by CI's bench job, not here). Pins the JSON schema the CI
+regression gate parses, determinism of reported event counts, baseline
+embedding, and the regression gate's exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tools import bench
+
+FAST_ONLY = ["--only", "event_churn", "--only", "cancel_churn"]
+
+
+def _run_kernel(tmp_path, extra=()):
+    return bench.main(["--kernel", "--repeat", "1", "--warmup", "0",
+                       "--out-dir", str(tmp_path), *FAST_ONLY, *extra])
+
+
+def _read_doc(tmp_path):
+    return json.loads((tmp_path / bench.KERNEL_FILE).read_text(
+        encoding="utf-8"))
+
+
+class TestBenchSmoke:
+    def test_schema_and_event_count_determinism(self, tmp_path):
+        assert _run_kernel(tmp_path) == 0
+        doc1 = _read_doc(tmp_path)
+        assert doc1["schema"] == bench.SCHEMA_VERSION
+        assert doc1["kind"] == "kernel"
+        assert doc1["params"] == {"repeat": 1, "warmup": 0}
+        assert doc1["calibration_events_per_sec"] > 0
+        assert set(doc1["results"]) == {"event_churn", "cancel_churn"}
+        for entry in doc1["results"].values():
+            assert entry["events"] > 0
+            assert entry["best_wall_s"] == min(entry["wall_s"])
+            assert entry["events_per_sec"] > 0
+            assert entry["score"] > 0
+            assert isinstance(entry["spec"], dict)
+        # The calibration scenario's score is 1.0 by construction.
+        assert doc1["results"]["event_churn"]["score"] == pytest.approx(1.0)
+
+        # A second run picks the first up as its default baseline; the
+        # pinned-seed event counts must be identical run to run.
+        assert _run_kernel(tmp_path, ["--no-fail"]) == 0
+        doc2 = _read_doc(tmp_path)
+        for name in doc1["results"]:
+            assert doc2["results"][name]["events"] \
+                == doc1["results"][name]["events"]
+        assert doc2["baseline"]["results"] == doc1["results"]
+        assert set(doc2["comparison"]) == set(doc1["results"])
+        for row in doc2["comparison"].values():
+            assert {"speedup", "score_ratio", "regressed"} <= set(row)
+
+    def test_regression_gate_exit_codes(self, tmp_path):
+        assert _run_kernel(tmp_path) == 0
+        doc = _read_doc(tmp_path)
+        # Forge a baseline claiming 10x the measured normalized score:
+        # the gate must trip (exit 2) unless --no-fail suppresses it.
+        forged = tmp_path / "forged_baseline.json"
+        inflated = json.loads(json.dumps(doc))
+        entry = inflated["results"]["cancel_churn"]
+        entry["score"] *= 10
+        entry["events_per_sec"] *= 10
+        forged.write_text(json.dumps(inflated), encoding="utf-8")
+
+        out = tmp_path / "gated"
+        assert _run_kernel(out, ["--baseline", str(forged)]) == 2
+        gated = json.loads((out / bench.KERNEL_FILE).read_text(
+            encoding="utf-8"))
+        assert gated["comparison"]["cancel_churn"]["regressed"] is True
+        assert _run_kernel(out, ["--baseline", str(forged),
+                                 "--no-fail"]) == 0
+
+    def test_spec_mismatch_is_skipped_not_compared(self):
+        results = {"s": {"spec": {"n": 2}, "events": 10,
+                         "events_per_sec": 100.0, "score": 1.0}}
+        baseline = {"results": {"s": {"spec": {"n": 1}, "events": 10,
+                                      "events_per_sec": 1.0, "score": 0.1}}}
+        comparison, regressions = bench.compare(results, baseline, 0.2)
+        assert comparison["s"] == {"skipped": "spec changed"}
+        assert regressions == []
+
+    def test_measure_rejects_nondeterministic_counts(self):
+        counts = iter([100, 101])
+        with pytest.raises(bench.BenchError):
+            bench.measure(lambda: next(counts), repeat=2, warmup=0)

@@ -1,0 +1,89 @@
+"""Tests for the docstring coverage gate (``repro.tools.docstrings``)."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.tools import docstrings
+
+SAMPLE = textwrap.dedent('''\
+    """Module docstring."""
+
+    def documented():
+        """Has one."""
+
+    def undocumented():
+        pass
+
+    def _private():  # not counted
+        pass
+
+    class Documented:
+        """Has one."""
+
+        def method(self):
+            pass
+
+        def _helper(self):  # not counted
+            pass
+
+    def outer():
+        """Has one."""
+        def inner():  # nested: not counted
+            pass
+''')
+
+
+class TestCheckFile:
+    def test_counts_public_defs_only(self, tmp_path):
+        path = tmp_path / "sample.py"
+        path.write_text(SAMPLE, encoding="utf-8")
+        report = docstrings.check_file(path)
+        # module + documented + undocumented + Documented + method + outer
+        assert report.total == 6
+        assert report.documented == 4
+        assert {(m.kind, m.name) for m in report.missing} \
+            == {("function", "undocumented"), ("function", "method")}
+        assert report.percent == pytest.approx(100 * 4 / 6)
+
+    def test_missing_module_docstring_counted(self, tmp_path):
+        path = tmp_path / "bare.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        report = docstrings.check_file(path)
+        assert report.total == 1 and report.documented == 0
+        assert report.missing[0].kind == "module"
+
+
+class TestCli:
+    def test_fail_under_exit_codes(self, tmp_path, capsys):
+        path = tmp_path / "sample.py"
+        path.write_text(SAMPLE, encoding="utf-8")
+        assert docstrings.main([str(path), "--fail-under", "60"]) == 0
+        assert docstrings.main([str(path), "--fail-under", "80"]) == 1
+        out = capsys.readouterr().out
+        assert "missing:" in out  # failures always name the gaps
+
+    def test_directory_walk(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text('"""Doc."""\n', encoding="utf-8")
+        (pkg / "b.py").write_text("x = 1\n", encoding="utf-8")
+        assert docstrings.main([str(pkg), "--fail-under", "50"]) == 0
+        assert docstrings.main([str(pkg), "--fail-under", "51"]) == 1
+
+
+class TestRepoGate:
+    def test_public_api_fully_documented(self):
+        """The same gate CI enforces: the kernel, the engine, and the CLI
+        tools keep 100% public-API docstring coverage."""
+        src = Path(repro.__file__).parent
+        assert docstrings.main([
+            str(src / "simcore"),
+            str(src / "experiments" / "engine"),
+            str(src / "tools"),
+            "--fail-under", "100",
+        ]) == 0

@@ -1,0 +1,183 @@
+"""Invariants the kernel fast path must preserve.
+
+The profile-guided hot path (list-backed heap entries, free-list pooling
+via ``push_fire``/``schedule_fire``, in-place heap compaction, and the
+inlined run loop) is only admissible because it is behaviour-preserving.
+These tests pin the load-bearing guarantees:
+
+- FIFO among equal timestamps survives entry pooling and recycling, for
+  arbitrary interleavings of ``schedule`` and ``schedule_fire``;
+- handles returned by ``push`` never enter the free-list pool, and stay
+  inert (cancel is a no-op) after firing;
+- in-place compaction never reorders or drops live events;
+- enabling the telemetry observer layer changes *observations only* —
+  simulation results are byte-identical with it on or off.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.experiments.environment import IncastSimConfig, run_incast_sim
+from repro.simcore.event import COMPACT_MIN_DEAD, Event, EventQueue
+from repro.simcore.kernel import Simulator, Timer
+
+
+class TestFifoSurvivesPooling:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_mixed_schedule_paths_fire_in_fifo_order(self, seed: int):
+        """Equal-timestamp events fire in scheduling order regardless of
+        which insertion path (handled vs pooled) each one used.
+
+        Runs several batches through one simulator so later batches are
+        served from recycled free-list entries, not fresh allocations.
+        """
+        rng = random.Random(seed)
+        sim = Simulator()
+        fired: list[int] = []
+        expected: list[tuple[int, int]] = []
+        label = 0
+        for _ in range(3):
+            base = sim.now
+            for _ in range(rng.randint(1, 80)):
+                delay = rng.randint(0, 10)
+                label += 1
+                expected.append((base + delay, label))
+                if rng.random() < 0.5:
+                    sim.schedule(delay, fired.append, (label,))
+                else:
+                    sim.schedule_fire(delay, fired.append, (label,))
+            sim.run()
+        # Stable sort by time == time order with FIFO tie-breaking.
+        assert fired == [lbl for _, lbl in
+                         sorted(expected, key=lambda pair: pair[0])]
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30)
+    def test_fifo_survives_cancellation_and_compaction(self, seed: int):
+        """Random cancellations (which can trigger in-place compaction
+        mid-run) never reorder or drop the surviving events."""
+        rng = random.Random(seed)
+        sim = Simulator()
+        fired: list[int] = []
+        survivors: list[tuple[int, int]] = []
+        handles: list[tuple[Event, int, int]] = []
+        for label in range(300):
+            delay = rng.randint(0, 10)
+            if rng.random() < 0.4:
+                sim.schedule_fire(delay, fired.append, (label,))
+                survivors.append((delay, label))
+            else:
+                handles.append((sim.schedule(delay, fired.append, (label,)),
+                                delay, label))
+        rng.shuffle(handles)
+        cut = len(handles) * 3 // 4
+        for event, _, _ in handles[:cut]:
+            sim.cancel(event)
+        survivors.extend((delay, label)
+                         for _, delay, label in handles[cut:])
+        sim.run()
+        # Labels were assigned in scheduling order, so (time, label) is the
+        # expected (time, seq) firing order.
+        assert fired == [lbl for _, lbl in sorted(survivors)]
+
+    def test_push_handles_never_enter_free_list(self):
+        """Only bare-list ``push_fire`` entries may be pooled: a recycled
+        Event handle could alias an unrelated future event for anyone
+        still holding the reference."""
+        sim = Simulator()
+        for i in range(50):
+            sim.schedule(i, lambda: None)
+            sim.schedule_fire(i, lambda: None)
+        sim.run()
+        free = sim._queue._free
+        assert len(free) > 0  # pooling actually happened
+        assert all(type(entry) is list for entry in free)
+        assert not any(isinstance(entry, Event) for entry in free)
+
+    def test_fired_handle_is_inert(self):
+        """Cancelling a handle after it fired must be a no-op and must not
+        corrupt the live-event count."""
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        later = sim.schedule(20, lambda: None)
+        sim.run(until_ns=15)
+        assert event.cancelled  # consumed by firing
+        sim.cancel(event)  # no-op; must not decrement _live
+        assert sim.pending_events == 1
+        sim.cancel(later)
+        assert sim.pending_events == 0
+
+
+class TestCompaction:
+    def test_compaction_bounds_heap_and_preserves_order(self):
+        """Mass cancellation compacts the heap in place; the drain still
+        yields exactly the live events in (time, seq) order."""
+        q = EventQueue()
+        keep = []
+        doomed = []
+        for i in range(10 * COMPACT_MIN_DEAD):
+            event = q.push(i % 7, lambda: None)
+            (doomed if i % 5 else keep).append(event)
+        for event in doomed:
+            q.cancel(event)
+        # Dead entries outnumber live by far, so compaction must have run.
+        assert len(q._heap) < len(keep) + COMPACT_MIN_DEAD + 1
+        drained = []
+        while (event := q.pop()) is not None:
+            drained.append(event)
+        assert {id(e) for e in drained} == {id(e) for e in keep}
+        keys = [(e.time_ns, e.seq) for e in drained]
+        assert keys == sorted(keys)
+
+    def test_timer_rearm_keeps_heap_compact(self):
+        """The TCP RTO pattern — rearm a long timer on every event — must
+        not accumulate unbounded dead heap entries."""
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        remaining = 2_000
+
+        def tick() -> None:
+            nonlocal remaining
+            timer.start(units.msec(1.0))
+            remaining -= 1
+            if remaining > 0:
+                sim.schedule(100, tick)
+
+        sim.schedule(0, tick)
+        sim.run(until_ns=units.msec(0.5))
+        heap_len = len(sim._queue._heap)
+        live = sim.pending_events
+        assert heap_len - live <= max(2 * live, COMPACT_MIN_DEAD + 1)
+
+
+class TestHookEmissionEquivalence:
+    def test_telemetry_on_off_identical_results(self):
+        """The telemetry layer is an observer: turning it on adds sampling
+        events interleaved with the workload but must not perturb any
+        simulation outcome."""
+        base = dict(n_flows=6, burst_duration_ns=units.msec(0.5),
+                    n_bursts=3, seed=1, max_sim_time_ns=units.sec(5.0))
+        off = run_incast_sim(IncastSimConfig(**base))
+        on = run_incast_sim(IncastSimConfig(**base, telemetry=True))
+        assert off.telemetry is None
+        assert on.telemetry is not None
+        assert len(on.telemetry.hosts) > 0
+
+        assert on.mean_bct_ms == off.mean_bct_ms
+        assert on.steady_drops == off.steady_drops
+        assert on.steady_rtos == off.steady_rtos
+        assert on.steady_marked_packets == off.steady_marked_packets
+        assert on.steady_retransmits == off.steady_retransmits
+        assert on.mode == off.mode
+        assert on.burst_starts_ns == off.burst_starts_ns
+        np.testing.assert_array_equal(on.queue_times_ns, off.queue_times_ns)
+        np.testing.assert_array_equal(on.queue_packets, off.queue_packets)
+        np.testing.assert_array_equal(on.aligned_queue_packets,
+                                      off.aligned_queue_packets)
+        assert ([b.bct_ms for b in on.burst_results]
+                == [b.bct_ms for b in off.burst_results])
