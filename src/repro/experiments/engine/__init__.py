@@ -29,16 +29,34 @@ independent of execution order, worker placement and retry count, which is
 what makes ``--jobs N`` results identical to ``--jobs 1`` and
 fault-recovered runs identical to fault-free ones.
 
+The engine is also *crash-safe*: a journaled campaign
+(:mod:`repro.experiments.engine.journal`) appends every unit state
+transition to an fsynced JSONL journal, SIGTERM/SIGINT preempt it
+gracefully (:class:`CampaignInterrupted`, CLI exit ``128 + signum``), and
+``--resume`` replays the journal — identity-hash-verified — to run only
+the remainder with charged attempt counts carried over. The result cache
+doubles as the durable payload store for resumes, so it is hardened:
+checksummed entries (corruption costs a recompute, never a wrong
+result), graceful ``ENOSPC`` degradation, and optional LRU quota
+eviction.
+
 Chaos testing hooks live in :mod:`repro.experiments.engine.faults`:
-deterministic crash/hang/flaky fault specs threaded into workers, off by
+deterministic crash/hang/flaky/signal/disk-full fault specs, off by
 default and invisible to cache keys.
 """
 
 from repro.experiments.engine.cache import ResultCache
 from repro.experiments.engine.core import (EXPERIMENT_MODULES, CampaignError,
+                                           CampaignInterrupted,
                                            run_experiment, run_experiments)
 from repro.experiments.engine.faults import (FaultInjected, FaultSpec,
                                              faults_from_env, parse_faults)
+from repro.experiments.engine.journal import (CampaignJournal, JournalError,
+                                              JournalReplay,
+                                              ResumeMismatchError,
+                                              campaign_identity,
+                                              load_resume_state,
+                                              replay_journal)
 from repro.experiments.engine.report import (FailureRecord, RunReport,
                                              UnitReport)
 from repro.experiments.engine.spec import WorkUnit
@@ -46,15 +64,23 @@ from repro.experiments.engine.spec import WorkUnit
 __all__ = [
     "EXPERIMENT_MODULES",
     "CampaignError",
+    "CampaignInterrupted",
+    "CampaignJournal",
     "FailureRecord",
     "FaultInjected",
     "FaultSpec",
+    "JournalError",
+    "JournalReplay",
     "ResultCache",
+    "ResumeMismatchError",
     "RunReport",
     "UnitReport",
     "WorkUnit",
+    "campaign_identity",
     "faults_from_env",
+    "load_resume_state",
     "parse_faults",
+    "replay_journal",
     "run_experiment",
     "run_experiments",
 ]

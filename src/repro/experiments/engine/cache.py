@@ -4,20 +4,42 @@ Layout: ``<root>/v<repro.__version__>/<key[:2]>/<key>.pkl`` where ``key`` is
 :meth:`WorkUnit.cache_key` (which itself folds the version in, so entries
 from different releases can never collide even if the directory fan-out is
 bypassed). Writes are atomic (temp file + rename) so concurrent experiment
-runs sharing a cache directory cannot observe torn entries; unreadable or
-truncated entries are treated as misses and deleted.
+runs sharing a cache directory cannot observe torn entries.
+
+The cache is also the engine's *durable payload store* for crash-safe
+campaigns (``--resume`` replays the journal and loads completed payloads
+from here), so it is hardened against the disk itself:
+
+- every entry carries a **checksum footer** (SHA-256 over the pickle
+  bytes). A truncated or bit-flipped entry — whether it still unpickles
+  or not — is detected on read, deleted, and treated as a miss, so
+  corruption costs a recompute, never a wrong result;
+- :meth:`put` **degrades gracefully**: ``ENOSPC`` (or any ``OSError``)
+  while persisting a payload warns once, is counted for the run report's
+  ``cache_degraded`` section, and the computed result is simply returned
+  uncached — a unit whose work already succeeded can never be failed by
+  the disk;
+- an optional **quota** (``quota_bytes``) evicts least-recently-used
+  entries before a write so shared cache directories survive disk
+  pressure (reads refresh an entry's mtime, which is the LRU clock).
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import warnings
 from pathlib import Path
-from typing import Any, Iterable, Optional, Union
+from typing import Any, Callable, Iterable, Optional, Union
 
 import repro
 
 _SENTINEL = object()
+
+#: Entry format marker; the 40-byte footer is ``magic + sha256(payload)``.
+_FOOTER_MAGIC = b"RPRCSUM1"
+_FOOTER_LEN = len(_FOOTER_MAGIC) + 32
 
 
 def _writer_pid(tmp_name: str) -> Optional[int]:
@@ -58,13 +80,46 @@ class ResultCache:
 
     A disabled cache (``enabled=False``) keeps the same interface but never
     reads or writes, which lets the engine treat ``--no-cache`` uniformly.
+
+    Degradation counters (``put_errors``, ``corrupt_dropped``,
+    ``evictions``, ``quota_skips``) accumulate per instance; the engine
+    snapshots them around a run to report per-campaign deltas.
+
+    Args:
+        directory: Cache root; default :func:`default_cache_dir`.
+        enabled: ``False`` turns every operation into a no-op/miss.
+        quota_bytes: Optional ceiling on the total size of stored
+            entries. Before a write that would exceed it, least-recently
+            -used entries are evicted; a payload larger than the whole
+            quota is skipped (counted in ``quota_skips``).
     """
 
     def __init__(self, directory: Union[str, Path, None] = None,
-                 enabled: bool = True):
+                 enabled: bool = True,
+                 quota_bytes: Optional[int] = None):
+        if quota_bytes is not None and quota_bytes <= 0:
+            raise ValueError(f"quota_bytes must be positive, "
+                             f"got {quota_bytes}")
         self.enabled = enabled
         self.directory = (Path(directory).expanduser() if directory
                           else default_cache_dir())
+        self.quota_bytes = quota_bytes
+        #: Failed :meth:`put` calls (payload computed but not persisted).
+        self.put_errors = 0
+        #: Summary of the first :meth:`put` failure, for the run report.
+        self.first_put_error: Optional[str] = None
+        #: Entries dropped because their checksum or unpickling failed.
+        self.corrupt_dropped = 0
+        #: Entries evicted to stay under :attr:`quota_bytes`.
+        self.evictions = 0
+        #: Writes skipped because the payload alone exceeds the quota.
+        self.quota_skips = 0
+        #: Test/chaos hook: called with the key at the top of every
+        #: enabled :meth:`put`; an exception it raises (e.g. an injected
+        #: ``ENOSPC``) takes the exact degradation path a real disk
+        #: error would.
+        self.put_fault: Optional[Callable[[str], None]] = None
+        self._warned_put = False
 
     @property
     def version_dir(self) -> Path:
@@ -75,46 +130,163 @@ class ResultCache:
         """Where ``key``'s payload lives (whether or not it exists yet)."""
         return self.version_dir / key[:2] / f"{key}.pkl"
 
+    def degradation_snapshot(self) -> tuple[int, int, int, int]:
+        """Current counter values, for per-campaign delta reporting."""
+        return (self.put_errors, self.corrupt_dropped, self.evictions,
+                self.quota_skips)
+
+    def degradation_since(self, snapshot: tuple[int, int, int, int]
+                          ) -> Optional[dict]:
+        """Counter deltas since ``snapshot`` as a run-report section, or
+        ``None`` when nothing degraded."""
+        put_errors, corrupt, evictions, skips = (
+            now - then for now, then in zip(self.degradation_snapshot(),
+                                            snapshot))
+        if not any((put_errors, corrupt, evictions, skips)):
+            return None
+        section: dict = {"put_errors": put_errors,
+                         "corrupt_dropped": corrupt,
+                         "evictions": evictions,
+                         "quota_skips": skips}
+        if put_errors and self.first_put_error:
+            section["first_put_error"] = self.first_put_error
+        return section
+
+    def _drop_corrupt(self, path: Path) -> None:
+        """Delete a failed entry and count it (missing file is fine —
+        a concurrent reader may have dropped it first)."""
+        self.corrupt_dropped += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
     def get(self, key: str) -> Optional[Any]:
         """The cached payload for ``key``, or ``None`` on a miss.
 
         Payloads are never ``None`` (executors return results or raise), so
-        ``None`` is unambiguous.
+        ``None`` is unambiguous. An entry whose checksum footer is absent
+        (pre-footer format), wrong (bit rot, truncation) or whose pickle
+        fails to load is dropped and reported as a miss. A hit refreshes
+        the entry's mtime, which is what the quota eviction orders by.
         """
         if not self.enabled:
             return None
         path = self.path_for(key)
         try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
+            blob = path.read_bytes()
         except FileNotFoundError:
             return None
-        except Exception:
-            # Torn write or unpicklable leftover from an older code state:
-            # drop it and recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except OSError:
             return None
+        if (len(blob) <= _FOOTER_LEN
+                or blob[-_FOOTER_LEN:-32] != _FOOTER_MAGIC):
+            self._drop_corrupt(path)
+            return None
+        payload_bytes = blob[:-_FOOTER_LEN]
+        if hashlib.sha256(payload_bytes).digest() != blob[-32:]:
+            self._drop_corrupt(path)
+            return None
+        try:
+            payload = pickle.loads(payload_bytes)
+        except Exception:
+            # Checksum-valid but unloadable: written by an incompatible
+            # code state; drop it and recompute.
+            self._drop_corrupt(path)
+            return None
+        try:
+            os.utime(path)  # LRU clock for quota eviction
+        except OSError:
+            pass
+        return payload
 
-    def put(self, key: str, payload: Any) -> None:
-        """Store ``payload`` under ``key`` (atomic; no-op when disabled)."""
+    def _evict_for(self, incoming: int) -> bool:
+        """Make room for ``incoming`` bytes under the quota.
+
+        Evicts least-recently-used entries (oldest mtime first; reads
+        refresh mtime). Returns ``False`` when the payload can never fit
+        — larger than the whole quota — in which case the write is
+        skipped.
+        """
+        if self.quota_bytes is None:
+            return True
+        if incoming > self.quota_bytes:
+            self.quota_skips += 1
+            return False
+        entries = []
+        total = 0
+        for entry in self.directory.rglob("*.pkl"):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, entry))
+            total += stat.st_size
+        for mtime, size, entry in sorted(entries, key=lambda e: e[:2]):
+            if total + incoming <= self.quota_bytes:
+                break
+            try:
+                entry.unlink()
+            except FileNotFoundError:
+                total -= size  # a concurrent run beat us to it
+                continue
+            except OSError:
+                continue
+            self.evictions += 1
+            total -= size
+        return True
+
+    def put(self, key: str, payload: Any) -> bool:
+        """Store ``payload`` under ``key``; returns whether it persisted.
+
+        Atomic (temp file + rename) and checksummed. Never raises for
+        storage problems: ``ENOSPC``, permission errors, or an
+        unpicklable payload degrade to an uncached-but-successful unit —
+        a one-time warning is emitted and the failure is counted for the
+        run report's ``cache_degraded`` section. No-op when disabled.
+        """
         if not self.enabled:
-            return
+            return False
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
+            if self.put_fault is not None:
+                self.put_fault(key)
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            blob += _FOOTER_MAGIC + hashlib.sha256(blob).digest()
+            if not self._evict_for(len(blob)):
+                return False
+            path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(blob)
             os.replace(tmp, path)
+            return True
+        except (OSError, pickle.PickleError, AttributeError,
+                TypeError) as exc:
+            # OSError covers the disk (ENOSPC, permissions); the rest are
+            # how CPython reports an unpicklable payload (PicklingError,
+            # or Attribute/TypeError for local/exotic objects).
+            self.put_errors += 1
+            if self.first_put_error is None:
+                self.first_put_error = f"{type(exc).__name__}: {exc}"
+            if not self._warned_put:
+                self._warned_put = True
+                warnings.warn(
+                    f"result cache degraded — could not persist a payload "
+                    f"({exc}); continuing uncached", RuntimeWarning,
+                    stacklevel=2)
+            return False
         finally:
-            if tmp.exists():
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
+            # Single unlink, racing cleanly with a concurrent
+            # sweep_stale() from another run: the file being gone already
+            # is success, not an error (the old exists()-then-unlink()
+            # pair could trip on exactly that race).
+            try:
+                tmp.unlink()
+            except FileNotFoundError:
+                pass
+            except OSError:
+                pass
 
     def clear(self) -> int:
         """Delete every entry for the current version — including stale
@@ -164,4 +336,6 @@ class ResultCache:
 
     def __repr__(self) -> str:
         state = "on" if self.enabled else "off"
+        if self.quota_bytes is not None:
+            state += f", quota={self.quota_bytes}B"
         return f"ResultCache({self.directory}, {state})"

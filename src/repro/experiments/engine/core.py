@@ -30,12 +30,31 @@ Section 3 results only exist because collection tolerates that):
   that merge that unit's payload fail — everything else still merges,
   and the failure is recorded in the run report's ``failures`` section.
 
+Crash safety (the campaign parent itself is preemptible — a scheduler
+SIGTERM, an OOM kill, a power loss):
+
+- with a journal (``journal_path``), every unit state transition is
+  appended to an fsynced, line-oriented campaign journal
+  (:mod:`repro.experiments.engine.journal`) before execution proceeds;
+- with ``handle_signals=True`` (the CLI), SIGTERM/SIGINT trigger a
+  graceful preemption: stop submitting, kill in-flight units (their
+  attempts were never completed, so they are *uncharged*), sweep spill
+  files, flush a final journal checkpoint, and raise
+  :class:`CampaignInterrupted` so the CLI can exit ``128 + signum``;
+- ``resume_from`` (a :class:`~repro.experiments.engine.journal
+  .JournalReplay`) verifies the campaign identity hash, then carries
+  journal state forward: completed payloads load from the result cache,
+  charged failed attempts are restored onto their units (a restart can
+  never reset a retry budget), and permanently failed units stay failed
+  unless the new retry budget grants them another try.
+
 Determinism: units derive every RNG stream from ``(seed, name)`` (see
 :class:`repro.simcore.random.RngHub`), so payloads do not depend on worker
 placement, completion order *or retry count*, and merges consume payloads
 in planning order. ``--jobs N`` therefore reproduces ``--jobs 1``
-exactly, and a run that recovered from faults is byte-identical to a
-fault-free one.
+exactly, a run that recovered from faults is byte-identical to a
+fault-free one, and an interrupted-then-resumed campaign is
+byte-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -43,17 +62,26 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import os
+import signal as signal_module
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Iterable, Optional, Sequence
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro.experiments import (ablations, crossval, fig1, fig2, fig3, fig4,
                                fig5, fig6, fig7, table1)
 from repro.experiments.engine.cache import ResultCache
-from repro.experiments.engine.faults import FaultSpec, maybe_inject
+from repro.experiments.engine.faults import (MODE_DISK_FULL, MODE_SIGNAL,
+                                             WORKER_MODES, FaultSpec,
+                                             maybe_inject)
+from repro.experiments.engine.journal import (CampaignJournal, JournalReplay,
+                                              ResumeMismatchError,
+                                              campaign_identity)
 from repro.experiments.engine.report import (SOURCE_CACHE, SOURCE_FAILED,
                                              SOURCE_RUN, SOURCE_SHARED,
                                              FailureRecord, RunReport,
@@ -99,6 +127,82 @@ class CampaignError(RuntimeError):
         super().__init__(message)
         self.failures = failures
         self.report = report
+
+
+class CampaignInterrupted(BaseException):
+    """The campaign was preempted by a signal (SIGTERM/SIGINT).
+
+    A :class:`BaseException` (like :class:`KeyboardInterrupt`) so the
+    per-unit retry machinery can never mistake a preemption for a unit
+    failure. By the time this propagates out of
+    :func:`run_experiments`, the worker pool has been reaped, spill
+    files swept, and the journal's final checkpoint flushed — the
+    conventional exit code is ``128 + signum``.
+
+    Attributes:
+        signum: The delivering signal's number.
+        report: The partially filled :class:`RunReport` for the
+            interrupted leg (journal path included when journaled).
+    """
+
+    def __init__(self, signum: int, report: Optional[RunReport] = None):
+        try:
+            name = signal_module.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        super().__init__(f"campaign interrupted by {name}")
+        self.signum = signum
+        self.report = report
+
+
+class _SignalGuard:
+    """Install SIGTERM/SIGINT handlers that raise
+    :class:`CampaignInterrupted` for the duration of a campaign.
+
+    Installation is skipped (harmlessly) off the main thread or when
+    ``enabled=False``; previous handlers are always restored on exit.
+    """
+
+    SIGNALS = (signal_module.SIGTERM, signal_module.SIGINT)
+
+    def __init__(self, enabled: bool):
+        self.enabled = enabled
+        self._previous: dict[int, Any] = {}
+        self._owner_pid = os.getpid()
+
+    def _handler(self, signum, frame) -> None:
+        """Raise the preemption out of whatever the main thread is in
+        (``futures_wait``, a serial unit, a backoff sleep).
+
+        Forked pool workers inherit this registration; in a child the
+        handler restores the default disposition and re-delivers, so a
+        reaped worker dies like a plain SIGTERM instead of printing a
+        spurious ``CampaignInterrupted`` traceback.
+        """
+        if os.getpid() != self._owner_pid:
+            signal_module.signal(signum, signal_module.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        raise CampaignInterrupted(signum)
+
+    def __enter__(self) -> "_SignalGuard":
+        """Install the handlers (no-op off the main thread)."""
+        if (self.enabled
+                and threading.current_thread() is threading.main_thread()):
+            for sig in self.SIGNALS:
+                try:
+                    self._previous[sig] = signal_module.signal(
+                        sig, self._handler)
+                except (ValueError, OSError):  # non-main thread races,
+                    pass                       # exotic platforms
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Restore whatever handlers were installed before."""
+        for sig, previous in self._previous.items():
+            with contextlib.suppress(Exception):
+                signal_module.signal(sig, previous)
+        self._previous.clear()
 
 
 class _CampaignAbort(Exception):
@@ -200,7 +304,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> list[int]:
 
 def _execute_serial(
         tasks: list[_Task], *, max_attempts: int, backoff_s: float,
-        faults: Sequence[FaultSpec],
+        faults: Sequence[FaultSpec], journal: CampaignJournal,
         on_success: Callable[[_Task, Any, float, int, int], None],
         on_permanent_failure: Callable[[_Task], None]) -> None:
     """The classic in-process path (``jobs == 1``), now with retries.
@@ -211,6 +315,8 @@ def _execute_serial(
     """
     for task in tasks:
         while True:
+            journal.record_started(task.key, task.unit.label,
+                                   task.attempts)
             try:
                 payload, wall_s, events, pid = execute_unit(
                     task.unit, attempt=task.attempts, faults=faults)
@@ -222,6 +328,9 @@ def _execute_serial(
                 task.last_error = detail
                 task.history.append(f"attempt {task.attempts} error: "
                                     f"{_summary_line(detail)}")
+                journal.record_attempt_failed(
+                    task.key, task.unit.label, task.attempts, "error",
+                    _summary_line(detail))
                 if task.attempts >= max_attempts:
                     on_permanent_failure(task)
                     break
@@ -236,6 +345,7 @@ def _execute_pool(
         tasks: list[_Task], *, workers: int,
         unit_timeout_s: Optional[float], max_attempts: int,
         backoff_s: float, faults: Sequence[FaultSpec], cache: ResultCache,
+        journal: CampaignJournal,
         on_success: Callable[[_Task, Any, float, int, int], None],
         on_permanent_failure: Callable[[_Task], None],
         respawn_counter: list[int]) -> None:
@@ -280,12 +390,21 @@ def _execute_pool(
         task.last_error = detail
         task.history.append(
             f"attempt {task.attempts} {kind}: {_summary_line(detail)}")
+        journal.record_attempt_failed(task.key, task.unit.label,
+                                      task.attempts, kind,
+                                      _summary_line(detail))
         if task.attempts >= max_attempts:
             on_permanent_failure(task)  # raises _CampaignAbort on fail-fast
             return
         backoff = backoff_s * (2 ** (task.attempts - 1))
         task.next_eligible = time.monotonic() + backoff
         queue.append(task)
+
+    def requeue_uncharged(task: _Task, reason: str) -> None:
+        """Return an innocent in-flight task to the queue, uncharged."""
+        task.next_eligible = 0.0
+        queue.append(task)
+        journal.record_requeued(task.key, task.unit.label, reason)
 
     def submit(task: _Task) -> bool:
         """Hand ``task`` to the pool; False if the pool was found dead
@@ -299,6 +418,7 @@ def _execute_pool(
             respawn()
             return False
         active[future] = task
+        journal.record_started(task.key, task.unit.label, task.attempts)
         return True
 
     try:
@@ -380,12 +500,14 @@ def _execute_pool(
                         "worker process died while this unit ran alone "
                         "in the pool")
                     for task in quarantine:
-                        task.next_eligible = 0.0
-                    queue.extend(quarantine)
+                        requeue_uncharged(task, "quarantine-released")
                     quarantine.clear()
                 else:
                     # Culprit unknown: probe the suspects one at a time,
                     # uncharged until proven guilty.
+                    for task in suspects:
+                        journal.record_requeued(task.key, task.unit.label,
+                                                "pool-crash-quarantine")
                     quarantine.extend(suspects)
                 continue
 
@@ -402,8 +524,7 @@ def _execute_pool(
                     active.clear()
                     respawn()
                     for task in victims:
-                        task.next_eligible = 0.0
-                        queue.append(task)
+                        requeue_uncharged(task, "timeout-victim")
                     for task in expired:
                         charge_failure(
                             task, "timeout",
@@ -426,6 +547,10 @@ def run_experiments(
         keep_going: bool = False,
         retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
         faults: Iterable[FaultSpec] = (),
+        journal_path: Union[str, Path, None] = None,
+        checkpoint_interval_s: Optional[float] = None,
+        resume_from: Optional[JournalReplay] = None,
+        handle_signals: bool = False,
 ) -> tuple[dict[str, ExperimentResult], RunReport]:
     """Run several experiments through the engine.
 
@@ -460,9 +585,29 @@ def run_experiments(
         retry_backoff_s: Base retry delay; attempt ``k`` waits
             ``retry_backoff_s * 2**(k-1)``. Pass 0 for immediate retries
             (tests).
-        faults: :class:`FaultSpec` chaos hooks threaded into
-            :func:`execute_unit`; deterministic, off by default, and
-            invisible to cache keys.
+        faults: :class:`FaultSpec` chaos hooks; deterministic, off by
+            default, and invisible to cache keys. Worker-side modes
+            thread into :func:`execute_unit`; ``signal`` specs fire in
+            the campaign parent when a matching unit completes, and
+            ``disk_full`` specs fire inside the matching cache write.
+        journal_path: Write an append-only crash-safe campaign journal
+            here (see :mod:`repro.experiments.engine.journal`). ``None``
+            disables journaling unless ``resume_from`` provides a
+            journal to extend.
+        checkpoint_interval_s: Batch journal fsyncs to at most one per
+            this many seconds (and emit periodic ``checkpoint``
+            records). ``None`` fsyncs every record.
+        resume_from: Journal state from a previous (interrupted) leg of
+            this same campaign. The campaign identity hash is verified,
+            completed payloads are served from the result cache, and
+            charged attempt counts carry over — a restart never resets
+            a unit's retry budget.
+        handle_signals: Install SIGTERM/SIGINT handlers for the duration
+            of the campaign that preempt it gracefully (kill in-flight
+            units uncharged, flush a final journal checkpoint, raise
+            :class:`CampaignInterrupted`). Only effective on the main
+            thread; the CLI enables it, library callers usually keep
+            their own signal disposition.
 
     Returns:
         ``(results, report)`` — results keyed by experiment name in the
@@ -473,6 +618,11 @@ def run_experiments(
     Raises:
         CampaignError: A unit failed permanently and ``keep_going`` is
             off. The exception carries the partial run report.
+        CampaignInterrupted: ``handle_signals`` was on and a
+            SIGTERM/SIGINT arrived; the journal (if any) holds a final
+            checkpoint and the run is resumable.
+        ResumeMismatchError: ``resume_from`` belongs to a different
+            campaign (names, params, scale, seed or code version drift).
     """
     unknown = [name for name in names if name not in EXPERIMENT_MODULES]
     if unknown:
@@ -488,16 +638,49 @@ def run_experiments(
         raise ValueError("unit_timeout_s requires jobs >= 2: a hung unit "
                          "cannot be interrupted in-process")
     faults = tuple(faults)
+    worker_faults = tuple(f for f in faults if f.mode in WORKER_MODES)
+    signal_faults = [f for f in faults if f.mode == MODE_SIGNAL]
+    disk_faults = [f for f in faults if f.mode == MODE_DISK_FULL]
     cache = cache if cache is not None else ResultCache(enabled=False)
     cache.sweep_stale()
+    degradation_snapshot = cache.degradation_snapshot()
     tele_params = None
     if telemetry:
         tele_params = {"interval_ns": int(telemetry_interval_ns
                                           or DEFAULT_TELEMETRY_INTERVAL_NS)}
     started = time.perf_counter()
 
-    # --- plan: collect units, dedup across experiments, consult cache ----
+    # --- plan: collect every unit and bind the campaign identity ---------
     plan: dict[str, list[tuple[WorkUnit, str]]] = {}
+    for name in names:
+        units = EXPERIMENT_MODULES[name].work_units(scale, seed)
+        if tele_params is not None:
+            units = [dataclasses.replace(
+                unit, params={**unit.params, "telemetry": tele_params})
+                for unit in units]
+        plan[name] = [(unit, unit.cache_key()) for unit in units]
+    identity = campaign_identity(
+        names, scale, seed,
+        (key for name in names for _, key in plan[name]))
+    if resume_from is not None and resume_from.identity != identity:
+        raise ResumeMismatchError(
+            f"journal {resume_from.journal_path} was recorded for campaign "
+            f"{resume_from.identity[:12]}…, but the requested plan hashes "
+            f"to {identity[:12]}… — same experiments, scale, seed, "
+            f"telemetry and code version are required to resume")
+    resolved_journal_path = journal_path if journal_path is not None \
+        else (resume_from.journal_path if resume_from is not None else None)
+    journal = CampaignJournal(resolved_journal_path,
+                              checkpoint_interval_s=checkpoint_interval_s)
+    journal.open_campaign(identity, names, scale, seed, tele_params,
+                          resumed=resume_from is not None)
+
+    replay_charged = resume_from.charged if resume_from else {}
+    replay_failed = resume_from.permanent_failed if resume_from else {}
+    replay_completed = resume_from.completed if resume_from else {}
+    max_attempts = retries + 1
+
+    # --- resolve: dedup across experiments, consult cache/journal --------
     payloads: dict[str, Any] = {}
     reports: dict[tuple[str, str], UnitReport] = {}
     ordered_records: list[UnitReport] = []
@@ -510,16 +693,11 @@ def run_experiments(
     shared_waiting: dict[str, list[UnitReport]] = {}
     primary_record: dict[str, UnitReport] = {}
     seen: set[str] = set()
+    completed_carried = 0
+    attempts_carried = 0
+    carried_failed: list[_Task] = []
     for name in names:
-        units = EXPERIMENT_MODULES[name].work_units(scale, seed)
-        if tele_params is not None:
-            units = [dataclasses.replace(
-                unit, params={**unit.params, "telemetry": tele_params})
-                for unit in units]
-        plan[name] = []
-        for unit in units:
-            key = unit.cache_key()
-            plan[name].append((unit, key))
+        for unit, key in plan[name]:
             report_key = (unit.experiment, unit.unit_id)
             if report_key in reports:
                 continue  # same experiment listed twice in `names`
@@ -531,10 +709,12 @@ def run_experiments(
                 if key in payloads:  # backed by a cache hit: done now
                     record.source = SOURCE_SHARED
                     record.worker = "shared"
+                    journal.record_planned(key, unit.label, "shared")
                     if on_unit:
                         on_unit(record)
                 else:  # backed by a pending unit: resolves with it
                     shared_waiting.setdefault(key, []).append(record)
+                    journal.record_planned(key, unit.label, "shared")
                 continue
             seen.add(key)
             primary_record[key] = record
@@ -543,26 +723,76 @@ def run_experiments(
                 payloads[key] = cached
                 record.source = SOURCE_CACHE
                 record.worker = "cache"
+                if key in replay_completed:
+                    completed_carried += 1
+                journal.record_planned(key, unit.label, "cache")
                 if on_unit:
                     on_unit(record)
             else:
-                pending.append(_Task(unit=unit, key=key))
+                # Journal carry-over: charged failed attempts from prior
+                # legs stay charged — resuming never refills a retry
+                # budget. (A journal-completed unit whose cache entry
+                # was lost or corrupted re-runs from scratch instead —
+                # the cache is the payload store, the journal only the
+                # accounting.)
+                carried = int(replay_charged.get(key, 0))
+                task = _Task(unit=unit, key=key, attempts=carried)
+                if carried:
+                    attempts_carried += carried
+                    task.last_error = replay_failed.get(key) or (
+                        f"{carried} failed attempt(s) charged on a "
+                        f"previous campaign leg")
+                    task.history.append(
+                        f"{carried} charged attempt(s) carried from "
+                        f"journal {journal.path or ''}".rstrip())
+                journal.record_planned(key, unit.label, "pending",
+                                       attempts_carried=carried)
+                if carried >= max_attempts:
+                    carried_failed.append(task)
+                else:
+                    pending.append(task)
 
     # --- execute ---------------------------------------------------------
     failures: list[FailureRecord] = []
     failed_keys: set[str] = set()
     respawn_counter = [0]
+    progress = {"completed": 0, "failed": 0}
+    signal_fired: dict[int, int] = {}
+
+    if disk_faults:
+        unit_by_key = {task.key: task.unit
+                       for task in pending + carried_failed}
+        puts_seen: dict[str, int] = {}
+
+        def put_fault(key: str) -> None:
+            """Raise an injected ENOSPC for matching units' cache puts."""
+            unit = unit_by_key.get(key)
+            if unit is None:
+                return
+            nth = puts_seen.get(key, 0)
+            puts_seen[key] = nth + 1
+            for spec in disk_faults:
+                if spec.should_fire(unit, nth):
+                    spec.fire(unit, nth)
+        previous_put_fault = cache.put_fault
+        cache.put_fault = put_fault
 
     def on_success(task: _Task, payload: Any, wall_s: float, events: int,
                    pid: int) -> None:
         payloads[task.key] = payload
-        cache.put(task.key, payload)
+        persisted = cache.put(task.key, payload)
         record = primary_record[task.key]
         record.source = SOURCE_RUN
         record.wall_s = wall_s
         record.events = events
         record.worker = f"pid:{pid}"
         record.attempts = task.attempts + 1
+        journal.record_completed(task.key, task.unit.label,
+                                 attempts=task.attempts + 1,
+                                 wall_s=wall_s, events=events,
+                                 cached=persisted)
+        progress["completed"] += 1
+        journal.maybe_checkpoint(**progress)
         if on_unit:
             on_unit(record)
         for dependent in shared_waiting.pop(task.key, []):
@@ -570,6 +800,15 @@ def run_experiments(
             dependent.worker = "shared"
             if on_unit:
                 on_unit(dependent)
+        # Deterministic preemption: a matching `signal` fault delivers
+        # its signal the moment this unit's completion is journaled —
+        # "SIGTERM the campaign right after the first unit finishes".
+        for index, spec in enumerate(signal_faults):
+            count = signal_fired.get(index, 0)
+            if fnmatchcase(task.unit.label, spec.unit) \
+                    and (spec.times < 0 or count < spec.times):
+                signal_fired[index] = count + 1
+                spec.fire(task.unit, count)
 
     def on_permanent_failure(task: _Task) -> None:
         failed_keys.add(task.key)
@@ -577,6 +816,10 @@ def run_experiments(
         record.source = SOURCE_FAILED
         record.attempts = task.attempts
         record.error = _summary_line(task.last_error)
+        journal.record_failed(task.key, task.unit.label,
+                              attempts=task.attempts,
+                              error=_summary_line(task.last_error))
+        progress["failed"] += 1
         if on_unit:
             on_unit(record)
         dependents = shared_waiting.pop(task.key, [])
@@ -593,10 +836,25 @@ def run_experiments(
         if not keep_going:
             raise _CampaignAbort(record.label)
 
-    max_attempts = retries + 1
+    def attach_sections(report: RunReport) -> RunReport:
+        """Fill the crash-safety and degradation report sections."""
+        if journal.enabled:
+            report.resume = {
+                "journal": str(journal.path),
+                "identity": identity,
+                "resumed": resume_from is not None,
+            }
+            if resume_from is not None:
+                report.resume.update(
+                    completed_carried=completed_carried,
+                    attempts_carried=attempts_carried,
+                    failed_carried=len(carried_failed))
+        report.cache_degraded = cache.degradation_since(
+            degradation_snapshot)
+        return report
 
     def finish_report() -> RunReport:
-        return RunReport(
+        return attach_sections(RunReport(
             jobs=jobs,
             cache_enabled=cache.enabled,
             cache_dir=str(cache.directory) if cache.enabled else None,
@@ -604,64 +862,94 @@ def run_experiments(
             units=ordered_records,
             failures=failures,
             pool_respawns=respawn_counter[0],
-        )
+        ))
 
     try:
-        if pending and (jobs == 1 or (len(pending) == 1
-                                      and unit_timeout_s is None
-                                      and not faults)):
-            _execute_serial(pending, max_attempts=max_attempts,
-                            backoff_s=retry_backoff_s, faults=faults,
-                            on_success=on_success,
-                            on_permanent_failure=on_permanent_failure)
-        elif pending:
-            _execute_pool(
-                pending, workers=min(jobs, len(pending)),
-                unit_timeout_s=unit_timeout_s, max_attempts=max_attempts,
-                backoff_s=retry_backoff_s, faults=faults, cache=cache,
-                on_success=on_success,
-                on_permanent_failure=on_permanent_failure,
-                respawn_counter=respawn_counter)
-    except _CampaignAbort as abort:
-        report = finish_report()
-        raise CampaignError(
-            f"unit {abort} failed after {max_attempts} attempt(s); "
-            f"rerun with keep_going/--keep-going for partial results",
-            failures, report) from None
+        with _SignalGuard(handle_signals):
+            try:
+                # Units whose carried charges already exhaust the retry
+                # budget fail permanently without another execution.
+                for task in carried_failed:
+                    on_permanent_failure(task)
+                if pending and (jobs == 1 or (len(pending) == 1
+                                              and unit_timeout_s is None
+                                              and not worker_faults)):
+                    _execute_serial(
+                        pending, max_attempts=max_attempts,
+                        backoff_s=retry_backoff_s, faults=worker_faults,
+                        journal=journal, on_success=on_success,
+                        on_permanent_failure=on_permanent_failure)
+                elif pending:
+                    _execute_pool(
+                        pending, workers=min(jobs, len(pending)),
+                        unit_timeout_s=unit_timeout_s,
+                        max_attempts=max_attempts,
+                        backoff_s=retry_backoff_s, faults=worker_faults,
+                        cache=cache, journal=journal,
+                        on_success=on_success,
+                        on_permanent_failure=on_permanent_failure,
+                        respawn_counter=respawn_counter)
+            except _CampaignAbort as abort:
+                report = finish_report()
+                journal.checkpoint(final=True, status="failed",
+                                   **progress)
+                raise CampaignError(
+                    f"unit {abort} failed after {max_attempts} "
+                    f"attempt(s); rerun with keep_going/--keep-going "
+                    f"for partial results",
+                    failures, report) from None
 
-    # --- merge -----------------------------------------------------------
-    # A failed unit fails exactly the experiments that merge it (by key,
-    # so a SOURCE_SHARED dependent of a failed unit fails too); everything
-    # else merges from complete payload sets.
-    results: dict[str, ExperimentResult] = {}
-    failed_experiments: list[str] = []
-    for name in names:
-        if any(key in failed_keys for _, key in plan[name]):
-            if name not in failed_experiments:
-                failed_experiments.append(name)
-            continue
-        units = [unit for unit, _ in plan[name]]
-        unit_payloads = [payloads[key] for _, key in plan[name]]
-        results[name] = EXPERIMENT_MODULES[name].merge(
-            units, unit_payloads, scale=scale, seed=seed)
+            # --- merge ---------------------------------------------------
+            # A failed unit fails exactly the experiments that merge it
+            # (by key, so a SOURCE_SHARED dependent of a failed unit
+            # fails too); everything else merges from complete payload
+            # sets.
+            results: dict[str, ExperimentResult] = {}
+            failed_experiments: list[str] = []
+            for name in names:
+                if any(key in failed_keys for _, key in plan[name]):
+                    if name not in failed_experiments:
+                        failed_experiments.append(name)
+                    continue
+                units = [unit for unit, _ in plan[name]]
+                unit_payloads = [payloads[key] for _, key in plan[name]]
+                results[name] = EXPERIMENT_MODULES[name].merge(
+                    units, unit_payloads, scale=scale, seed=seed)
 
-    # --- telemetry extraction --------------------------------------------
-    # Duck-typed: any payload carrying a TelemetryCapture (packet-level
-    # incast units) contributes a per-unit section; fluid-model payloads
-    # simply have no `telemetry` attribute.
-    telemetry_sections: dict[str, dict] = {}
-    if telemetry:
-        for name in names:
-            for unit, key in plan[name]:
-                capture = getattr(payloads.get(key), "telemetry", None)
-                if capture is not None and unit.label not in \
-                        telemetry_sections:
-                    telemetry_sections[unit.label] = capture.to_dict()
+            # --- telemetry extraction ------------------------------------
+            # Duck-typed: any payload carrying a TelemetryCapture
+            # (packet-level incast units) contributes a per-unit section;
+            # fluid-model payloads simply have no `telemetry` attribute.
+            telemetry_sections: dict[str, dict] = {}
+            if telemetry:
+                for name in names:
+                    for unit, key in plan[name]:
+                        capture = getattr(payloads.get(key), "telemetry",
+                                          None)
+                        if capture is not None and unit.label not in \
+                                telemetry_sections:
+                            telemetry_sections[unit.label] = \
+                                capture.to_dict()
 
-    report = finish_report()
-    report.telemetry = telemetry_sections
-    report.failed_experiments = failed_experiments
-    return results, report
+            journal.checkpoint(final=True, status="completed", **progress)
+            report = finish_report()
+            report.telemetry = telemetry_sections
+            report.failed_experiments = failed_experiments
+            return results, report
+    except (CampaignInterrupted, KeyboardInterrupt) as exc:
+        # Graceful preemption: by now any pool has been killed and its
+        # spill files swept (the executors' unwind paths); flush the
+        # final checkpoint so a later --resume sees a consistent tail.
+        signum = getattr(exc, "signum", int(signal_module.SIGINT))
+        journal.checkpoint(final=True, status="interrupted",
+                           signum=int(signum), **progress)
+        if isinstance(exc, CampaignInterrupted) and exc.report is None:
+            exc.report = finish_report()
+        raise
+    finally:
+        if disk_faults:
+            cache.put_fault = previous_put_fault
+        journal.close()
 
 
 def run_experiment(

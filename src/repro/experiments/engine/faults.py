@@ -4,11 +4,13 @@ Millisampler campaigns only produce the paper's 18-hour stability result
 because the collection fleet tolerates partial failure; this module makes
 that failure mode *testable* here. A :class:`FaultSpec` describes one
 deterministic misbehaviour — raise an exception, hard-kill the worker
-process, or hang past the unit timeout — scoped to the units whose
-``experiment/unit_id`` label matches a glob and to the first ``times``
-attempts of each matching unit. Specs are threaded into
-:func:`repro.experiments.engine.core.execute_unit` as plain call
-arguments, so they are
+process, hang past the unit timeout, deliver a preemption signal to the
+campaign parent, or fail a cache write with ``ENOSPC`` — scoped to the
+units whose ``experiment/unit_id`` label matches a glob and to the first
+``times`` attempts of each matching unit. Worker-side specs are threaded
+into :func:`repro.experiments.engine.core.execute_unit` as plain call
+arguments (engine-side ``signal``/``disk_full`` specs fire in the
+campaign parent at the matching event), so they are
 
 - **off by default** (no spec, no behaviour change, zero overhead), and
 - **never cache-key-visible**: :meth:`WorkUnit.cache_key` hashes only
@@ -30,8 +32,10 @@ Ctrl-C subprocess tests use::
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import signal as signal_module
 import time
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
@@ -44,10 +48,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Environment variable the CLI reads fault specs from.
 FAULTS_ENV_VAR = "REPRO_FAULTS"
 
-MODE_ERROR = "error"  # raise FaultInjected inside the worker
-MODE_CRASH = "crash"  # hard-kill the worker process (BrokenProcessPool)
-MODE_HANG = "hang"    # sleep past any sane unit timeout
-MODES = (MODE_ERROR, MODE_CRASH, MODE_HANG)
+MODE_ERROR = "error"          # raise FaultInjected inside the worker
+MODE_CRASH = "crash"          # hard-kill the worker (BrokenProcessPool)
+MODE_HANG = "hang"            # sleep past any sane unit timeout
+MODE_SIGNAL = "signal"        # deliver a signal to the campaign process
+MODE_DISK_FULL = "disk_full"  # ENOSPC out of the result cache's put()
+MODES = (MODE_ERROR, MODE_CRASH, MODE_HANG, MODE_SIGNAL, MODE_DISK_FULL)
+
+#: Modes that execute inside a *worker*, threaded through
+#: :func:`repro.experiments.engine.core.execute_unit`.
+WORKER_MODES = (MODE_ERROR, MODE_CRASH, MODE_HANG)
+
+#: Modes the engine fires in the *campaign parent*: ``signal`` when a
+#: matching unit completes (deterministic preemption — "SIGTERM after the
+#: first unit finishes"), ``disk_full`` when a matching unit's payload is
+#: about to be persisted (deterministic cache degradation).
+ENGINE_MODES = (MODE_SIGNAL, MODE_DISK_FULL)
 
 #: Exit status used by MODE_CRASH so a crashed worker is recognizable in
 #: process listings and core-dump-free in CI.
@@ -76,6 +92,8 @@ class FaultSpec:
         hang_s: Sleep duration for ``"hang"``; if the sleep ever finishes
             (no timeout configured), the fault still raises so it cannot
             silently pass.
+        signum: Signal delivered by ``"signal"`` (default SIGTERM — the
+            preemption a job scheduler sends).
         marker: Optional file path touched when the fault fires — lets a
             test (or the Ctrl-C harness) wait until a worker has
             provably entered the fault before acting.
@@ -85,12 +103,16 @@ class FaultSpec:
     mode: str = MODE_ERROR
     times: int = 1
     hang_s: float = 3600.0
+    signum: int = int(signal_module.SIGTERM)
     marker: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ValueError(f"fault mode must be one of {MODES}, "
                              f"got {self.mode!r}")
+        if self.mode == MODE_SIGNAL and not 0 < int(self.signum) < 65:
+            raise ValueError(f"signal fault needs a valid signum, "
+                             f"got {self.signum!r}")
 
     def should_fire(self, unit: "WorkUnit", attempt: int) -> bool:
         """Whether this spec fires for ``unit``'s ``attempt``-th try."""
@@ -111,13 +133,27 @@ class FaultSpec:
         if self.mode == MODE_HANG:
             time.sleep(self.hang_s)
             raise FaultInjected(detail + f" (hang outlived {self.hang_s}s)")
+        if self.mode == MODE_SIGNAL:
+            # A real preemption: the campaign process receives the signal
+            # exactly as a job scheduler would deliver it.
+            os.kill(os.getpid(), int(self.signum))
+            return
+        if self.mode == MODE_DISK_FULL:
+            raise OSError(errno.ENOSPC, f"no space left on device "
+                                        f"({detail})")
         raise FaultInjected(detail)
 
 
 def maybe_inject(unit: "WorkUnit", attempt: int,
                  faults: Iterable[FaultSpec]) -> None:
-    """Fire the first spec in ``faults`` that matches ``(unit, attempt)``."""
+    """Fire the first *worker-side* spec matching ``(unit, attempt)``.
+
+    Engine-side modes (:data:`ENGINE_MODES`) are skipped here — the
+    engine fires those itself at the matching campaign-parent event.
+    """
     for spec in faults:
+        if spec.mode in ENGINE_MODES:
+            continue
         if spec.should_fire(unit, attempt):
             spec.fire(unit, attempt)
             return
@@ -136,7 +172,8 @@ def parse_faults(text: str) -> tuple[FaultSpec, ...]:
     for entry in raw:
         if not isinstance(entry, dict) or "unit" not in entry:
             raise ValueError(f"each fault spec needs a 'unit' glob: {entry!r}")
-        unknown = set(entry) - {"unit", "mode", "times", "hang_s", "marker"}
+        unknown = set(entry) - {"unit", "mode", "times", "hang_s",
+                                "signum", "marker"}
         if unknown:
             raise ValueError(f"unknown fault spec fields: {sorted(unknown)}")
         specs.append(FaultSpec(**entry))

@@ -1,0 +1,376 @@
+"""Append-only campaign journal: the engine's crash-safe source of truth.
+
+A long sweep is exactly as preemptible as a training job is
+checkpointable: a SIGTERM from a job scheduler or an OOM kill of the
+campaign parent must cost at most the units that were in flight, never
+the progress accounting. The journal makes that guarantee durable:
+
+- **append-only, line-oriented**: one JSON object per line, one line per
+  state transition (``campaign`` header, ``planned``, ``started``,
+  ``completed``, ``attempt-failed``, ``requeued``, ``failed``,
+  ``checkpoint``). Nothing is ever rewritten, so a crash can at worst
+  tear the final line — :func:`replay_journal` tolerates (and ignores)
+  a torn tail and nothing else;
+- **fsynced**: by default every record is flushed and fsynced before the
+  engine proceeds; ``checkpoint_interval_s`` batches fsyncs for journals
+  hot enough to care (the final checkpoint and the campaign header are
+  always synced);
+- **identity-bound**: the header carries the campaign *identity hash*
+  (:func:`campaign_identity` — plan order, unit cache keys, scale, seed
+  and ``repro.__version__``), and ``--resume`` refuses to replay a
+  journal onto a campaign whose identity differs. Because unit cache
+  keys already fold in params and the code version, any drift in the
+  sweep definition is caught before a single unit is skipped.
+
+Resume reconstructs, per unit key: whether a payload was completed
+(served from the result cache on the next leg), how many failed attempts
+were *charged* (so a restart can never reset a unit's retry budget), and
+which units had failed permanently. Records for attempts that were in
+flight when the campaign died (``started`` without a matching outcome)
+charge nothing — exactly like the engine's own pool-respawn rules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence, Union
+
+import repro
+
+#: Record types, in the order a healthy journal tends to contain them.
+REC_CAMPAIGN = "campaign"
+REC_PLANNED = "planned"
+REC_STARTED = "started"
+REC_COMPLETED = "completed"
+REC_ATTEMPT_FAILED = "attempt-failed"
+REC_REQUEUED = "requeued"
+REC_FAILED = "failed"
+REC_CHECKPOINT = "checkpoint"
+
+
+class JournalError(RuntimeError):
+    """A journal file is missing, empty, or structurally invalid."""
+
+
+class ResumeMismatchError(JournalError):
+    """The journal's campaign identity does not match the current plan.
+
+    Raised when ``--resume`` is pointed at a journal recorded for a
+    different experiment list, scale, seed, telemetry setting, or code
+    version — resuming would silently skip units whose payloads belong
+    to a different sweep, so the engine refuses instead.
+    """
+
+
+def campaign_identity(names: Sequence[str], scale: float, seed: int,
+                      unit_keys: Iterable[str]) -> str:
+    """Content hash identifying one campaign *plan*.
+
+    Folds the requested experiment list (in order), scale, seed,
+    ``repro.__version__`` and every planned unit's cache key (in plan
+    order, duplicates included — the sharing structure is part of the
+    plan). Unit cache keys already hash executor paths and params, so
+    two campaigns agree on identity iff they would plan the exact same
+    work.
+    """
+    token = json.dumps({
+        "names": list(names),
+        "scale": scale,
+        "seed": seed,
+        "version": repro.__version__,
+        "units": list(unit_keys),
+    }, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+class CampaignJournal:
+    """Append-only JSONL writer for one campaign's state transitions.
+
+    Constructed with ``path=None`` the journal is *disabled*: every
+    method is a no-op, which lets the engine drive all bookkeeping
+    through one code path whether or not durability was requested.
+
+    Args:
+        path: Journal file location; parent directories are created.
+            Opened in append mode, so resuming a campaign extends the
+            same file (each leg contributes its own ``campaign`` header).
+        checkpoint_interval_s: Minimum seconds between fsyncs. ``None``
+            (default) fsyncs every record — maximally durable; a
+            positive interval batches fsyncs and emits a ``checkpoint``
+            record whenever one happens. Header, ``failed`` and final
+            checkpoint records are always synced immediately.
+    """
+
+    #: Record types always fsynced regardless of the batching interval.
+    _ALWAYS_SYNC = frozenset({REC_CAMPAIGN, REC_FAILED})
+
+    def __init__(self, path: Union[str, Path, None],
+                 checkpoint_interval_s: Optional[float] = None):
+        if checkpoint_interval_s is not None and checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint_interval_s must be positive, "
+                             f"got {checkpoint_interval_s}")
+        self.path = Path(path).expanduser().resolve() if path else None
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self._handle = None
+        self._last_sync = 0.0
+        self._pending_records = 0  # appended since the last fsync
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this journal persists anything at all."""
+        return self.path is not None
+
+    # -- low-level append --------------------------------------------------
+
+    def _append(self, record: dict, *, sync: bool) -> None:
+        """Write one record line; fsync according to policy."""
+        if self.path is None:
+            return
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._pending_records += 1
+        now = time.monotonic()
+        due = (self.checkpoint_interval_s is None
+               or now - self._last_sync >= self.checkpoint_interval_s)
+        if sync or due:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._last_sync = now
+            self._pending_records = 0
+
+    # -- record emitters ---------------------------------------------------
+
+    def open_campaign(self, identity: str, names: Sequence[str],
+                      scale: float, seed: int,
+                      telemetry: Optional[dict], resumed: bool) -> None:
+        """Append the campaign header (one per leg; always fsynced)."""
+        self._append({
+            "t": REC_CAMPAIGN, "identity": identity, "names": list(names),
+            "scale": scale, "seed": seed, "telemetry": telemetry,
+            "version": repro.__version__, "resumed": resumed,
+            "pid": os.getpid(), "time": time.time(),
+        }, sync=True)
+
+    def record_planned(self, key: str, label: str, source: str,
+                       attempts_carried: int = 0) -> None:
+        """One planned unit: ``source`` is ``pending``/``cache``/``shared``."""
+        self._append({"t": REC_PLANNED, "key": key, "label": label,
+                      "source": source,
+                      "attempts_carried": attempts_carried}, sync=False)
+
+    def record_started(self, key: str, label: str, attempt: int) -> None:
+        """An attempt was handed to a worker (or started in-process)."""
+        self._append({"t": REC_STARTED, "key": key, "label": label,
+                      "attempt": attempt}, sync=False)
+
+    def record_completed(self, key: str, label: str, attempts: int,
+                         wall_s: float, events: int, cached: bool) -> None:
+        """A unit's payload exists (``cached`` = written to the result
+        cache, i.e. durable for a later ``--resume`` leg)."""
+        self._append({"t": REC_COMPLETED, "key": key, "label": label,
+                      "attempts": attempts, "wall_s": round(wall_s, 4),
+                      "events": events, "cached": cached}, sync=False)
+
+    def record_attempt_failed(self, key: str, label: str, attempts: int,
+                              kind: str, error: str) -> None:
+        """A *charged* failed attempt (``attempts`` = total charged)."""
+        self._append({"t": REC_ATTEMPT_FAILED, "key": key, "label": label,
+                      "attempts": attempts, "kind": kind, "error": error},
+                     sync=False)
+
+    def record_requeued(self, key: str, label: str, reason: str) -> None:
+        """An *uncharged* requeue (pool respawn victim, quarantine)."""
+        self._append({"t": REC_REQUEUED, "key": key, "label": label,
+                      "reason": reason}, sync=False)
+
+    def record_failed(self, key: str, label: str, attempts: int,
+                      error: str) -> None:
+        """A permanent failure: every attempt charged and exhausted."""
+        self._append({"t": REC_FAILED, "key": key, "label": label,
+                      "attempts": attempts, "error": error}, sync=True)
+
+    def checkpoint(self, *, final: bool, status: str,
+                   **extra: Any) -> None:
+        """Append a checkpoint record; final checkpoints always fsync."""
+        self._append({"t": REC_CHECKPOINT, "final": final, "status": status,
+                      "time": time.time(), **extra}, sync=final)
+
+    def maybe_checkpoint(self, **progress: Any) -> None:
+        """Append a periodic (non-final) checkpoint iff the batching
+        interval has elapsed; no-op when every record is already fsynced
+        (``checkpoint_interval_s=None``) or the interval has not passed."""
+        if self.path is None or self.checkpoint_interval_s is None:
+            return
+        if (time.monotonic() - self._last_sync
+                >= self.checkpoint_interval_s):
+            self.checkpoint(final=False, status="running", **progress)
+
+    def close(self) -> None:
+        """Flush, fsync and release the file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        """Context-manager entry (no-op; opening is lazy)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    def __repr__(self) -> str:
+        target = self.path if self.path else "disabled"
+        return f"CampaignJournal({target})"
+
+
+@dataclasses.dataclass
+class JournalReplay:
+    """Campaign state reconstructed from a journal, ready to resume.
+
+    Attributes:
+        identity: The campaign identity hash from the (last) header.
+        names: Experiment list recorded in the header.
+        scale: Workload scale recorded in the header.
+        seed: Root seed recorded in the header.
+        telemetry: Telemetry params dict from the header (``None`` when
+            the campaign ran without telemetry).
+        journal_path: The journal file this state was replayed from.
+        completed: ``key -> attempts`` for units whose payload was
+            computed (and, when ``cached`` was true, persisted).
+        charged: ``key -> charged failed attempts`` for units that are
+            *not* completed — the retry budget already spent.
+        permanent_failed: ``key -> last error`` for units the journal
+            recorded as permanently failed.
+        labels: ``key -> label`` for everything the journal mentioned.
+        legs: Number of campaign headers seen (1 = never resumed yet).
+        interrupted_signum: Signal number from the last final
+            checkpoint, or ``None`` for a clean (or torn) ending.
+    """
+
+    identity: str
+    names: list[str]
+    scale: float
+    seed: int
+    telemetry: Optional[dict]
+    journal_path: Path
+    completed: dict[str, int] = dataclasses.field(default_factory=dict)
+    charged: dict[str, int] = dataclasses.field(default_factory=dict)
+    permanent_failed: dict[str, str] = dataclasses.field(
+        default_factory=dict)
+    labels: dict[str, str] = dataclasses.field(default_factory=dict)
+    legs: int = 1
+    interrupted_signum: Optional[int] = None
+
+
+def _iter_records(path: Path) -> list[dict]:
+    """Parse a journal's records, tolerating only a torn final line."""
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    records: list[dict] = []
+    lines = raw.split("\n")
+    # A complete journal ends with "\n", so split() leaves a trailing "".
+    torn_tail = lines and lines[-1] != ""
+    body, tail = (lines[:-1], lines[-1]) if torn_tail else (lines[:-1], None)
+    for index, line in enumerate(body):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"journal {path} line {index + 1} is corrupt "
+                f"(mid-file, not a torn tail): {exc}") from exc
+        if not isinstance(record, dict) or "t" not in record:
+            raise JournalError(f"journal {path} line {index + 1} is not "
+                               f"a record object")
+        records.append(record)
+    if tail is not None and tail.strip():
+        # Torn tail from a crash mid-append: ignore it iff it is indeed
+        # unparseable or incomplete; a parseable tail just lost its
+        # newline to the crash and is still a valid record.
+        try:
+            record = json.loads(tail)
+            if isinstance(record, dict) and "t" in record:
+                records.append(record)
+        except json.JSONDecodeError:
+            pass
+    return records
+
+
+def replay_journal(path: Union[str, Path]) -> JournalReplay:
+    """Reconstruct campaign state from a journal file.
+
+    Later records win: a unit that permanently failed on one leg but
+    completed on a later leg (e.g. resumed with a larger retry budget)
+    replays as completed. Raises :class:`JournalError` when the file is
+    unreadable, empty, or corrupt anywhere except a torn final line.
+    """
+    path = Path(path).expanduser().resolve()
+    records = _iter_records(path)
+    headers = [r for r in records if r.get("t") == REC_CAMPAIGN]
+    if not headers:
+        raise JournalError(f"journal {path} has no campaign header "
+                           f"(empty or truncated at birth)")
+    head = headers[-1]
+    replay = JournalReplay(
+        identity=head["identity"], names=list(head["names"]),
+        scale=head["scale"], seed=head["seed"],
+        telemetry=head.get("telemetry"), journal_path=path,
+        legs=len(headers))
+    for record in records:
+        kind = record.get("t")
+        key = record.get("key")
+        if key:
+            replay.labels.setdefault(key, record.get("label", key))
+        if kind == REC_COMPLETED:
+            replay.completed[key] = record.get("attempts", 1)
+            replay.charged.pop(key, None)
+            replay.permanent_failed.pop(key, None)
+        elif kind == REC_ATTEMPT_FAILED:
+            if key not in replay.completed:
+                replay.charged[key] = record.get("attempts", 0)
+        elif kind == REC_FAILED:
+            if key not in replay.completed:
+                replay.charged[key] = record.get("attempts", 0)
+                replay.permanent_failed[key] = record.get("error", "")
+        elif kind == REC_CHECKPOINT and record.get("final"):
+            replay.interrupted_signum = record.get("signum")
+    return replay
+
+
+def load_resume_state(path: Union[str, Path]) -> JournalReplay:
+    """Resolve ``--resume``'s argument: a journal *or* a run report.
+
+    A ``run_report.json`` written by a journaled campaign carries a
+    ``resume.journal`` pointer; handing the report to ``--resume`` is
+    equivalent to handing the journal itself.
+    """
+    path = Path(path).expanduser()
+    if not path.exists():
+        raise JournalError(f"resume target {path} does not exist")
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+        doc = None
+    if isinstance(doc, dict) and doc.get("t") != REC_CAMPAIGN:
+        # A run report (or any single-document JSON): follow its pointer.
+        pointer = (doc.get("resume") or {}).get("journal")
+        if not pointer:
+            raise JournalError(
+                f"{path} is not a journal and carries no resume.journal "
+                f"pointer — was the original run journaled (--journal)?")
+        return replay_journal(Path(pointer))
+    return replay_journal(path)

@@ -120,6 +120,17 @@ class RunReport:
     #: Times the worker pool was killed and respawned (worker crash or
     #: unit timeout).
     pool_respawns: int = 0
+    #: Crash-safety section, present when the campaign was journaled:
+    #: ``journal`` (path), ``identity`` (campaign identity hash),
+    #: ``resumed`` (bool), and on a resumed leg the carry-over counts
+    #: ``completed_carried`` / ``attempts_carried`` / ``failed_carried``.
+    resume: Optional[dict] = None
+    #: Cache-degradation section, present when the result cache hit
+    #: trouble this run: ``put_errors`` (payloads computed but not
+    #: persisted — ENOSPC et al.), ``corrupt_dropped`` (checksum/unpickle
+    #: failures recomputed), ``evictions`` / ``quota_skips`` (quota
+    #: pressure), plus ``first_put_error``.
+    cache_degraded: Optional[dict] = None
 
     @property
     def n_units(self) -> int:
@@ -230,6 +241,18 @@ class RunReport:
             *([["retried attempts", self.retries]] if self.retries else []),
             *([["pool respawns", self.pool_respawns]]
               if self.pool_respawns else []),
+            *([["journal", self.resume.get("journal", "-")],
+               *([["resumed units (carried)",
+                   f"{self.resume.get('completed_carried', 0)} completed, "
+                   f"{self.resume.get('attempts_carried', 0)} charged "
+                   f"attempt(s)"]]
+                 if self.resume.get("resumed") else [])]
+              if self.resume else []),
+            *([["cache degraded",
+                ", ".join(f"{k}={v}"
+                          for k, v in self.cache_degraded.items()
+                          if k != "first_put_error" and v)]]
+              if self.cache_degraded else []),
             ["cache", ("on" if self.cache_enabled else "off")
              + (f" ({self.cache_dir})" if self.cache_dir else "")],
             ["worker processes", max(self.workers_used, 1)],
@@ -267,4 +290,7 @@ class RunReport:
             "parallel_speedup": round(self.parallel_speedup, 4),
             "units": [u.to_dict() for u in self.units],
             **({"telemetry": self.telemetry} if self.telemetry else {}),
+            **({"resume": self.resume} if self.resume else {}),
+            **({"cache_degraded": self.cache_degraded}
+               if self.cache_degraded else {}),
         }

@@ -15,10 +15,21 @@ report is printed after the results. Campaigns tolerate partial failure:
 failed units retry (``--retries``), hung units are reaped
 (``--unit-timeout``), and ``--keep-going`` trades a permanent unit
 failure for the loss of only the experiments that merge it (exit code 1,
-failures recorded in ``run_report.json``). Ctrl-C cancels the campaign,
-reaps the worker pool and exits with code 130. The ``REPRO_FAULTS``
+failures recorded in ``run_report.json``). The ``REPRO_FAULTS``
 environment variable injects deterministic chaos faults (see
 :mod:`repro.experiments.engine.faults`).
+
+Campaigns are crash-safe. ``--journal PATH`` appends every unit state
+transition to an fsynced JSONL journal; SIGTERM or Ctrl-C preempt the
+campaign gracefully (in-flight units are killed *uncharged*, spill files
+swept, a final checkpoint flushed) and the process exits with the
+conventional ``128 + signum`` (143 for SIGTERM, 130 for SIGINT).
+``--resume PATH`` — pointed at the journal or at a ``run_report.json``
+that references one — verifies the campaign identity hash, reloads
+completed payloads from the result cache, carries charged attempt counts
+over, and runs only the remainder; the merged output is byte-identical
+to an uninterrupted run. ``--checkpoint-interval`` batches journal
+fsyncs, and ``--cache-quota`` bounds the result cache with LRU eviction.
 """
 
 from __future__ import annotations
@@ -26,17 +37,42 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.analysis.export import write_result, write_run_report
 from repro.experiments import (ablations, crossval, fig1, fig2, fig3, fig4,
                                fig5, fig6, fig7, table1)
-from repro.experiments.engine import (CampaignError, ResultCache,
-                                      faults_from_env, run_experiments)
+from repro.experiments.engine import (CampaignError, CampaignInterrupted,
+                                      JournalError, ResultCache,
+                                      ResumeMismatchError, faults_from_env,
+                                      load_resume_state, run_experiments)
+from repro.experiments.engine.journal import JournalReplay
 from repro.experiments.result import ExperimentResult
 
 #: Exit code for SIGINT, matching shell convention (128 + SIGINT).
 EXIT_INTERRUPTED = 130
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+
+
+def parse_size(text: str) -> int:
+    """Parse a byte size like ``512M``, ``2G``, ``1048576`` (binary
+    units; an optional trailing ``B`` is tolerated)."""
+    raw = text.strip().lower()
+    if raw.endswith("b"):
+        raw = raw[:-1]
+    factor = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"unparseable size {text!r} "
+                         f"(use e.g. 512M, 2G, 1048576)") from None
+    if value <= 0:
+        raise ValueError(f"size must be positive, got {text!r}")
+    return int(value * factor)
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table1": table1.run,
@@ -65,10 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run every experiment")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
-    parser.add_argument("--scale", type=float, default=1.0,
-                        help="workload scale factor (1.0 = paper scale)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="root random seed")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (default 1.0 = paper "
+                             "scale; a --resume run defaults to the "
+                             "journal's recorded scale)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="root random seed (default 0; a --resume run "
+                             "defaults to the journal's recorded seed)")
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for independent trials "
                              "(default: all CPUs; 1 = serial in-process)")
@@ -78,6 +117,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="result cache location (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--cache-quota", type=str, default=None,
+                        metavar="SIZE",
+                        help="evict least-recently-used result-cache "
+                             "entries to keep the stored total under SIZE "
+                             "(e.g. 512M, 2G; binary units)")
+    parser.add_argument("--journal", type=str, default=None, metavar="PATH",
+                        help="append every unit state transition to a "
+                             "crash-safe fsynced JSONL journal at PATH; "
+                             "an interrupted campaign can then be "
+                             "continued with --resume")
+    parser.add_argument("--resume", type=str, default=None, metavar="PATH",
+                        help="resume an interrupted campaign from its "
+                             "journal (or from a run_report.json that "
+                             "points at one): completed units load from "
+                             "the result cache, charged attempt counts "
+                             "carry over, only the remainder runs; the "
+                             "plan must hash to the same campaign "
+                             "identity (experiments, scale, seed, "
+                             "telemetry, code version)")
+    parser.add_argument("--checkpoint-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="batch journal fsyncs to at most one per "
+                             "this many seconds (default: fsync every "
+                             "record)")
     parser.add_argument("--retries", type=int, default=1,
                         help="failed attempts retried per work unit, with "
                              "exponential backoff, before the unit fails "
@@ -134,37 +197,91 @@ def main(argv: list[str] | None = None) -> int:
             and Path(args.cache_dir).exists()
             and not Path(args.cache_dir).is_dir()):
         parser.error(f"--cache-dir {args.cache_dir} is not a directory")
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the result cache (it is the durable "
+                     "store completed units reload from); drop --no-cache")
+    if args.checkpoint_interval is not None:
+        if args.checkpoint_interval <= 0:
+            parser.error(f"--checkpoint-interval must be positive, "
+                         f"got {args.checkpoint_interval}")
+        if not args.journal and not args.resume:
+            parser.error("--checkpoint-interval requires --journal or "
+                         "--resume (there is no journal to batch)")
+    quota_bytes = None
+    if args.cache_quota is not None:
+        try:
+            quota_bytes = parse_size(args.cache_quota)
+        except ValueError as exc:
+            parser.error(f"--cache-quota: {exc}")
     if args.list:
         for name in EXPERIMENTS:
             doc = sys.modules[EXPERIMENTS[name].__module__].__doc__ or ""
             first_line = doc.strip().splitlines()[0] if doc.strip() else ""
             print(f"{name:12s} {first_line}")
         return 0
+
+    resume_state: Optional[JournalReplay] = None
+    if args.resume:
+        try:
+            resume_state = load_resume_state(args.resume)
+        except JournalError as exc:
+            parser.error(f"--resume: {exc}")
+
+    # A --resume leg re-runs the journal's recorded campaign: experiment
+    # list, scale, seed and telemetry default to the header's values, so
+    # `--resume journal.jsonl` alone is a complete invocation. Explicit
+    # flags still win (the identity check catches any real drift).
     names = list(EXPERIMENTS) if args.all else (args.experiment or [])
+    if not names and resume_state is not None:
+        names = list(resume_state.names)
     if not names:
         print("nothing to run: pass --experiment NAME, --all, or --list",
               file=sys.stderr)
         return 2
-
-    cache = ResultCache(
-        directory=Path(args.cache_dir) if args.cache_dir else None,
-        enabled=not args.no_cache)
+    scale = args.scale if args.scale is not None else (
+        resume_state.scale if resume_state is not None else 1.0)
+    seed = args.seed if args.seed is not None else (
+        resume_state.seed if resume_state is not None else 0)
+    telemetry = args.telemetry or (resume_state is not None
+                                   and resume_state.telemetry is not None)
     interval_ns = None
     if args.telemetry_interval_us is not None:
         if args.telemetry_interval_us <= 0:
             parser.error("--telemetry-interval-us must be positive")
         interval_ns = int(args.telemetry_interval_us * 1000)
+    elif resume_state is not None and resume_state.telemetry:
+        interval_ns = resume_state.telemetry.get("interval_ns")
+
+    cache = ResultCache(
+        directory=Path(args.cache_dir) if args.cache_dir else None,
+        enabled=not args.no_cache, quota_bytes=quota_bytes)
     try:
         results, report = run_experiments(
-            names, scale=args.scale, seed=args.seed, jobs=args.jobs,
-            cache=cache, telemetry=args.telemetry,
+            names, scale=scale, seed=seed, jobs=args.jobs,
+            cache=cache, telemetry=telemetry,
             telemetry_interval_ns=interval_ns,
             unit_timeout_s=args.unit_timeout, retries=args.retries,
-            keep_going=args.keep_going, faults=faults)
+            keep_going=args.keep_going, faults=faults,
+            journal_path=args.journal,
+            checkpoint_interval_s=args.checkpoint_interval,
+            resume_from=resume_state, handle_signals=True)
+    except CampaignInterrupted as exc:
+        print(f"\ninterrupted: {exc}; worker pool reaped, journal "
+              f"checkpoint flushed", file=sys.stderr)
+        if exc.report is not None and exc.report.resume:
+            print(f"resume with: --resume "
+                  f"{exc.report.resume['journal']}", file=sys.stderr)
+            if args.json_dir is not None:
+                path = write_run_report(exc.report, Path(args.json_dir))
+                print(f"[wrote {path}]", file=sys.stderr)
+        return 128 + int(exc.signum)
     except KeyboardInterrupt:
         print("\ninterrupted: campaign cancelled, worker pool reaped",
               file=sys.stderr)
         return EXIT_INTERRUPTED
+    except ResumeMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except CampaignError as exc:
         print(exc.report.render())
         if args.json_dir is not None:

@@ -1,0 +1,243 @@
+"""Result-cache hardening: checksum footers, graceful ``ENOSPC``
+degradation, LRU quota eviction, and the spill-file cleanup race.
+
+The cache doubles as the durable payload store for ``--resume``, so the
+contract under disk trouble is strict: corruption is *detected* (a
+checksum miss costs a recompute, never a wrong result), a full disk
+degrades a write to "computed but uncached" without failing the unit,
+and a quota keeps shared cache directories bounded.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import pickle
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.engine import FaultSpec, ResultCache, run_experiments
+from repro.experiments.engine.cache import _FOOTER_LEN
+
+SCALE = 0.05
+SEED = 11
+FAST = {"retry_backoff_s": 0.0}
+
+KEY = "aa" + "0" * 62  # shaped like a real sha256 cache key
+
+
+def make_cache(tmp_path: Path, **kwargs) -> ResultCache:
+    """A fresh enabled cache rooted inside the test's tmp dir."""
+    return ResultCache(directory=tmp_path / "cache", **kwargs)
+
+
+class TestChecksumFooter:
+    def test_round_trip(self, tmp_path: Path):
+        cache = make_cache(tmp_path)
+        assert cache.put(KEY, {"x": 1}) is True
+        assert cache.get(KEY) == {"x": 1}
+        assert cache.corrupt_dropped == 0
+
+    def test_truncated_entry_is_dropped_and_missed(self, tmp_path: Path):
+        cache = make_cache(tmp_path)
+        cache.put(KEY, list(range(1000)))
+        path = cache.path_for(KEY)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        assert cache.get(KEY) is None
+        assert cache.corrupt_dropped == 1
+        assert not path.exists()  # recomputation gets a clean slot
+
+    def test_bit_flip_is_detected_even_if_pickle_still_loads(
+            self, tmp_path: Path):
+        cache = make_cache(tmp_path)
+        cache.put(KEY, b"A" * 256)
+        path = cache.path_for(KEY)
+        blob = bytearray(path.read_bytes())
+        blob[40] ^= 0x01  # flip one payload bit, keep the footer intact
+        path.write_bytes(bytes(blob))
+        assert cache.get(KEY) is None
+        assert cache.corrupt_dropped == 1
+        assert not path.exists()
+
+    def test_footerless_legacy_entry_is_dropped(self, tmp_path: Path):
+        cache = make_cache(tmp_path)
+        path = cache.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"pre": "footer"}))  # old format
+        assert cache.get(KEY) is None
+        assert cache.corrupt_dropped == 1
+        assert not path.exists()
+
+    def test_checksum_valid_but_unpicklable_is_dropped(
+            self, tmp_path: Path):
+        import hashlib
+
+        from repro.experiments.engine.cache import _FOOTER_MAGIC
+        cache = make_cache(tmp_path)
+        path = cache.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        garbage = b"\x00not a pickle"
+        path.write_bytes(garbage + _FOOTER_MAGIC
+                         + hashlib.sha256(garbage).digest())
+        assert cache.get(KEY) is None
+        assert cache.corrupt_dropped == 1
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path: Path):
+        cache = make_cache(tmp_path, enabled=False)
+        assert cache.put(KEY, 1) is False
+        assert cache.get(KEY) is None
+        assert not (tmp_path / "cache").exists()
+
+
+class TestPutDegradation:
+    """Regression for the ENOSPC failure mode: a payload that was
+    *computed* must never be failed by the disk it could not be saved
+    to."""
+
+    @staticmethod
+    def enospc(_key: str) -> None:
+        raise OSError(errno.ENOSPC, "no space left on device")
+
+    def test_enospc_degrades_to_uncached_not_raised(self, tmp_path: Path):
+        cache = make_cache(tmp_path)
+        cache.put_fault = self.enospc
+        with pytest.warns(RuntimeWarning, match="cache degraded"):
+            assert cache.put(KEY, {"x": 1}) is False
+        assert cache.put_errors == 1
+        assert "no space left" in cache.first_put_error.lower()
+        assert cache.get(KEY) is None  # nothing half-written
+        assert not list((tmp_path / "cache").rglob(".*.tmp"))
+
+    def test_warns_exactly_once(self, tmp_path: Path):
+        cache = make_cache(tmp_path)
+        cache.put_fault = self.enospc
+        with pytest.warns(RuntimeWarning):
+            cache.put(KEY, 1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cache.put(KEY, 2)  # silent, still counted
+        assert cache.put_errors == 2
+
+    def test_unpicklable_payload_degrades_too(self, tmp_path: Path):
+        cache = make_cache(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            assert cache.put(KEY, lambda: None) is False
+        assert cache.put_errors == 1
+
+    def test_engine_counts_degradation_and_still_succeeds(
+            self, tmp_path: Path):
+        """A campaign whose every cache write hits ENOSPC (injected via
+        the ``disk_full`` fault spec) finishes clean and reports the
+        degradation; a rerun recomputes because nothing persisted."""
+        cache = make_cache(tmp_path)
+        disk_full = [FaultSpec(unit="fig1/*", mode="disk_full", times=-1)]
+        with pytest.warns(RuntimeWarning, match="cache degraded"):
+            results, report = run_experiments(
+                ["fig1"], scale=SCALE, seed=SEED, jobs=1, cache=cache,
+                faults=disk_full, **FAST)
+        assert "fig1" in results and not report.failures
+        assert report.cache_degraded["put_errors"] == report.executed
+        assert "first_put_error" in report.cache_degraded
+        assert cache.put_fault is None  # the engine restored the hook
+        rerun_results, rerun = run_experiments(
+            ["fig1"], scale=SCALE, seed=SEED, jobs=1, cache=cache, **FAST)
+        assert rerun.cache_hits == 0 and rerun.executed == rerun.n_units
+        assert rerun.cache_degraded is None
+
+    def test_clean_run_reports_no_degradation(self, tmp_path: Path):
+        cache = make_cache(tmp_path)
+        _, report = run_experiments(["fig1"], scale=SCALE, seed=SEED,
+                                    jobs=1, cache=cache)
+        assert report.cache_degraded is None
+
+    def test_degradation_snapshot_deltas(self, tmp_path: Path):
+        cache = make_cache(tmp_path)
+        cache.put_fault = self.enospc
+        with pytest.warns(RuntimeWarning):
+            cache.put(KEY, 1)
+        snapshot = cache.degradation_snapshot()
+        assert cache.degradation_since(snapshot) is None  # no new trouble
+        cache.put(KEY, 2)
+        section = cache.degradation_since(snapshot)
+        assert section["put_errors"] == 1  # only the post-snapshot failure
+
+
+class TestSpillFileCleanup:
+    def test_put_leaves_no_tmp_file(self, tmp_path: Path):
+        cache = make_cache(tmp_path)
+        cache.put(KEY, {"x": 1})
+        assert not list((tmp_path / "cache").rglob(".*.tmp"))
+
+    def test_cleanup_tolerates_a_concurrent_sweep(self, tmp_path: Path,
+                                                  monkeypatch):
+        """The TOCTOU regression: ``put()``'s cleanup used to check
+        ``tmp.exists()`` then ``unlink()`` — a concurrent
+        ``sweep_stale()`` deleting the file between the two calls blew
+        the put up. The single guarded ``unlink()`` must shrug it off."""
+        cache = make_cache(tmp_path)
+        real_replace = os.replace
+
+        def replace_then_sweep(src, dst):
+            real_replace(src, dst)
+            # Another run's sweep fires in the window before cleanup:
+            # src is already gone, and a stale same-named file appearing
+            # and vanishing again must not matter either.
+            assert not Path(src).exists()
+
+        monkeypatch.setattr(os, "replace", replace_then_sweep)
+        assert cache.put(KEY, {"x": 1}) is True
+        assert cache.get(KEY) == {"x": 1}
+
+
+class TestQuota:
+    PAYLOAD = b"x" * 4096
+
+    @staticmethod
+    def entry_size(payload) -> int:
+        return len(pickle.dumps(payload,
+                                protocol=pickle.HIGHEST_PROTOCOL)) \
+            + _FOOTER_LEN
+
+    def test_quota_must_be_positive(self, tmp_path: Path):
+        with pytest.raises(ValueError, match="quota_bytes"):
+            make_cache(tmp_path, quota_bytes=0)
+
+    def test_lru_eviction_under_quota(self, tmp_path: Path):
+        size = self.entry_size(self.PAYLOAD)
+        cache = make_cache(tmp_path, quota_bytes=2 * size + size // 2)
+        keys = [f"{i:02x}" + "0" * 62 for i in range(3)]
+        for index, key in enumerate(keys):
+            assert cache.put(key, self.PAYLOAD) is True
+            os.utime(cache.path_for(key), (100.0 + index, 100.0 + index))
+        # Third put had to evict the least-recently-used first entry.
+        assert cache.evictions == 1
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1]) is not None
+        assert cache.get(keys[2]) is not None
+
+    def test_read_refreshes_lru_position(self, tmp_path: Path):
+        size = self.entry_size(self.PAYLOAD)
+        cache = make_cache(tmp_path, quota_bytes=2 * size + size // 2)
+        keys = [f"{i:02x}" + "0" * 62 for i in range(3)]
+        cache.put(keys[0], self.PAYLOAD)
+        cache.put(keys[1], self.PAYLOAD)
+        os.utime(cache.path_for(keys[0]), (100.0, 100.0))
+        os.utime(cache.path_for(keys[1]), (200.0, 200.0))
+        assert cache.get(keys[0]) is not None  # refreshes keys[0]'s mtime
+        cache.put(keys[2], self.PAYLOAD)       # must evict keys[1] now
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+
+    def test_oversized_payload_is_skipped_not_thrashed(
+            self, tmp_path: Path):
+        small = self.entry_size(self.PAYLOAD)
+        cache = make_cache(tmp_path, quota_bytes=small + small // 2)
+        cache.put(KEY, self.PAYLOAD)
+        big_key = "bb" + "0" * 62
+        assert cache.put(big_key, self.PAYLOAD * 10) is False
+        assert cache.quota_skips == 1
+        assert cache.evictions == 0  # the resident entry was not purged
+        assert cache.get(KEY) is not None

@@ -302,6 +302,97 @@ class TestEngineValidation:
                             unit_timeout_s=0.0)
 
 
+class TestPreemptResume:
+    """The crash-safety acceptance scenario: a campaign SIGTERMed
+    mid-run (via the deterministic ``signal`` fault spec) exits 143
+    with a flushed journal; restarted with ``--resume`` it re-executes
+    only the remainder, carries charged attempt counts over exactly,
+    and merges results byte-identical to an uninterrupted run."""
+
+    @staticmethod
+    def _cli(argv, tmp_path: Path, faults=None) -> \
+            subprocess.CompletedProcess:
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(__file__).resolve().parents[1] / "src"))
+        env.pop("REPRO_FAULTS", None)
+        if faults is not None:
+            env["REPRO_FAULTS"] = json.dumps(faults)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.experiments", *argv],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            timeout=300)
+
+    def test_sigterm_then_resume_is_byte_identical(self, tmp_path: Path):
+        cache_dir = tmp_path / "cache"
+        journal = tmp_path / "journal.jsonl"
+        out_base = tmp_path / "out-baseline"
+        out_resumed = tmp_path / "out-resumed"
+        common = ["-e", "fig6", "--scale", str(SCALE), "--seed", str(SEED),
+                  "--jobs", "2"]
+
+        baseline = self._cli(
+            [*common, "--cache-dir", str(tmp_path / "cache-baseline"),
+             "--json-dir", str(out_base)], tmp_path)
+        assert baseline.returncode == 0, baseline.stderr
+
+        # Leg 1: flows:50 (first submitted — equal cost hints keep plan
+        # order) fails its only attempt — one *charged* attempt in the
+        # journal — and the first unit to complete triggers a SIGTERM,
+        # exactly a scheduler preemption.
+        leg1 = self._cli(
+            [*common, "--cache-dir", str(cache_dir), "--retries", "0",
+             "--keep-going", "--journal", str(journal)],
+            tmp_path, faults=[
+                {"unit": "fig6/flows:50", "mode": "error", "times": -1},
+                {"unit": "fig6/*", "mode": "signal", "times": 1}])
+        assert leg1.returncode == 128 + signal.SIGTERM  # 143
+        assert b"interrupted" in leg1.stderr
+        assert b"resume with" in leg1.stderr
+        assert journal.exists()
+        # Preemption reaped the pool and swept its spill files.
+        assert ResultCache(directory=cache_dir).sweep_stale() == 0
+        assert not list(cache_dir.rglob(".*.tmp"))
+
+        # Leg 2: resume with a retry budget of 2 — flows:50's carried
+        # charge leaves it exactly one more try, which succeeds.
+        leg2 = self._cli(
+            ["--resume", str(journal), "--cache-dir", str(cache_dir),
+             "--jobs", "2", "--retries", "1", "--json-dir",
+             str(out_resumed)], tmp_path)
+        assert leg2.returncode == 0, leg2.stderr
+        assert (out_resumed / "fig6.json").read_bytes() == \
+            (out_base / "fig6.json").read_bytes()
+
+        report = json.loads((out_resumed / "run_report.json").read_text())
+        assert report["resume"]["resumed"] is True
+        assert report["resume"]["attempts_carried"] == 1
+        assert report["resume"]["completed_carried"] == 1
+        assert report["resume"]["failed_carried"] == 0
+        by_id = {u["unit_id"]: u for u in report["units"]}
+        # The carried charge counts: success on the second attempt.
+        assert by_id["flows:50"]["attempts"] == 2
+        assert by_id["flows:50"]["source"] == "run"
+        # The journal-completed unit was never re-executed.
+        assert by_id[next(
+            uid for uid, u in by_id.items()
+            if u["source"] == "cache")]["attempts"] == 0
+
+    def test_resume_refuses_a_different_campaign(self, tmp_path: Path):
+        cache_dir = tmp_path / "cache"
+        journal = tmp_path / "journal.jsonl"
+        first = self._cli(
+            ["-e", "fig1", "--scale", str(SCALE), "--seed", str(SEED),
+             "--jobs", "1", "--cache-dir", str(cache_dir),
+             "--journal", str(journal)], tmp_path)
+        assert first.returncode == 0, first.stderr
+        mismatched = self._cli(
+            ["--resume", str(journal), "--seed", str(SEED + 1),
+             "--cache-dir", str(cache_dir), "--jobs", "1"], tmp_path)
+        assert mismatched.returncode == 2
+        assert b"recorded for campaign" in mismatched.stderr
+
+
 class TestCtrlC:
     """SIGINT mid-campaign: cancel, reap the pool, exit 130, leave no
     orphan spill files beyond what ``sweep_stale()`` reaps."""

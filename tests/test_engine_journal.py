@@ -1,0 +1,311 @@
+"""Crash-safe campaign journal: write/replay round trips, torn-tail
+tolerance, identity binding, and in-process preempt/resume semantics.
+
+The journal is the engine's durable accounting layer: every unit state
+transition is appended (fsynced) before execution proceeds, a resumed
+campaign replays it to learn what completed and what was charged, and
+the campaign identity hash refuses to replay a journal onto a different
+plan. The subprocess-level SIGTERM scenario lives in
+``test_engine_faults.py``; here the same machinery is exercised
+in-process where every intermediate state can be asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.export import result_to_dict, write_run_report
+from repro.experiments.engine import (CampaignError, CampaignInterrupted,
+                                      CampaignJournal, FaultSpec,
+                                      JournalError, ResultCache,
+                                      ResumeMismatchError,
+                                      campaign_identity, load_resume_state,
+                                      replay_journal, run_experiments)
+
+SCALE = 0.05
+SEED = 11
+
+#: Immediate retries: journal tests should not spend wall time backing off.
+FAST = {"retry_backoff_s": 0.0}
+
+
+def doc(result) -> str:
+    """Canonical JSON form of a result for byte-identity comparison."""
+    return json.dumps(result_to_dict(result), sort_keys=True,
+                      allow_nan=False,
+                      default=lambda o: f"<{type(o).__name__}>")
+
+
+def write_sample_journal(path: Path) -> None:
+    """A small hand-rolled journal covering every record type."""
+    with CampaignJournal(path) as journal:
+        journal.open_campaign("id123", ["fig6"], SCALE, SEED, None,
+                              resumed=False)
+        journal.record_planned("k1", "fig6/a", "pending")
+        journal.record_planned("k2", "fig6/b", "pending")
+        journal.record_planned("k3", "fig6/c", "pending")
+        journal.record_started("k1", "fig6/a", 0)
+        journal.record_attempt_failed("k1", "fig6/a", 1, "error", "boom")
+        journal.record_started("k1", "fig6/a", 1)
+        journal.record_completed("k1", "fig6/a", 2, 0.5, 10, cached=True)
+        journal.record_started("k2", "fig6/b", 0)
+        journal.record_attempt_failed("k2", "fig6/b", 1, "error", "crash")
+        journal.record_failed("k2", "fig6/b", 1, "crash")
+        journal.record_requeued("k3", "fig6/c", "timeout-victim")
+        journal.checkpoint(final=True, status="interrupted",
+                           signum=int(signal.SIGTERM))
+
+
+class TestJournalRoundTrip:
+    def test_replay_reconstructs_campaign_state(self, tmp_path: Path):
+        path = tmp_path / "j.jsonl"
+        write_sample_journal(path)
+        replay = replay_journal(path)
+        assert replay.identity == "id123"
+        assert replay.names == ["fig6"]
+        assert replay.scale == SCALE and replay.seed == SEED
+        assert replay.telemetry is None
+        assert replay.legs == 1
+        # k1 completed (its earlier charge is superseded), k2 failed
+        # permanently with one charged attempt, k3's requeue charged
+        # nothing — in-flight work costs no budget.
+        assert replay.completed == {"k1": 2}
+        assert replay.charged == {"k2": 1}
+        assert replay.permanent_failed == {"k2": "crash"}
+        assert "k3" in replay.labels and "k3" not in replay.charged
+        assert replay.interrupted_signum == int(signal.SIGTERM)
+
+    def test_disabled_journal_is_a_noop(self, tmp_path: Path):
+        journal = CampaignJournal(None)
+        assert not journal.enabled
+        journal.open_campaign("x", ["fig6"], 1.0, 0, None, resumed=False)
+        journal.record_completed("k", "l", 1, 0.0, 0, cached=False)
+        journal.checkpoint(final=True, status="completed")
+        journal.close()
+        assert not list(tmp_path.iterdir())
+
+    def test_interval_must_be_positive(self, tmp_path: Path):
+        with pytest.raises(ValueError, match="checkpoint_interval_s"):
+            CampaignJournal(tmp_path / "j.jsonl", checkpoint_interval_s=0)
+
+    def test_torn_tail_is_ignored(self, tmp_path: Path):
+        path = tmp_path / "j.jsonl"
+        write_sample_journal(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"t": "completed", "key": "k2", "atte')  # torn
+        replay = replay_journal(path)
+        assert replay.charged == {"k2": 1}  # the torn record never lands
+
+    def test_parseable_tail_missing_only_its_newline_counts(
+            self, tmp_path: Path):
+        path = tmp_path / "j.jsonl"
+        write_sample_journal(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"t": "completed", "key": "k2",
+                                     "attempts": 2}))  # no newline
+        replay = replay_journal(path)
+        assert replay.completed["k2"] == 2
+        assert "k2" not in replay.charged
+
+    def test_midfile_corruption_raises(self, tmp_path: Path):
+        path = tmp_path / "j.jsonl"
+        write_sample_journal(path)
+        lines = path.read_text().splitlines()
+        lines[2] = "NOT JSON"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="mid-file"):
+            replay_journal(path)
+
+    def test_headerless_journal_raises(self, tmp_path: Path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"t": "planned", "key": "k1"}\n')
+        with pytest.raises(JournalError, match="header"):
+            replay_journal(path)
+
+
+class TestIdentity:
+    KEYS = ("k1", "k2")
+
+    def test_identity_is_stable_and_sensitive(self):
+        base = campaign_identity(["fig6"], SCALE, SEED, self.KEYS)
+        assert campaign_identity(["fig6"], SCALE, SEED, self.KEYS) == base
+        assert campaign_identity(["fig6"], SCALE, SEED + 1,
+                                 self.KEYS) != base
+        assert campaign_identity(["fig6"], SCALE * 2, SEED,
+                                 self.KEYS) != base
+        assert campaign_identity(["fig5"], SCALE, SEED, self.KEYS) != base
+        # Plan order is part of the identity (merge consumes payloads in
+        # planning order).
+        assert campaign_identity(["fig6"], SCALE, SEED,
+                                 reversed(self.KEYS)) != base
+
+
+class TestInterruptAndResume:
+    SIGSPEC = FaultSpec(unit="fig6/*", mode="signal", times=1,
+                        signum=int(signal.SIGTERM))
+
+    def test_signal_preemption_then_resume_is_byte_identical(
+            self, tmp_path: Path):
+        baseline, _ = run_experiments(["fig6"], scale=SCALE, seed=SEED,
+                                      jobs=1)
+        cache = ResultCache(tmp_path / "cache")
+        journal = tmp_path / "j.jsonl"
+        with pytest.raises(CampaignInterrupted) as excinfo:
+            run_experiments(["fig6"], scale=SCALE, seed=SEED, jobs=1,
+                            cache=cache, journal_path=journal,
+                            faults=[self.SIGSPEC], handle_signals=True,
+                            **FAST)
+        exc = excinfo.value
+        assert exc.signum == int(signal.SIGTERM)
+        assert exc.report is not None
+        assert exc.report.resume["journal"] == str(journal)
+
+        replay = replay_journal(journal)
+        assert len(replay.completed) == 1  # the signal fired on the first
+        assert replay.interrupted_signum == int(signal.SIGTERM)
+
+        results, report = run_experiments(
+            ["fig6"], scale=SCALE, seed=SEED, jobs=1, cache=cache,
+            resume_from=replay, **FAST)
+        assert doc(results["fig6"]) == doc(baseline["fig6"])
+        assert report.resume["resumed"] is True
+        assert report.resume["completed_carried"] == 1
+        assert report.cache_hits == 1  # the completed unit never re-ran
+        assert report.executed == report.n_units - 1
+
+    def test_resume_refuses_identity_mismatch(self, tmp_path: Path):
+        cache = ResultCache(tmp_path / "cache")
+        journal = tmp_path / "j.jsonl"
+        run_experiments(["fig1"], scale=SCALE, seed=SEED, jobs=1,
+                        cache=cache, journal_path=journal)
+        replay = replay_journal(journal)
+        with pytest.raises(ResumeMismatchError):
+            run_experiments(["fig1"], scale=SCALE, seed=SEED + 1, jobs=1,
+                            cache=cache, resume_from=replay)
+
+    def test_resume_grants_new_budget_to_a_permanent_failure(
+            self, tmp_path: Path):
+        """A unit that exhausted ``--retries 0`` stays failed only until
+        a resume arrives with a larger budget; its old charge carries."""
+        baseline, _ = run_experiments(["fig6"], scale=SCALE, seed=SEED,
+                                      jobs=1)
+        cache = ResultCache(tmp_path / "cache")
+        journal = tmp_path / "j.jsonl"
+        flaky = [FaultSpec(unit="fig6/flows:100", mode="error", times=-1)]
+        _, leg1 = run_experiments(
+            ["fig6"], scale=SCALE, seed=SEED, jobs=1, cache=cache,
+            journal_path=journal, retries=0, keep_going=True,
+            faults=flaky, **FAST)
+        assert leg1.failed == 1
+
+        replay = replay_journal(journal)
+        assert replay.charged[next(iter(replay.permanent_failed))] == 1
+        results, leg2 = run_experiments(
+            ["fig6"], scale=SCALE, seed=SEED, jobs=1, cache=cache,
+            resume_from=replay, retries=1, **FAST)
+        assert doc(results["fig6"]) == doc(baseline["fig6"])
+        assert leg2.resume["attempts_carried"] == 1
+        by_id = {u.unit_id: u for u in leg2.units}
+        # One carried charge + the successful new attempt.
+        assert by_id["flows:100"].attempts == 2
+
+    def test_resume_with_exhausted_budget_keeps_the_failure(
+            self, tmp_path: Path):
+        cache = ResultCache(tmp_path / "cache")
+        journal = tmp_path / "j.jsonl"
+        flaky = [FaultSpec(unit="fig6/flows:100", mode="error", times=-1)]
+        run_experiments(["fig6"], scale=SCALE, seed=SEED, jobs=1,
+                        cache=cache, journal_path=journal, retries=0,
+                        keep_going=True, faults=flaky, **FAST)
+        replay = replay_journal(journal)
+        _, report = run_experiments(
+            ["fig6"], scale=SCALE, seed=SEED, jobs=1, cache=cache,
+            resume_from=replay, retries=0, keep_going=True, **FAST)
+        assert report.resume["failed_carried"] == 1
+        by_id = {u.unit_id: u for u in report.units}
+        assert by_id["flows:100"].source == "failed"
+        assert by_id["flows:100"].attempts == 1  # never re-executed
+        # Fail-fast honours the carried verdict too.
+        with pytest.raises(CampaignError):
+            run_experiments(["fig6"], scale=SCALE, seed=SEED, jobs=1,
+                            cache=cache, resume_from=replay_journal(journal),
+                            retries=0, **FAST)
+
+    def test_two_interrupted_legs_replay_as_one_campaign(
+            self, tmp_path: Path):
+        """Each resumed leg appends its own header to the same journal;
+        replay counts the legs and keeps the latest state."""
+        cache = ResultCache(tmp_path / "cache")
+        journal = tmp_path / "j.jsonl"
+        with pytest.raises(CampaignInterrupted):
+            run_experiments(["fig6"], scale=SCALE, seed=SEED, jobs=1,
+                            cache=cache, journal_path=journal,
+                            faults=[self.SIGSPEC], handle_signals=True,
+                            **FAST)
+        with pytest.raises(CampaignInterrupted):
+            run_experiments(["fig6"], scale=SCALE, seed=SEED, jobs=1,
+                            cache=cache,
+                            resume_from=replay_journal(journal),
+                            faults=[self.SIGSPEC], handle_signals=True,
+                            **FAST)
+        replay = replay_journal(journal)
+        assert replay.legs == 2
+        assert len(replay.completed) == 2  # one new unit per leg
+        results, report = run_experiments(
+            ["fig6"], scale=SCALE, seed=SEED, jobs=1, cache=cache,
+            resume_from=replay, **FAST)
+        assert report.resume["completed_carried"] == 2
+        assert "fig6" in results
+
+
+class TestCheckpointBatching:
+    def test_long_interval_emits_no_running_checkpoints(
+            self, tmp_path: Path):
+        journal = tmp_path / "j.jsonl"
+        run_experiments(["fig6"], scale=SCALE, seed=SEED, jobs=1,
+                        journal_path=journal, checkpoint_interval_s=3600.0)
+        records = [json.loads(line) for line in journal.read_text()
+                   .splitlines()]
+        checkpoints = [r for r in records if r["t"] == "checkpoint"]
+        assert [c["final"] for c in checkpoints] == [True]
+        assert checkpoints[-1]["status"] == "completed"
+
+    def test_tiny_interval_emits_periodic_checkpoints(
+            self, tmp_path: Path):
+        journal = tmp_path / "j.jsonl"
+        run_experiments(["fig6"], scale=SCALE, seed=SEED, jobs=1,
+                        journal_path=journal, checkpoint_interval_s=1e-6)
+        records = [json.loads(line) for line in journal.read_text()
+                   .splitlines()]
+        running = [r for r in records if r["t"] == "checkpoint"
+                   and not r["final"]]
+        assert running, "sub-microsecond interval must checkpoint per unit"
+        assert all(r["status"] == "running" for r in running)
+
+
+class TestLoadResumeState:
+    def test_accepts_a_journal_or_a_run_report(self, tmp_path: Path):
+        cache = ResultCache(tmp_path / "cache")
+        journal = tmp_path / "j.jsonl"
+        _, report = run_experiments(["fig1"], scale=SCALE, seed=SEED,
+                                    jobs=1, cache=cache,
+                                    journal_path=journal)
+        report_path = write_run_report(report, tmp_path / "out")
+        via_report = load_resume_state(report_path)
+        via_journal = load_resume_state(journal)
+        assert via_report.identity == via_journal.identity
+        assert via_report.completed == via_journal.completed
+
+    def test_missing_target_raises(self, tmp_path: Path):
+        with pytest.raises(JournalError, match="does not exist"):
+            load_resume_state(tmp_path / "nope.jsonl")
+
+    def test_report_without_journal_pointer_raises(self, tmp_path: Path):
+        path = tmp_path / "report.json"
+        path.write_text('{"jobs": 1}')
+        with pytest.raises(JournalError, match="resume.journal"):
+            load_resume_state(path)

@@ -145,9 +145,13 @@ class TestRunnerCli:
         assert main([]) == 2
 
     def test_parser_defaults(self):
+        # scale/seed parse as None sentinels so a --resume run can restore
+        # the journal's recorded values; main() resolves them to 1.0 / 0.
         args = build_parser().parse_args([])
-        assert args.scale == 1.0
-        assert args.seed == 0
+        assert args.scale is None
+        assert args.seed is None
+        assert args.journal is None
+        assert args.resume is None
 
 
 class TestSimEngine:

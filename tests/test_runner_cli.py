@@ -1,7 +1,9 @@
 """CLI coverage for ``python -m repro.experiments``.
 
-``--list``, unknown-experiment rejection, the ``--jobs``/cache flags, and
-the ``--json-dir`` round trip (results plus the engine run report).
+``--list``, unknown-experiment rejection, the ``--jobs``/cache flags,
+the ``--json-dir`` round trip (results plus the engine run report), and
+the crash-safety surface: ``--journal``/``--resume``/
+``--checkpoint-interval`` validation and ``--cache-quota`` parsing.
 """
 
 from __future__ import annotations
@@ -11,7 +13,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.runner import EXPERIMENTS, build_parser, main
+from repro.experiments.runner import (EXPERIMENTS, build_parser, main,
+                                      parse_size)
 
 
 class TestParser:
@@ -97,6 +100,66 @@ class TestParser:
         assert excinfo.value.code == 2
         assert "REPRO_FAULTS" in capsys.readouterr().err
 
+    def test_crash_safety_flag_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.journal is None
+        assert args.resume is None
+        assert args.checkpoint_interval is None
+        assert args.cache_quota is None
+
+    def test_resume_requires_the_cache(self, tmp_path, capsys):
+        journal = tmp_path / "j.jsonl"
+        journal.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--resume", str(journal), "--no-cache"])
+        assert excinfo.value.code == 2
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_resume_target_must_exist(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--resume", str(tmp_path / "nope.jsonl")])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_checkpoint_interval_needs_a_journal(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--checkpoint-interval", "5"])
+        assert excinfo.value.code == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_checkpoint_interval_must_be_positive(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--journal", str(tmp_path / "j.jsonl"),
+                  "--checkpoint-interval", "0"])
+        assert excinfo.value.code == 2
+        assert "--checkpoint-interval" in capsys.readouterr().err
+
+    def test_bad_cache_quota_rejected(self, capsys):
+        for bad in ("zero", "-5M", "0"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["-e", "fig1", "--cache-quota", bad])
+            assert excinfo.value.code == 2
+            assert "--cache-quota" in capsys.readouterr().err
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("1048576", 1048576),
+        ("4k", 4096),
+        ("4K", 4096),
+        ("512M", 512 * 1024 ** 2),
+        ("2G", 2 * 1024 ** 3),
+        ("2GB", 2 * 1024 ** 3),
+        ("1.5k", 1536),
+    ])
+    def test_accepts_common_forms(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "lots", "-1M", "0", "M"])
+    def test_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            parse_size(text)
+
 
 class TestMain:
     def test_list_names_every_experiment(self, capsys):
@@ -132,6 +195,32 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Run report" in out
         assert "fig1" in out
+
+    def test_journal_and_resume_round_trip(self, tmp_path: Path, capsys):
+        journal = tmp_path / "j.jsonl"
+        cache_dir = tmp_path / "cache"
+        code = main(["-e", "fig1", "--scale", "0.05", "--seed", "7",
+                     "--jobs", "1", "--cache-dir", str(cache_dir),
+                     "--journal", str(journal),
+                     "--json-dir", str(tmp_path / "out")])
+        assert code == 0
+        report = json.loads(
+            (tmp_path / "out" / "run_report.json").read_text("utf-8"))
+        assert Path(report["resume"]["journal"]) == journal.resolve()
+        assert report["resume"]["resumed"] is False
+        assert "journal" in capsys.readouterr().out  # rendered summary row
+
+        # --resume alone restores the experiment list, scale and seed
+        # from the journal header; everything is already cached.
+        code = main(["--resume", str(journal), "--cache-dir",
+                     str(cache_dir), "--jobs", "1",
+                     "--json-dir", str(tmp_path / "out2")])
+        assert code == 0
+        resumed = json.loads(
+            (tmp_path / "out2" / "run_report.json").read_text("utf-8"))
+        assert resumed["resume"]["resumed"] is True
+        assert resumed["cache_hits"] == resumed["n_units"]
+        assert resumed["resume"]["completed_carried"] == resumed["n_units"]
 
     def test_cache_dir_flag_caches_across_invocations(self, tmp_path,
                                                       capsys):
