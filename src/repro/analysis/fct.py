@@ -1,0 +1,250 @@
+"""Per-flow flow-completion-time (FCT) extraction.
+
+The sweep scenarios measure what the ECN-threshold literature measures:
+per-flow FCTs over a mixed elephant/mice workload, split by flow class.
+The raw material is the telemetry flow-lifecycle log — the
+:class:`~repro.telemetry.recorder.FlowEvent` stream every simulation
+already emits on ``flow.open`` / ``flow.first_byte`` / ``flow.close`` —
+so FCT extraction is a pure post-processing step: no new instrumentation
+in the packet path, and any captured run can be re-analysed offline.
+
+The contract:
+
+- a flow's FCT is ``first close - open`` (close fires when the sender's
+  cumulative ACK reaches its demand, i.e. when every byte is delivered);
+- a flow that opened but never closed inside the simulated horizon is
+  *unfinished*: it is excluded from every CDF and counted in
+  :attr:`FctSet.unfinished` (silently folding it in would fake a finite
+  FCT for a flow the horizon truncated);
+- flows are classed ``mouse`` or ``elephant`` by their demand size
+  against a threshold (mice: ``size <= mouse_max_bytes``), matching the
+  deliberate elephant-over-incast-mice overlap of the grid scenarios;
+- merging :class:`FctSet` s from different work units is associative and
+  order-independent (records re-sort by ``(open_ns, flow_id)``), so a
+  sweep merged from cached, parallel, or resumed units is byte-identical
+  to a serial one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro import units
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.tables import format_table
+
+MOUSE = "mouse"
+ELEPHANT = "elephant"
+
+DEFAULT_MOUSE_MAX_BYTES = 100_000
+"""Flows at or below this demand are mice (the classic 100 KB cut)."""
+
+
+@dataclass(frozen=True)
+class FlowFct:
+    """One finished flow's lifecycle, reduced to the FCT view."""
+
+    flow_id: int
+    src: int
+    open_ns: int
+    close_ns: int
+    size_bytes: Optional[int] = None
+    first_byte_ns: Optional[int] = None
+    cls: str = MOUSE
+
+    def __post_init__(self) -> None:
+        if self.close_ns < self.open_ns:
+            raise ValueError(
+                f"flow {self.flow_id}: close at {self.close_ns} precedes "
+                f"open at {self.open_ns}")
+
+    @property
+    def fct_ns(self) -> int:
+        """Flow completion time in nanoseconds."""
+        return self.close_ns - self.open_ns
+
+    @property
+    def fct_ms(self) -> float:
+        """Flow completion time in milliseconds."""
+        return units.ns_to_ms(self.fct_ns)
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (one row of a per-flow export)."""
+        return {"flow_id": self.flow_id, "src": self.src,
+                "open_ns": self.open_ns, "close_ns": self.close_ns,
+                "fct_ns": self.fct_ns, "size_bytes": self.size_bytes,
+                "first_byte_ns": self.first_byte_ns, "cls": self.cls}
+
+
+@dataclass(frozen=True)
+class FctSet:
+    """An order-canonical set of finished-flow records plus rejection
+    accounting.
+
+    Attributes:
+        records: Finished flows, sorted by ``(open_ns, flow_id)`` — the
+            canonical order that makes :func:`merge_fct_sets`
+            associative.
+        unfinished: Flows that opened but never closed (horizon
+            truncation); never part of a CDF.
+        mouse_max_bytes: The classification threshold the records were
+            built with.
+    """
+
+    records: tuple[FlowFct, ...] = ()
+    unfinished: int = 0
+    mouse_max_bytes: int = DEFAULT_MOUSE_MAX_BYTES
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_class(self, cls: str) -> list[FlowFct]:
+        """Records of one flow class (:data:`MOUSE` / :data:`ELEPHANT`)."""
+        return [r for r in self.records if r.cls == cls]
+
+    def fct_cdf(self, cls: Optional[str] = None,
+                name: str = "") -> EmpiricalCdf:
+        """CDF of FCTs in milliseconds, optionally restricted to a class."""
+        chosen = self.records if cls is None else self.of_class(cls)
+        return EmpiricalCdf([r.fct_ms for r in chosen],
+                            name=name or (cls or "all"))
+
+    def split_cdfs(self) -> dict[str, EmpiricalCdf]:
+        """``{"mice": cdf, "elephants": cdf}`` (absent classes excluded)."""
+        out: dict[str, EmpiricalCdf] = {}
+        if self.of_class(MOUSE):
+            out["mice"] = self.fct_cdf(MOUSE, name="mice")
+        if self.of_class(ELEPHANT):
+            out["elephants"] = self.fct_cdf(ELEPHANT, name="elephants")
+        return out
+
+    def summary(self) -> dict:
+        """Scalar digest for JSON export and golden fixtures."""
+        out: dict = {"n_flows": len(self.records),
+                     "unfinished": self.unfinished,
+                     "n_mice": len(self.of_class(MOUSE)),
+                     "n_elephants": len(self.of_class(ELEPHANT))}
+        for key, cdf in self.split_cdfs().items():
+            out[f"{key}_fct_ms"] = cdf.export_dict()
+        return out
+
+    def export_dict(self) -> dict:
+        """JSON export hook (:mod:`repro.analysis.export`)."""
+        return self.summary()
+
+
+def extract_fcts(events: Iterable, *,
+                 sizes: Optional[Mapping[int, int]] = None,
+                 mouse_max_bytes: int = DEFAULT_MOUSE_MAX_BYTES) -> FctSet:
+    """Reduce a flow-lifecycle event log to per-flow FCT records.
+
+    Args:
+        events: ``FlowEvent``-shaped objects (``time_ns`` / ``kind`` /
+            ``flow_id`` / ``host`` attributes) in any order; only the
+            ``open`` / ``first_byte`` / ``close`` kinds are consumed.
+        sizes: Per-flow demand in bytes, used for mouse/elephant
+            classification. Flows without an entry classify by the
+            threshold as mice only when ``sizes`` is omitted entirely;
+            with a partial map the missing flow is an error (a silent
+            default would misclass an elephant). ``NaN`` sizes are
+            rejected for the same reason.
+        mouse_max_bytes: Largest demand still counted as a mouse.
+
+    Returns:
+        An order-canonical :class:`FctSet`; flows with an ``open`` but no
+        ``close`` are counted as unfinished, and a ``close`` with no
+        preceding ``open`` raises (the log is corrupt).
+    """
+    if mouse_max_bytes <= 0:
+        raise ValueError("mouse_max_bytes must be positive")
+    opens: dict[int, tuple[int, int]] = {}     # flow -> (open_ns, src)
+    first_bytes: dict[int, int] = {}
+    closes: dict[int, int] = {}                # first close only
+    ordered = sorted(events, key=lambda e: (e.time_ns, e.flow_id))
+    for event in ordered:
+        if event.kind == "open":
+            opens.setdefault(event.flow_id, (event.time_ns, event.host))
+        elif event.kind == "first_byte":
+            first_bytes.setdefault(event.flow_id, event.time_ns)
+        elif event.kind == "close":
+            if event.flow_id not in opens:
+                raise ValueError(
+                    f"flow {event.flow_id} closed at {event.time_ns} "
+                    f"without an open event — corrupt lifecycle log")
+            closes.setdefault(event.flow_id, event.time_ns)
+
+    records = []
+    for flow_id, (open_ns, src) in opens.items():
+        if flow_id not in closes:
+            continue  # unfinished; counted below
+        size: Optional[int] = None
+        if sizes is not None:
+            if flow_id not in sizes:
+                raise ValueError(
+                    f"flow {flow_id} has no size entry; pass sizes for "
+                    f"every flow (or none at all)")
+            raw = sizes[flow_id]
+            if isinstance(raw, float) and math.isnan(raw):
+                raise ValueError(f"flow {flow_id}: NaN size is not a "
+                                 f"classifiable demand")
+            size = int(raw)
+        cls = MOUSE if size is None or size <= mouse_max_bytes \
+            else ELEPHANT
+        records.append(FlowFct(
+            flow_id=flow_id, src=src, open_ns=open_ns,
+            close_ns=closes[flow_id], size_bytes=size,
+            first_byte_ns=first_bytes.get(flow_id), cls=cls))
+    records.sort(key=lambda r: (r.open_ns, r.flow_id))
+    return FctSet(records=tuple(records),
+                  unfinished=len(opens) - len(records),
+                  mouse_max_bytes=mouse_max_bytes)
+
+
+def merge_fct_sets(sets: Sequence[FctSet]) -> FctSet:
+    """Combine per-unit FCT sets into one (associative, order-canonical).
+
+    Records re-sort into the canonical ``(open_ns, flow_id)`` order and
+    unfinished counts add, so ``merge([merge([a, b]), c])`` equals
+    ``merge([a, merge([b, c])])`` and equals ``merge([a, b, c])`` — the
+    property that lets a sweep merge cached, fresh, and resumed unit
+    payloads interchangeably.
+    """
+    if not sets:
+        return FctSet()
+    thresholds = {s.mouse_max_bytes for s in sets}
+    if len(thresholds) > 1:
+        raise ValueError(f"cannot merge FCT sets classified with different "
+                         f"mouse thresholds: {sorted(thresholds)}")
+    merged = [record for s in sets for record in s.records]
+    merged.sort(key=lambda r: (r.open_ns, r.flow_id))
+    return FctSet(records=tuple(merged),
+                  unfinished=sum(s.unfinished for s in sets),
+                  mouse_max_bytes=thresholds.pop())
+
+
+def format_fct_table(rows: Mapping[str, FctSet],
+                     percentiles: Sequence[float] = (50.0, 90.0, 99.0),
+                     title: str = "") -> str:
+    """Render one FCT summary row per labelled set (e.g. per grid point).
+
+    Columns: flow counts, then mice and elephant FCT percentiles in
+    milliseconds — the textual form of an FCT-vs-K comparison figure.
+    """
+    headers = ["point", "flows", "unfin"]
+    for cls in ("mice", "eleph"):
+        headers += [f"{cls} p{p:g} (ms)" for p in percentiles]
+    table_rows = []
+    for label, fct_set in rows.items():
+        row: list[object] = [label, len(fct_set), fct_set.unfinished]
+        for cls in (MOUSE, ELEPHANT):
+            chosen = fct_set.of_class(cls)
+            if chosen:
+                cdf = fct_set.fct_cdf(cls)
+                row += [round(cdf.percentile(p), 3) for p in percentiles]
+            else:
+                row += ["-"] * len(percentiles)
+        table_rows.append(row)
+    return format_table(headers, table_rows,
+                        title=title or "Per-flow FCT summary")

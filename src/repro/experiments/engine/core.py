@@ -551,6 +551,7 @@ def run_experiments(
         checkpoint_interval_s: Optional[float] = None,
         resume_from: Optional[JournalReplay] = None,
         handle_signals: bool = False,
+        extra_modules: Optional[dict] = None,
 ) -> tuple[dict[str, ExperimentResult], RunReport]:
     """Run several experiments through the engine.
 
@@ -608,6 +609,15 @@ def run_experiments(
             :class:`CampaignInterrupted`). Only effective on the main
             thread; the CLI enables it, library callers usually keep
             their own signal disposition.
+        extra_modules: Ad-hoc experiment modules (name → object exposing
+            ``work_units(scale, seed)`` and ``merge(units, payloads, *,
+            scale, seed)``) layered over :data:`EXPERIMENT_MODULES` for
+            this call only. This is how declaratively compiled sweeps
+            (:mod:`repro.experiments.sweep`) run through the engine —
+            cache, journal, resume, fault tolerance and fan-out apply
+            unchanged, because the units they compile to are ordinary
+            :class:`WorkUnit` s whose identity lives in ``fn``/``params``,
+            not in the registry name.
 
     Returns:
         ``(results, report)`` — results keyed by experiment name in the
@@ -624,10 +634,11 @@ def run_experiments(
         ResumeMismatchError: ``resume_from`` belongs to a different
             campaign (names, params, scale, seed or code version drift).
     """
-    unknown = [name for name in names if name not in EXPERIMENT_MODULES]
+    modules = {**EXPERIMENT_MODULES, **(extra_modules or {})}
+    unknown = [name for name in names if name not in modules]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}; "
-                       f"choose from {sorted(EXPERIMENT_MODULES)}")
+                       f"choose from {sorted(modules)}")
     jobs = resolve_jobs(jobs)
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
@@ -653,7 +664,7 @@ def run_experiments(
     # --- plan: collect every unit and bind the campaign identity ---------
     plan: dict[str, list[tuple[WorkUnit, str]]] = {}
     for name in names:
-        units = EXPERIMENT_MODULES[name].work_units(scale, seed)
+        units = modules[name].work_units(scale, seed)
         if tele_params is not None:
             units = [dataclasses.replace(
                 unit, params={**unit.params, "telemetry": tele_params})
@@ -913,7 +924,7 @@ def run_experiments(
                     continue
                 units = [unit for unit, _ in plan[name]]
                 unit_payloads = [payloads[key] for _, key in plan[name]]
-                results[name] = EXPERIMENT_MODULES[name].merge(
+                results[name] = modules[name].merge(
                     units, unit_payloads, scale=scale, seed=seed)
 
             # --- telemetry extraction ------------------------------------

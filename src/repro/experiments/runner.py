@@ -7,6 +7,18 @@ Usage::
     python -m repro.experiments --all --scale 0.1 --jobs 4
     python -m repro.experiments --all --jobs 8 --retries 2 \
         --unit-timeout 600 --keep-going
+    python -m repro.experiments sweep list
+    python -m repro.experiments sweep plan examples/sweeps/ecn_k.yaml
+    python -m repro.experiments sweep run examples/sweeps/ecn_k.yaml \
+        --jobs 4 --journal sweep.jsonl
+
+The ``sweep`` subcommand runs declarative YAML parameter sweeps
+(:mod:`repro.experiments.sweep`) through the same engine: ``sweep list``
+shows the sweepable scenarios and their fields, ``sweep plan`` prints the
+compiled unit plan (ids and cache keys) without running anything, and
+``sweep run`` executes the grid with every engine flag available —
+including ``--resume``, which needs the spec file again (the journal
+records unit identities, not the spec).
 
 Experiments execute through :mod:`repro.experiments.engine`: independent
 trials fan out across worker processes (``--jobs``) and completed units
@@ -101,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run every experiment")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
+    _add_engine_flags(parser)
+    return parser
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Install the engine-execution flags shared by the main experiment
+    runner and the ``sweep run`` subcommand, so both surfaces accept the
+    identical cache/journal/fan-out vocabulary."""
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale factor (default 1.0 = paper "
                              "scale; a --resume run defaults to the "
@@ -172,13 +192,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--telemetry-interval-us", type=float, default=None,
                         help="telemetry sampling interval in microseconds "
                              "(default 1000 = Millisampler's 1 ms)")
-    return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _validate_engine_args(parser: argparse.ArgumentParser,
+                          args: argparse.Namespace) -> Optional[int]:
+    """Cross-flag validation shared by both CLI surfaces.
+
+    Returns the parsed ``--cache-quota`` in bytes (``None`` when unset);
+    every violation exits through ``parser.error``.
+    """
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.retries < 0:
@@ -189,10 +211,6 @@ def main(argv: list[str] | None = None) -> int:
     if args.unit_timeout is not None and args.jobs == 1:
         parser.error("--unit-timeout requires --jobs >= 2 (a hung unit "
                      "cannot be interrupted in-process)")
-    try:
-        faults = faults_from_env()
-    except ValueError as exc:
-        parser.error(f"$REPRO_FAULTS: {exc}")
     if (args.cache_dir is not None and not args.no_cache
             and Path(args.cache_dir).exists()
             and not Path(args.cache_dir).is_dir()):
@@ -213,6 +231,26 @@ def main(argv: list[str] | None = None) -> int:
             quota_bytes = parse_size(args.cache_quota)
         except ValueError as exc:
             parser.error(f"--cache-quota: {exc}")
+    return quota_bytes
+
+
+def _parse_faults(parser: argparse.ArgumentParser):
+    """$REPRO_FAULTS chaos specs, or a parser error on a malformed value."""
+    try:
+        return faults_from_env()
+    except ValueError as exc:
+        parser.error(f"$REPRO_FAULTS: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    quota_bytes = _validate_engine_args(parser, args)
+    faults = _parse_faults(parser)
     if args.list:
         for name in EXPERIMENTS:
             doc = sys.modules[EXPERIMENTS[name].__module__].__doc__ or ""
@@ -234,6 +272,11 @@ def main(argv: list[str] | None = None) -> int:
     names = list(EXPERIMENTS) if args.all else (args.experiment or [])
     if not names and resume_state is not None:
         names = list(resume_state.names)
+    if any(name.startswith("sweep:") for name in names):
+        parser.error("this journal records a sweep campaign; resume it "
+                     "with: python -m repro.experiments sweep run "
+                     "SPEC.yaml --resume PATH (the spec file is needed "
+                     "to recompile the plan)")
     if not names:
         print("nothing to run: pass --experiment NAME, --all, or --list",
               file=sys.stderr)
@@ -311,6 +354,153 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Parser for the ``sweep`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description="Compile and run declarative YAML parameter sweeps "
+                    "through the experiment engine")
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser(
+        "list", help="list sweepable scenarios and their fields")
+    plan = commands.add_parser(
+        "plan", help="print the compiled unit plan without running")
+    plan.add_argument("spec", help="YAML sweep spec file")
+    plan.add_argument("--scale", type=float, default=1.0,
+                      help="workload scale factor (default 1.0)")
+    plan.add_argument("--seed", type=int, default=0,
+                      help="root random seed (default 0)")
+    run = commands.add_parser(
+        "run", help="execute the sweep grid through the engine")
+    run.add_argument("spec", help="YAML sweep spec file")
+    _add_engine_flags(run)
+    return parser
+
+
+def _load_spec(parser: argparse.ArgumentParser, path: str):
+    """Load a YAML spec, converting every failure mode to a parser
+    error (missing file, broken YAML, invalid spec fields)."""
+    from repro.experiments import sweep as sweep_mod
+    try:
+        return sweep_mod.load_sweep_file(path)
+    except OSError as exc:
+        parser.error(f"cannot read sweep spec {path}: {exc}")
+    except Exception as exc:  # yaml + spec validation errors
+        parser.error(f"invalid sweep spec {path}: {exc}")
+
+
+def _sweep_list() -> int:
+    """Print each sweepable scenario with its overridable fields."""
+    from repro.experiments import sweep as sweep_mod
+    for name in sorted(sweep_mod.SCENARIOS):
+        config_cls, executor = sweep_mod.SCENARIOS[name]
+        doc = (executor.__doc__ or "").strip().splitlines()
+        print(f"{name:18s} {doc[0] if doc else ''}")
+        print(f"{'':18s} fields: "
+              f"{', '.join(sweep_mod.scenario_fields(name))}")
+    return 0
+
+
+def _sweep_run(parser: argparse.ArgumentParser,
+               args: argparse.Namespace) -> int:
+    """Execute ``sweep run``: the engine campaign plus report printing,
+    mirroring the main runner's exit-code conventions."""
+    from repro.experiments import sweep as sweep_mod
+    spec = _load_spec(parser, args.spec)
+    quota_bytes = _validate_engine_args(parser, args)
+    faults = _parse_faults(parser)
+    resume_state: Optional[JournalReplay] = None
+    if args.resume:
+        try:
+            resume_state = load_resume_state(args.resume)
+        except JournalError as exc:
+            parser.error(f"--resume: {exc}")
+        if list(resume_state.names) != [spec.experiment_name]:
+            parser.error(
+                f"--resume: journal records campaign "
+                f"{list(resume_state.names)}, not this sweep "
+                f"({spec.experiment_name}); pass the matching spec file")
+    scale = args.scale if args.scale is not None else (
+        resume_state.scale if resume_state is not None else 1.0)
+    seed = args.seed if args.seed is not None else (
+        resume_state.seed if resume_state is not None else 0)
+    telemetry = args.telemetry or (resume_state is not None
+                                   and resume_state.telemetry is not None)
+    interval_ns = None
+    if args.telemetry_interval_us is not None:
+        if args.telemetry_interval_us <= 0:
+            parser.error("--telemetry-interval-us must be positive")
+        interval_ns = int(args.telemetry_interval_us * 1000)
+    elif resume_state is not None and resume_state.telemetry:
+        interval_ns = resume_state.telemetry.get("interval_ns")
+
+    cache = ResultCache(
+        directory=Path(args.cache_dir) if args.cache_dir else None,
+        enabled=not args.no_cache, quota_bytes=quota_bytes)
+    try:
+        result, report = sweep_mod.run_sweep(
+            spec, scale=scale, seed=seed, jobs=args.jobs,
+            cache=cache, telemetry=telemetry,
+            telemetry_interval_ns=interval_ns,
+            unit_timeout_s=args.unit_timeout, retries=args.retries,
+            keep_going=args.keep_going, faults=faults,
+            journal_path=args.journal,
+            checkpoint_interval_s=args.checkpoint_interval,
+            resume_from=resume_state, handle_signals=True)
+    except CampaignInterrupted as exc:
+        print(f"\ninterrupted: {exc}; worker pool reaped, journal "
+              f"checkpoint flushed", file=sys.stderr)
+        if exc.report is not None and exc.report.resume:
+            print(f"resume with: sweep run {args.spec} --resume "
+                  f"{exc.report.resume['journal']}", file=sys.stderr)
+        return 128 + int(exc.signum)
+    except KeyboardInterrupt:
+        print("\ninterrupted: sweep cancelled, worker pool reaped",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except ResumeMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CampaignError as exc:
+        print(exc.report.render())
+        print(f"error: {exc} (see the failures table above)",
+              file=sys.stderr)
+        return 1
+
+    if result is None:  # lost to a failed unit under --keep-going
+        print(f"[{spec.experiment_name}: FAILED — no result; see the "
+              f"failures table below]\n")
+    else:
+        print(result.render())
+        if args.json_dir is not None:
+            path = write_result(result, Path(args.json_dir))
+            print(f"[wrote {path}]")
+        print()
+    print(report.render())
+    if args.json_dir is not None:
+        path = write_run_report(report, Path(args.json_dir))
+        print(f"[wrote {path}]")
+    if report.failures:
+        print(f"error: {report.failed} unit(s) failed permanently",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def sweep_main(argv: list[str]) -> int:
+    """Entry point for ``python -m repro.experiments sweep ...``."""
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _sweep_list()
+    if args.command == "plan":
+        from repro.experiments import sweep as sweep_mod
+        spec = _load_spec(parser, args.spec)
+        print(sweep_mod.plan_document(spec, args.scale, args.seed))
+        return 0
+    return _sweep_run(parser, args)
 
 
 if __name__ == "__main__":

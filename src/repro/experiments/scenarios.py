@@ -1,0 +1,244 @@
+"""Leaf-spine sweep scenarios: the executors the sweep DSL dispatches to.
+
+Two grid scenarios, both running on :mod:`repro.netsim.leafspine` and both
+measured through per-flow FCT extraction (:mod:`repro.analysis.fct`)
+rather than the burst-completion-time lens of the Section 4 dumbbell
+experiments:
+
+- ``leafspine_incast`` — a synchronized cross-rack incast under the
+  fabric's seeded ECMP: senders spread over the remote racks converge on
+  one receiver, so every flow crosses a spine and the destination leaf's
+  downlink is the bottleneck (:func:`run_cross_rack_incast`).
+- ``leafspine_mix`` — elephant/mice coexistence for the ECN-threshold
+  grids: long flows build a standing queue at the shared downlink, then a
+  mice incast lands on it; mice FCTs feel the threshold K directly
+  (:func:`run_elephant_mice`).
+
+Scenario configs are deliberately *flat* dataclasses of scalars so a YAML
+sweep axis can override any field by name, and every executor follows the
+same recipe: build the fabric, schedule each planned flow's connection to
+*open at its start time* (``flow.open`` fires at sender construction, so
+FCT = close - open only measures the flow if construction happens at the
+start), run, then renumber the telemetry capture to fabric-local ranks and
+sim-local flow ids so output is independent of process history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro import units
+from repro.analysis.fct import (DEFAULT_MOUSE_MAX_BYTES, FctSet,
+                                extract_fcts)
+from repro.experiments.environment import CCA_FACTORIES
+from repro.netsim.leafspine import LeafSpineConfig, build_leaf_spine
+from repro.simcore.kernel import Simulator
+from repro.simcore.random import RngHub
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import open_connection
+from repro.telemetry.recorder import TelemetryCapture, TelemetryRecorder
+from repro.workloads.mix import (KIND_MOUSE, ElephantMiceConfig, FlowSpec,
+                                 flow_sizes, plan_elephant_mice)
+
+
+@dataclass
+class ScenarioResult:
+    """Picklable outcome of one scenario run (one sweep grid point).
+
+    Attributes:
+        scenario: Registry name of the executor that produced this.
+        params: The flat config fields the run used (JSON-able).
+        fcts: Per-flow FCT records, classified mice/elephants.
+        bottleneck: Scalar counters of the receiver-downlink queue — the
+            occupancy/marking side of the FCT-vs-K trade-off.
+        telemetry: Full interval capture when the unit requested it.
+    """
+
+    scenario: str
+    params: dict
+    fcts: FctSet
+    bottleneck: dict
+    telemetry: Optional[TelemetryCapture] = None
+
+    def export_dict(self) -> dict:
+        """Scalar digest for JSON export and golden fixtures."""
+        return {"scenario": self.scenario, "params": dict(self.params),
+                "fct": self.fcts.summary(),
+                "bottleneck": dict(self.bottleneck)}
+
+
+def _config_params(cfg) -> dict:
+    """A scenario config's fields as a plain JSON-able dict."""
+    return {f.name: getattr(cfg, f.name) for f in fields(cfg)}
+
+
+@dataclass(frozen=True)
+class CrossRackIncastConfig:
+    """One cross-rack incast run (flat, sweep-overridable fields).
+
+    ``n_senders`` round-robin over every host outside the receiver's rack,
+    so with enough senders the incast arrives over every spine path the
+    seeded ECMP installed.
+    """
+
+    n_racks: int = 3
+    hosts_per_rack: int = 8
+    n_spines: int = 2
+    n_senders: int = 12
+    flow_bytes: int = 50_000
+    start_jitter_ns: int = units.usec(100.0)
+    ecn_threshold_packets: int = 65
+    queue_capacity_packets: int = 1333
+    cca: str = "dctcp"
+    dctcp_g: float = 1.0 / 16.0
+    ecmp_seed: int = 0
+    seed: int = 0
+    max_sim_time_ns: int = units.sec(2.0)
+    telemetry: bool = False
+    telemetry_interval_ns: int = units.msec(1.0)
+    mouse_max_bytes: int = DEFAULT_MOUSE_MAX_BYTES
+
+    def __post_init__(self) -> None:
+        if self.n_racks < 2:
+            raise ValueError("cross-rack incast needs at least two racks")
+        if self.n_senders <= 0 or self.flow_bytes <= 0:
+            raise ValueError("sender count and flow size must be positive")
+        if self.cca not in CCA_FACTORIES:
+            raise ValueError(f"unknown CCA {self.cca!r}; "
+                             f"choose from {sorted(CCA_FACTORIES)}")
+
+    def plan(self, hub: RngHub) -> list[FlowSpec]:
+        """The deterministic flow plan: one mouse-class flow per sender,
+        jittered around t=0 like the Section 4 burst workload."""
+        mix = ElephantMiceConfig(
+            n_racks=self.n_racks, hosts_per_rack=self.hosts_per_rack,
+            n_elephants=0, n_mice=self.n_senders,
+            mouse_bytes=self.flow_bytes, warmup_ns=0,
+            mouse_jitter_ns=self.start_jitter_ns)
+        return plan_elephant_mice(mix, hub)
+
+
+@dataclass(frozen=True)
+class ElephantMiceGridConfig:
+    """One elephant/mice coexistence run (flat, sweep-overridable fields).
+
+    The natural grid axes are ``ecn_threshold_packets`` (K) and the mix
+    shape (``n_mice``, ``n_elephants``); everything else pins the fabric.
+    """
+
+    n_racks: int = 3
+    hosts_per_rack: int = 8
+    n_spines: int = 2
+    n_elephants: int = 2
+    n_mice: int = 16
+    elephant_bytes: int = 1_000_000
+    mouse_bytes: int = 20_000
+    warmup_ns: int = units.msec(2.0)
+    mouse_jitter_ns: int = units.usec(100.0)
+    ecn_threshold_packets: int = 65
+    queue_capacity_packets: int = 1333
+    cca: str = "dctcp"
+    dctcp_g: float = 1.0 / 16.0
+    ecmp_seed: int = 0
+    seed: int = 0
+    max_sim_time_ns: int = units.sec(2.0)
+    telemetry: bool = False
+    telemetry_interval_ns: int = units.msec(1.0)
+    mouse_max_bytes: int = DEFAULT_MOUSE_MAX_BYTES
+
+    def __post_init__(self) -> None:
+        if self.cca not in CCA_FACTORIES:
+            raise ValueError(f"unknown CCA {self.cca!r}; "
+                             f"choose from {sorted(CCA_FACTORIES)}")
+        self.workload()  # validate the mix shape eagerly
+
+    def workload(self) -> ElephantMiceConfig:
+        """The mix-generator view of this config."""
+        return ElephantMiceConfig(
+            n_racks=self.n_racks, hosts_per_rack=self.hosts_per_rack,
+            n_elephants=self.n_elephants, n_mice=self.n_mice,
+            elephant_bytes=self.elephant_bytes,
+            mouse_bytes=self.mouse_bytes, warmup_ns=self.warmup_ns,
+            mouse_jitter_ns=self.mouse_jitter_ns)
+
+    def plan(self, hub: RngHub) -> list[FlowSpec]:
+        """The deterministic elephant/mice flow plan."""
+        return plan_elephant_mice(self.workload(), hub)
+
+
+def _execute_plan(name: str, cfg, flows: list[FlowSpec]) -> ScenarioResult:
+    """Run a planned flow set on a fresh leaf-spine fabric.
+
+    Connections open *at each flow's start time* (scheduled, not
+    pre-built): ``flow.open`` fires when the sender is constructed, so
+    this is what makes FCT = close - open a statement about the flow
+    rather than about scenario setup. Explicit sim-local flow ids keep
+    the capture independent of the process-global connection counter.
+    """
+    sim = Simulator()
+    fab = build_leaf_spine(sim, LeafSpineConfig(
+        n_racks=cfg.n_racks, hosts_per_rack=cfg.hosts_per_rack,
+        n_spines=cfg.n_spines,
+        queue_capacity_packets=cfg.queue_capacity_packets,
+        ecn_threshold_packets=cfg.ecn_threshold_packets,
+        ecmp_seed=cfg.ecmp_seed))
+    hosts = fab.hosts
+    receiver = hosts[0]
+    bottleneck = fab.downlink_queue(receiver)
+
+    recorder = TelemetryRecorder(sim,
+                                 interval_ns=cfg.telemetry_interval_ns)
+    recorder.attach()
+    if cfg.telemetry:
+        recorder.attach_host(receiver)
+        recorder.attach_queue(bottleneck)
+
+    tcp = TcpConfig()
+
+    def open_flow(spec: FlowSpec) -> None:
+        cca = CCA_FACTORIES[cfg.cca](tcp, cfg.dctcp_g)
+        sender, _ = open_connection(sim, tcp, cca, hosts[spec.src_rank],
+                                    hosts[spec.dst_rank],
+                                    flow_id=spec.flow_id)
+        sender.send(spec.size_bytes)
+
+    for spec in flows:
+        sim.schedule_at(spec.start_ns, open_flow, (spec,))
+    sim.run(until_ns=cfg.max_sim_time_ns)
+
+    capture = recorder.export()
+    recorder.detach()
+    # Host addresses come from a process-global counter; fabric build
+    # order is the sim-local coordinate. Flow ids are already sim-local.
+    addr_map = {host.address: rank for rank, host in enumerate(hosts)}
+    capture = capture.renumbered(addr_map, {})
+
+    fcts = extract_fcts(capture.events, sizes=flow_sizes(flows),
+                        mouse_max_bytes=cfg.mouse_max_bytes)
+    stats = bottleneck.stats
+    result = ScenarioResult(
+        scenario=name,
+        params=_config_params(cfg),
+        fcts=fcts,
+        bottleneck={
+            "max_len_packets": stats.max_len_packets,
+            "marked_packets": stats.marked_packets,
+            "dropped_packets": stats.dropped_packets,
+            "enqueued_packets": stats.enqueued_packets,
+        },
+        telemetry=capture if cfg.telemetry else None,
+    )
+    return result
+
+
+def run_cross_rack_incast(cfg: CrossRackIncastConfig) -> ScenarioResult:
+    """Execute one cross-rack incast grid point."""
+    flows = cfg.plan(RngHub(cfg.seed))
+    assert all(f.kind == KIND_MOUSE for f in flows)
+    return _execute_plan("leafspine_incast", cfg, flows)
+
+
+def run_elephant_mice(cfg: ElephantMiceGridConfig) -> ScenarioResult:
+    """Execute one elephant/mice coexistence grid point."""
+    return _execute_plan("leafspine_mix", cfg, cfg.plan(RngHub(cfg.seed)))

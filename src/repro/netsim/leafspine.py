@@ -9,9 +9,15 @@ dumbbell in context) need the full shape:
     hosts --(host_rate)--> leaf --(uplink_rate)--> spines --> leaf --> hosts
 
 Forwarding is destination-based and deterministic: a leaf sends remote
-traffic to the spine chosen by hashing the destination address (per-
-destination ECMP), so a given connection always takes one path and packet
-reordering cannot occur. Every port uses the paper's queue configuration.
+traffic to the spine chosen by a seeded per-``(source leaf, destination)``
+ECMP hash, so a given connection always takes one path and packet
+reordering cannot occur. The hash draws from :class:`repro.simcore.random`
+streams keyed by *fabric-local* host ranks — never from the process-global
+host address counter — so the path map is a pure function of
+``(LeafSpineConfig, ecmp_seed)``: identical in every process, whatever
+simulations ran before (the same class of bug as the PR 1 rack-contention
+fix, where seeding from a global address made results depend on process
+history). Every port uses the paper's queue configuration.
 
 The incast bottleneck for a many-to-one pattern is the destination leaf's
 downlink to the receiving host — the same port the dumbbell isolates —
@@ -30,6 +36,7 @@ from repro.netsim.link import Link
 from repro.netsim.queues import DropTailQueue
 from repro.netsim.switch import Switch
 from repro.simcore.kernel import Simulator
+from repro.simcore.random import RngHub
 
 
 @dataclass
@@ -46,6 +53,7 @@ class LeafSpineConfig:
     ecn_threshold_packets: Optional[int] = 65
     shared_buffer_bytes: Optional[int] = None
     shared_buffer_alpha: float = 1.0
+    ecmp_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.n_racks <= 0 or self.hosts_per_rack <= 0 \
@@ -64,6 +72,7 @@ class LeafSpine:
     spines: list[Switch]
     host_downlink_queues: dict[int, DropTailQueue]
     leaf_pools: list[Optional[BufferPool]] = field(default_factory=list)
+    ecmp_paths: dict[tuple[int, int], int] = field(default_factory=dict)
 
     @property
     def hosts(self) -> list[Host]:
@@ -81,6 +90,17 @@ class LeafSpine:
         """The leaf egress queue feeding ``host`` — the incast bottleneck
         when ``host`` is a many-to-one receiver."""
         return self.host_downlink_queues[host.address]
+
+    def host_rank(self, host: Host) -> int:
+        """Fabric build-order rank of ``host`` (``rack * hosts_per_rack +
+        position``) — the process-independent host coordinate."""
+        rack = self.rack_of(host)
+        return rack * self.config.hosts_per_rack + self.racks[rack].index(host)
+
+    def spine_for(self, src_leaf: int, dst: Host) -> int:
+        """Index of the spine carrying traffic from leaf ``src_leaf`` to
+        ``dst`` (the seeded ECMP choice installed at build time)."""
+        return self.ecmp_paths[(src_leaf, self.host_rank(dst))]
 
 
 def build_leaf_spine(sim: Simulator,
@@ -147,17 +167,25 @@ def build_leaf_spine(sim: Simulator,
                 spine.add_route(host.address, spine_port)
         spine_ports_by_leaf.append(ports)
 
-    # Leaf routing for remote destinations: per-destination spine choice.
-    all_hosts = [host for rack in racks for host in rack]
+    # Leaf routing for remote destinations: per-(source leaf, destination)
+    # spine choice. The draw is keyed on fabric-local ranks through a
+    # seeded RngHub stream, never on Host.address — the address counter is
+    # process-global, so hashing it would make path selection depend on
+    # how many simulations ran earlier in this process.
+    hub = RngHub(cfg.ecmp_seed)
+    ecmp_paths: dict[tuple[int, int], int] = {}
     for rack_index, leaf in enumerate(leaves):
-        local = {host.address for host in racks[rack_index]}
-        for host in all_hosts:
-            if host.address in local:
-                continue
-            spine_index = host.address % cfg.n_spines
-            leaf.add_route(host.address,
-                           spine_ports_by_leaf[rack_index][spine_index])
+        for dst_rack, rack_hosts in enumerate(racks):
+            for host_index, host in enumerate(rack_hosts):
+                dst_rank = dst_rack * cfg.hosts_per_rack + host_index
+                if dst_rack == rack_index:
+                    continue
+                rng = hub.stream(f"ecmp/{rack_index}/{dst_rank}")
+                spine_index = int(rng.integers(cfg.n_spines))
+                ecmp_paths[(rack_index, dst_rank)] = spine_index
+                leaf.add_route(host.address,
+                               spine_ports_by_leaf[rack_index][spine_index])
 
     return LeafSpine(sim=sim, config=cfg, racks=racks, leaves=leaves,
                      spines=spines, host_downlink_queues=downlink_queues,
-                     leaf_pools=leaf_pools)
+                     leaf_pools=leaf_pools, ecmp_paths=ecmp_paths)

@@ -91,6 +91,43 @@ def _run_through_engine(name: str) -> ExperimentResult:
     return result
 
 
+def golden_sweep_specs() -> dict:
+    """Case name -> tiny declarative sweep spec.
+
+    Small two-point grids over both leaf-spine scenarios, pinned through
+    the sweep compile → engine → FCT-merge path. The sweep golden tests
+    additionally assert these are byte-identical serial vs ``jobs=4`` vs
+    SIGTERM-interrupted-and-resumed (``tests/test_sweep_golden.py``).
+    """
+    from repro import units
+    from repro.experiments.sweep import SweepAxis, SweepSpec
+
+    horizon = units.sec(1.0)
+    return {
+        "sweep_ecn_k": SweepSpec(
+            name="golden-ecn-k", scenario="leafspine_mix",
+            axes=(SweepAxis("ecn_threshold_packets", (8, 65)),),
+            fixed={"n_racks": 2, "hosts_per_rack": 4, "n_elephants": 1,
+                   "n_mice": 6, "max_sim_time_ns": horizon},
+            description="golden: tiny elephant/mice ECN-K grid"),
+        "sweep_incast": SweepSpec(
+            name="golden-cross-rack", scenario="leafspine_incast",
+            axes=(SweepAxis("n_senders", (4, 8)),),
+            fixed={"n_racks": 2, "hosts_per_rack": 4,
+                   "max_sim_time_ns": horizon},
+            description="golden: tiny cross-rack incast under ECMP"),
+    }
+
+
+def _run_sweep_case(case: str) -> ExperimentResult:
+    """One golden sweep through the engine path (``jobs=2``, no cache)."""
+    from repro.experiments.sweep import run_sweep
+
+    result, _report = run_sweep(golden_sweep_specs()[case],
+                                scale=SCALE, seed=SEED, jobs=2)
+    return result
+
+
 def golden_cases() -> dict[str, Callable[[], ExperimentResult]]:
     """Case name -> thunk computing its ExperimentResult."""
     from repro.experiments.ablations import ALL_ABLATIONS
@@ -107,6 +144,8 @@ def golden_cases() -> dict[str, Callable[[], ExperimentResult]]:
     for name in GOLDEN_ENGINE_EXPERIMENTS:
         cases[f"engine_{name}"] = (
             lambda n=name: _run_through_engine(n))
+    for name in golden_sweep_specs():
+        cases[name] = (lambda n=name: _run_sweep_case(n))
     return cases
 
 

@@ -6,11 +6,15 @@
   model (five services, partition/aggregate burst arrival processes).
 - :mod:`repro.workloads.scheduler` — the Section 5.2 sub-incast admission
   scheduler extension.
+- :mod:`repro.workloads.mix` — deterministic elephant/mice flow plans for
+  the leaf-spine sweep scenarios.
 """
 
 from repro.workloads.incast import (BurstResult, BurstScheduling,
                                     FlowStateSampler, IncastConfig,
                                     IncastWorkload, demand_per_flow_bytes)
+from repro.workloads.mix import (ElephantMiceConfig, FlowSpec, flow_sizes,
+                                 plan_elephant_mice, remote_ranks)
 from repro.workloads.partition_aggregate import (PartitionAggregateConfig,
                                                  PartitionAggregateWorkload,
                                                  QueryResult)
@@ -25,6 +29,11 @@ __all__ = [
     "IncastConfig",
     "IncastWorkload",
     "demand_per_flow_bytes",
+    "ElephantMiceConfig",
+    "FlowSpec",
+    "flow_sizes",
+    "plan_elephant_mice",
+    "remote_ranks",
     "PartitionAggregateConfig",
     "PartitionAggregateWorkload",
     "QueryResult",

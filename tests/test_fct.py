@@ -1,0 +1,186 @@
+"""Per-flow FCT extraction: exact values from synthetic lifecycle logs,
+classification boundaries, corrupt-log rejection, and merge algebra.
+
+These tests drive :mod:`repro.analysis.fct` with hand-built event logs —
+no simulator — so every FCT is exactly predictable and every rejection
+path can be hit deliberately.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.analysis.fct import (DEFAULT_MOUSE_MAX_BYTES, ELEPHANT, MOUSE,
+                                FctSet, FlowFct, extract_fcts,
+                                format_fct_table, merge_fct_sets)
+from repro.telemetry.recorder import FlowEvent
+
+
+def ev(time_ns: int, kind: str, flow_id: int, host: int = 0) -> FlowEvent:
+    return FlowEvent(time_ns=time_ns, kind=kind, flow_id=flow_id,
+                     host=host)
+
+
+def lifecycle(flow_id: int, open_ns: int, close_ns: int,
+              host: int = 0, first_byte_ns: int | None = None
+              ) -> list[FlowEvent]:
+    events = [ev(open_ns, "open", flow_id, host),
+              ev(close_ns, "close", flow_id, host)]
+    if first_byte_ns is not None:
+        events.insert(1, ev(first_byte_ns, "first_byte", flow_id, host))
+    return events
+
+
+class TestExactExtraction:
+    def test_fct_is_close_minus_open(self):
+        fcts = extract_fcts(lifecycle(7, open_ns=1_000, close_ns=251_000,
+                                      first_byte_ns=3_000))
+        assert len(fcts) == 1
+        record = fcts.records[0]
+        assert record.flow_id == 7
+        assert record.fct_ns == 250_000
+        assert record.fct_ms == pytest.approx(0.25)
+        assert record.first_byte_ns == 3_000
+        assert fcts.unfinished == 0
+
+    def test_event_order_is_irrelevant(self):
+        events = (lifecycle(1, 10, 500) + lifecycle(0, 20, 300))
+        assert extract_fcts(events) == extract_fcts(list(reversed(events)))
+
+    def test_records_sort_by_open_then_flow_id(self):
+        events = (lifecycle(5, 100, 900) + lifecycle(2, 50, 800)
+                  + lifecycle(9, 50, 700))
+        fcts = extract_fcts(events)
+        assert [r.flow_id for r in fcts.records] == [2, 9, 5]
+
+    def test_duplicate_events_take_the_first(self):
+        events = (lifecycle(3, 100, 400)
+                  + [ev(150, "open", 3), ev(600, "close", 3)])
+        fcts = extract_fcts(events)
+        assert fcts.records[0].open_ns == 100
+        assert fcts.records[0].close_ns == 400
+
+    def test_non_lifecycle_kinds_are_ignored(self):
+        events = lifecycle(0, 10, 200) + [ev(50, "alpha", 0),
+                                          ev(60, "rto", 0)]
+        assert len(extract_fcts(events)) == 1
+
+    def test_zero_duration_flow_is_legal(self):
+        fcts = extract_fcts(lifecycle(0, 100, 100))
+        assert fcts.records[0].fct_ns == 0
+
+
+class TestClassification:
+    def test_split_boundary_is_inclusive_for_mice(self):
+        events = lifecycle(0, 0, 100) + lifecycle(1, 0, 100)
+        sizes = {0: DEFAULT_MOUSE_MAX_BYTES,
+                 1: DEFAULT_MOUSE_MAX_BYTES + 1}
+        fcts = extract_fcts(events, sizes=sizes)
+        by_id = {r.flow_id: r.cls for r in fcts.records}
+        assert by_id == {0: MOUSE, 1: ELEPHANT}
+
+    def test_custom_threshold(self):
+        events = lifecycle(0, 0, 100) + lifecycle(1, 0, 100)
+        fcts = extract_fcts(events, sizes={0: 500, 1: 5_000},
+                            mouse_max_bytes=1_000)
+        assert [r.cls for r in fcts.records] == [MOUSE, ELEPHANT]
+        assert fcts.mouse_max_bytes == 1_000
+
+    def test_no_sizes_means_everything_is_a_mouse(self):
+        fcts = extract_fcts(lifecycle(0, 0, 100))
+        assert fcts.records[0].cls == MOUSE
+        assert fcts.records[0].size_bytes is None
+
+    def test_split_cdfs_only_contain_present_classes(self):
+        fcts = extract_fcts(lifecycle(0, 0, 100), sizes={0: 10})
+        assert set(fcts.split_cdfs()) == {"mice"}
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(ValueError, match="mouse_max_bytes"):
+            extract_fcts([], mouse_max_bytes=0)
+
+
+class TestRejection:
+    def test_close_without_open_raises(self):
+        with pytest.raises(ValueError, match="without an open"):
+            extract_fcts([ev(100, "close", 4)])
+
+    def test_partial_sizes_map_raises(self):
+        events = lifecycle(0, 0, 100) + lifecycle(1, 0, 100)
+        with pytest.raises(ValueError, match="no size entry"):
+            extract_fcts(events, sizes={0: 10})
+
+    def test_nan_size_raises(self):
+        with pytest.raises(ValueError, match="NaN"):
+            extract_fcts(lifecycle(0, 0, 100), sizes={0: math.nan})
+
+    def test_unfinished_flows_counted_not_recorded(self):
+        events = lifecycle(0, 0, 100) + [ev(50, "open", 1)]
+        fcts = extract_fcts(events, sizes={0: 10, 1: 10})
+        assert len(fcts) == 1
+        assert fcts.unfinished == 1
+        assert fcts.summary()["unfinished"] == 1
+
+    def test_close_before_open_raises(self):
+        with pytest.raises(ValueError, match="precedes"):
+            FlowFct(flow_id=0, src=0, open_ns=100, close_ns=50)
+
+
+class TestMergeAlgebra:
+    def sets(self) -> list[FctSet]:
+        return [extract_fcts(lifecycle(0, 0, 100) + lifecycle(1, 50, 60)),
+                extract_fcts(lifecycle(2, 25, 80)),
+                extract_fcts([ev(10, "open", 3)])]
+
+    def test_merge_is_associative_and_order_independent(self):
+        a, b, c = self.sets()
+        flat = merge_fct_sets([a, b, c])
+        assert merge_fct_sets([merge_fct_sets([a, b]), c]) == flat
+        assert merge_fct_sets([a, merge_fct_sets([b, c])]) == flat
+        assert merge_fct_sets([c, a, b]) == flat
+
+    def test_merge_re_canonicalizes_order(self):
+        a, b, _ = self.sets()
+        merged = merge_fct_sets([b, a])
+        assert [r.flow_id for r in merged.records] == [0, 2, 1]
+
+    def test_merge_sums_unfinished(self):
+        assert merge_fct_sets(self.sets()).unfinished == 1
+
+    def test_merge_of_nothing_is_the_empty_set(self):
+        assert merge_fct_sets([]) == FctSet()
+
+    def test_mixed_thresholds_refuse_to_merge(self):
+        a = extract_fcts(lifecycle(0, 0, 100), mouse_max_bytes=1_000)
+        b = extract_fcts(lifecycle(1, 0, 100), mouse_max_bytes=2_000)
+        with pytest.raises(ValueError, match="thresholds"):
+            merge_fct_sets([a, b])
+
+    def test_merge_identity_element(self):
+        a, _, _ = self.sets()
+        assert merge_fct_sets([a, FctSet()]) == a
+
+
+class TestReporting:
+    def test_summary_and_export_round_trip_json(self):
+        import json
+        events = lifecycle(0, 0, 100) + lifecycle(1, 0, 200)
+        fcts = extract_fcts(events, sizes={0: 10, 1: 500_000})
+        summary = fcts.summary()
+        assert summary["n_mice"] == 1 and summary["n_elephants"] == 1
+        json.dumps(fcts.export_dict())
+
+    def test_fct_table_renders_every_point(self):
+        fcts = extract_fcts(lifecycle(0, 0, 100), sizes={0: 10})
+        table = format_fct_table({"K=8": fcts, "K=65": fcts})
+        assert "K=8" in table and "K=65" in table
+        assert "mice p99" in table
+        # The elephant columns render as dashes when the class is absent.
+        assert "-" in table
+
+    def test_records_pickle_cleanly(self):
+        fcts = extract_fcts(lifecycle(0, 0, 100), sizes={0: 10})
+        assert pickle.loads(pickle.dumps(fcts)) == fcts

@@ -1,5 +1,10 @@
 """Tests for the leaf-spine fabric."""
 
+import json
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro import units
@@ -76,7 +81,7 @@ class TestForwarding:
         assert receiver.delivered_bytes == 200_000
         used = [s for s in fab.spines if s.forwarded_packets > 0]
         # Data crosses one spine; the reverse ACK path may use the other.
-        data_spine = fab.spines[dst.address % 2]
+        data_spine = fab.spines[fab.spine_for(0, dst)]
         assert data_spine in used
 
     def test_cross_rack_rtt_longer_than_intra(self, sim):
@@ -90,6 +95,66 @@ class TestForwarding:
         cross_s.send(20_000)
         sim.run(until_ns=units.sec(1))
         assert intra_s.rtt.min_rtt_ns < cross_s.rtt.min_rtt_ns
+
+
+PATH_MAP_SCRIPT = """
+import json, sys
+# Perturb process-global state BEFORE building the fabric: allocate hosts
+# in a throwaway sim so the global Host address counter starts far from
+# zero. A path map derived from addresses would shift; a fabric-local one
+# must not.
+from repro.netsim.host import Host
+from repro.netsim.leafspine import LeafSpineConfig, build_leaf_spine
+from repro.simcore.kernel import Simulator
+burn = Simulator()
+for _ in range(int(sys.argv[1])):
+    Host(burn, name="burn")
+fab = build_leaf_spine(Simulator(), LeafSpineConfig(
+    n_racks=3, hosts_per_rack=4, n_spines=4, ecmp_seed=int(sys.argv[2])))
+print(json.dumps({f"{k[0]}:{k[1]}": v
+                  for k, v in sorted(fab.ecmp_paths.items())}))
+"""
+
+
+class TestEcmpDeterminism:
+    def test_path_map_is_pure_function_of_config(self, sim):
+        fab_a = fabric(sim, n_racks=3, hosts_per_rack=4, n_spines=4)
+        fab_b = fabric(Simulator(), n_racks=3, hosts_per_rack=4, n_spines=4)
+        assert fab_a.ecmp_paths == fab_b.ecmp_paths
+        assert fab_a.ecmp_paths  # non-trivial map
+
+    def test_seed_changes_paths(self, sim):
+        base = fabric(sim, n_racks=4, hosts_per_rack=8, n_spines=4)
+        reseeded = fabric(Simulator(), n_racks=4, hosts_per_rack=8,
+                          n_spines=4, ecmp_seed=7)
+        assert base.ecmp_paths != reseeded.ecmp_paths
+
+    def test_local_destinations_have_no_spine_path(self, sim):
+        fab = fabric(sim, n_racks=2, hosts_per_rack=2, n_spines=2)
+        assert (0, 0) not in fab.ecmp_paths
+        assert (0, 2) in fab.ecmp_paths
+
+    def test_spine_for_matches_map(self, sim):
+        fab = fabric(sim, n_racks=2, hosts_per_rack=2, n_spines=2)
+        dst = fab.racks[1][1]
+        assert fab.spine_for(0, dst) == fab.ecmp_paths[(0, 3)]
+
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_identical_paths_across_fresh_processes(self, seed):
+        """Two fresh interpreters — one with its global host-address
+        counter deliberately perturbed — must derive identical per-flow
+        paths for the same seed (the PR 1 class of process-history bug)."""
+        src = Path(__file__).resolve().parents[1] / "src"
+
+        def run(burn_hosts):
+            proc = subprocess.run(
+                [sys.executable, "-c", PATH_MAP_SCRIPT,
+                 str(burn_hosts), str(seed)],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"})
+            return json.loads(proc.stdout)
+
+        assert run(0) == run(57)
 
 
 class TestCrossRackIncast:

@@ -234,3 +234,132 @@ class TestMain:
             (json_dir / "run_report.json").read_text("utf-8"))
         assert report["cache_hits"] == 1
         assert report["executed"] == 0
+
+
+TINY_SWEEP = """\
+name: tiny
+scenario: leafspine_mix
+description: CLI-test grid
+axes:
+  ecn_threshold_packets: [8, 65]
+fixed:
+  n_racks: 2
+  hosts_per_rack: 2
+  n_elephants: 1
+  n_mice: 2
+  max_sim_time_ns: 500000000
+"""
+
+
+class TestSweepCli:
+    """The ``sweep list/plan/run`` subcommand family."""
+
+    @pytest.fixture
+    def spec_path(self, tmp_path: Path) -> Path:
+        path = tmp_path / "tiny.yaml"
+        path.write_text(TINY_SWEEP, encoding="utf-8")
+        return path
+
+    def test_sweep_list_names_scenarios_and_fields(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "leafspine_mix" in out
+        assert "leafspine_incast" in out
+        assert "ecn_threshold_packets" in out
+
+    def test_sweep_plan_prints_compiled_units(self, spec_path, capsys):
+        assert main(["sweep", "plan", str(spec_path),
+                     "--scale", "0.05", "--seed", "3"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["experiment"] == "sweep:tiny"
+        assert plan["n_units"] == 2
+        ids = [u["unit_id"] for u in plan["units"]]
+        assert ids == ["ecn_threshold_packets=8",
+                       "ecn_threshold_packets=65"]
+        keys = {u["cache_key"] for u in plan["units"]}
+        assert len(keys) == 2
+
+    def test_sweep_run_json_round_trip(self, spec_path, tmp_path: Path,
+                                       capsys):
+        json_dir = tmp_path / "out"
+        code = main(["sweep", "run", str(spec_path), "--scale", "0.05",
+                     "--seed", "3", "--jobs", "1", "--no-cache",
+                     "--json-dir", str(json_dir)])
+        assert code == 0
+        doc = json.loads(
+            (json_dir / "sweep:tiny.json").read_text("utf-8"))
+        assert doc["name"] == "sweep:tiny"
+        assert doc["data"]["merged_fct"]["n_flows"] > 0
+        report = json.loads(
+            (json_dir / "run_report.json").read_text("utf-8"))
+        assert report["n_units"] == 2
+        out = capsys.readouterr().out
+        assert "Per-flow FCT vs grid point" in out
+        assert "Run report" in out
+
+    def test_sweep_run_journal_then_resume(self, spec_path,
+                                           tmp_path: Path, capsys):
+        journal = tmp_path / "j.jsonl"
+        cache_dir = tmp_path / "cache"
+        base = ["sweep", "run", str(spec_path), "--scale", "0.05",
+                "--seed", "3", "--jobs", "1",
+                "--cache-dir", str(cache_dir)]
+        assert main(base + ["--journal", str(journal)]) == 0
+        capsys.readouterr()
+        json_dir = tmp_path / "out"
+        code = main(base + ["--resume", str(journal),
+                            "--json-dir", str(json_dir)])
+        assert code == 0
+        report = json.loads(
+            (json_dir / "run_report.json").read_text("utf-8"))
+        assert report["resume"]["resumed"] is True
+        assert report["cache_hits"] == report["n_units"]
+
+    def test_sweep_resume_wrong_spec_rejected(self, spec_path,
+                                              tmp_path: Path, capsys):
+        journal = tmp_path / "j.jsonl"
+        cache_dir = tmp_path / "cache"
+        assert main(["sweep", "run", str(spec_path), "--scale", "0.05",
+                     "--seed", "3", "--jobs", "1",
+                     "--cache-dir", str(cache_dir),
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        other = tmp_path / "other.yaml"
+        other.write_text(TINY_SWEEP.replace("name: tiny", "name: other"),
+                         encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "run", str(other), "--jobs", "1",
+                  "--cache-dir", str(cache_dir),
+                  "--resume", str(journal)])
+        assert excinfo.value.code == 2
+        assert "not this sweep" in capsys.readouterr().err
+
+    def test_main_runner_redirects_sweep_journals(self, spec_path,
+                                                  tmp_path: Path, capsys):
+        journal = tmp_path / "j.jsonl"
+        cache_dir = tmp_path / "cache"
+        assert main(["sweep", "run", str(spec_path), "--scale", "0.05",
+                     "--seed", "3", "--jobs", "1",
+                     "--cache-dir", str(cache_dir),
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--resume", str(journal),
+                  "--cache-dir", str(cache_dir)])
+        assert excinfo.value.code == 2
+        assert "sweep run" in capsys.readouterr().err
+
+    def test_invalid_spec_rejected(self, tmp_path: Path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("name: x\nscenario: leafspine_mix\n"
+                       "axes:\n  bogus: [1]\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "plan", str(bad)])
+        assert excinfo.value.code == 2
+        assert "invalid sweep spec" in capsys.readouterr().err
+
+    def test_missing_spec_file_rejected(self, tmp_path: Path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "plan", str(tmp_path / "absent.yaml")])
+        assert excinfo.value.code == 2
+        assert "cannot read sweep spec" in capsys.readouterr().err

@@ -1,0 +1,222 @@
+"""Property tests for sweep-spec compilation.
+
+The sweep DSL's whole value is that a spec compiles to a *canonical*
+plan: grid points get disjoint cache keys, declaration order (of axes,
+of fixed keys, of YAML mappings) never changes unit identity, and the
+same YAML parsed twice yields byte-identical plans. Hypothesis searches
+for counterexamples over random grids; a few deterministic tests pin the
+validation error paths.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+import yaml
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.sweep import (SweepAxis, SweepSpec, compile_units,
+                                     load_sweep_file, parse_sweep_mapping,
+                                     plan_document)
+
+#: Fields safe to sweep on ``leafspine_mix`` without tripping the
+#: scenario config's cross-field validation, with value strategies.
+SAFE_AXES = {
+    "ecn_threshold_packets": st.integers(1, 1000),
+    "mouse_bytes": st.integers(1_000, 200_000),
+    "n_mice": st.integers(1, 40),
+    "seed": st.integers(0, 10_000),
+    "ecmp_seed": st.integers(0, 10_000),
+}
+
+SAFE_FIXED = {
+    "warmup_ns": st.integers(0, 5_000_000),
+    "mouse_jitter_ns": st.integers(0, 500_000),
+    "cca": st.sampled_from(["dctcp", "reno", "swiftlike"]),
+}
+
+
+@st.composite
+def axes_sets(draw) -> list[SweepAxis]:
+    """1-3 axes over distinct safe fields, each with 1-4 unique values."""
+    names = draw(st.lists(st.sampled_from(sorted(SAFE_AXES)), min_size=1,
+                          max_size=3, unique=True))
+    axes = []
+    for name in names:
+        values = draw(st.lists(SAFE_AXES[name], min_size=1, max_size=4,
+                               unique=True))
+        axes.append(SweepAxis(name=name, values=tuple(values)))
+    return axes
+
+
+@st.composite
+def specs(draw) -> SweepSpec:
+    axes = draw(axes_sets())
+    taken = {a.name for a in axes}
+    fixed_names = draw(st.lists(
+        st.sampled_from(sorted(SAFE_FIXED)), max_size=2, unique=True))
+    fixed = {name: draw(SAFE_FIXED[name]) for name in fixed_names
+             if name not in taken}
+    return SweepSpec(name="prop", scenario="leafspine_mix",
+                     axes=tuple(axes), fixed=fixed)
+
+
+class TestGridIdentity:
+    @settings(deadline=None, max_examples=50)
+    @given(specs())
+    def test_grid_points_have_disjoint_cache_keys(self, spec):
+        units = compile_units(spec, scale=0.25, seed=7)
+        expected = math.prod(len(a.values) for a in spec.axes)
+        assert len(units) == expected
+        assert len({u.cache_key() for u in units}) == expected
+        assert len({u.unit_id for u in units}) == expected
+
+    @settings(deadline=None, max_examples=50)
+    @given(specs(), st.randoms())
+    def test_declaration_order_never_changes_the_plan(self, spec, rng):
+        """Shuffled axes and shuffled fixed-key insertion order compile
+        to the byte-identical plan document."""
+        axes = list(spec.axes)
+        rng.shuffle(axes)
+        fixed_keys = list(spec.fixed)
+        rng.shuffle(fixed_keys)
+        shuffled = SweepSpec(
+            name=spec.name, scenario=spec.scenario, axes=tuple(axes),
+            fixed={k: spec.fixed[k] for k in fixed_keys})
+        assert plan_document(shuffled, 0.25, 7) \
+            == plan_document(spec, 0.25, 7)
+
+    @settings(deadline=None, max_examples=30)
+    @given(specs())
+    def test_single_value_axis_is_identical_to_fixing_it(self, spec):
+        """A one-value axis and the same value in ``fixed`` produce the
+        same unit identities — sweeping a constant is not a new
+        computation, so it must hit the same cache entries."""
+        single = [a for a in spec.axes if len(a.values) == 1]
+        if not single:
+            return
+        axis = single[0]
+        moved = SweepSpec(
+            name=spec.name, scenario=spec.scenario,
+            axes=tuple(a for a in spec.axes if a.name != axis.name),
+            fixed={**spec.fixed, axis.name: axis.values[0]})
+        keys = lambda s: sorted(u.cache_key()  # noqa: E731
+                                for u in compile_units(s, 0.25, 7))
+        assert keys(moved) == keys(spec)
+
+    @settings(deadline=None, max_examples=30)
+    @given(specs(), st.floats(0.05, 1.0), st.integers(0, 100))
+    def test_scale_and_seed_are_identity_bearing(self, spec, scale, seed):
+        base = {u.cache_key() for u in compile_units(spec, 1.0, 0)}
+        varied = {u.cache_key()
+                  for u in compile_units(spec, scale, seed)}
+        if (scale, seed) == (1.0, 0):
+            assert varied == base
+        else:
+            assert varied.isdisjoint(base)
+
+
+class TestYamlRoundTrip:
+    @settings(deadline=None, max_examples=30)
+    @given(specs())
+    def test_same_yaml_parsed_twice_compiles_byte_identical(self, spec):
+        doc = {"name": spec.name, "scenario": spec.scenario,
+               "axes": {a.name: list(a.values) for a in spec.axes},
+               "fixed": dict(spec.fixed)}
+        text = yaml.safe_dump(doc)
+        first = parse_sweep_mapping(yaml.safe_load(text))
+        second = parse_sweep_mapping(yaml.safe_load(text))
+        assert plan_document(first, 0.5, 3) == plan_document(second, 0.5, 3)
+        assert plan_document(first, 0.5, 3) == plan_document(spec, 0.5, 3)
+
+    @settings(deadline=None, max_examples=30)
+    @given(specs(), st.randoms())
+    def test_yaml_mapping_order_is_irrelevant(self, spec, rng):
+        axes = {a.name: list(a.values) for a in spec.axes}
+        items = list(axes.items())
+        rng.shuffle(items)
+        doc_a = {"name": spec.name, "scenario": spec.scenario,
+                 "axes": axes, "fixed": dict(spec.fixed)}
+        doc_b = {"name": spec.name, "scenario": spec.scenario,
+                 "axes": dict(items), "fixed": dict(spec.fixed)}
+        text_a = yaml.safe_dump(doc_a, sort_keys=False)
+        text_b = yaml.safe_dump(doc_b, sort_keys=False)
+        plan_a = plan_document(parse_sweep_mapping(yaml.safe_load(text_a)))
+        plan_b = plan_document(parse_sweep_mapping(yaml.safe_load(text_b)))
+        assert plan_a == plan_b
+
+    def test_example_specs_load_and_compile(self):
+        from pathlib import Path
+        examples = (Path(__file__).resolve().parents[1] / "examples"
+                    / "sweeps")
+        paths = sorted(examples.glob("*.yaml"))
+        assert paths, "no example sweep specs committed"
+        for path in paths:
+            spec = load_sweep_file(path)
+            units = compile_units(spec)
+            assert units
+            json.loads(plan_document(spec))
+
+
+class TestValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            SweepSpec(name="x", scenario="nope")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="not a sweepable field"):
+            SweepSpec(name="x", scenario="leafspine_mix",
+                      axes=(SweepAxis("bogus_field", (1,)),))
+
+    def test_reserved_telemetry_field_rejected(self):
+        with pytest.raises(ValueError, match="not a sweepable field"):
+            SweepSpec(name="x", scenario="leafspine_mix",
+                      fixed={"telemetry": True})
+
+    def test_swept_and_fixed_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both swept and fixed"):
+            SweepSpec(name="x", scenario="leafspine_mix",
+                      axes=(SweepAxis("n_mice", (4,)),),
+                      fixed={"n_mice": 8})
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="repeats a value"):
+            SweepAxis("n_mice", (4, 4))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            SweepAxis("n_mice", ())
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate axes"):
+            SweepSpec(name="x", scenario="leafspine_mix",
+                      axes=(SweepAxis("n_mice", (4,)),
+                            SweepAxis("n_mice", (8,))))
+
+    def test_bad_sweep_name_rejected(self):
+        for name in ("", "has space", "has:colon"):
+            with pytest.raises(ValueError, match="sweep name"):
+                SweepSpec(name=name, scenario="leafspine_mix")
+
+    def test_axisless_spec_compiles_one_unit(self):
+        units = compile_units(SweepSpec(name="x",
+                                        scenario="leafspine_mix"))
+        assert [u.unit_id for u in units] == ["point:base"]
+
+    def test_unknown_yaml_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec keys"):
+            parse_sweep_mapping({"name": "x", "scenario": "leafspine_mix",
+                                 "axis": {}})
+
+    def test_missing_required_yaml_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            parse_sweep_mapping({"name": "x"})
+
+    def test_non_list_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="must list"):
+            parse_sweep_mapping({"name": "x",
+                                 "scenario": "leafspine_mix",
+                                 "axes": {"n_mice": 4}})
