@@ -42,7 +42,14 @@ class EmpiricalCdf:
                      / len(self._sorted))
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0-100). Zero for an empty sample set.
+        """The ``p``-th percentile (0-100).
+
+        Raises :class:`ValueError` on an empty sample set: an empty
+        distribution has no percentiles, and the old ``0.0`` fallback
+        rendered as a fake "0 ms" measurement in exports and tables.
+        Callers that may hold empty sets must guard with ``len(cdf)``
+        (as :func:`repro.analysis.fct.format_fct_table` and
+        :func:`repro.analysis.tables.render_cdf_table` do).
 
         Uses ``method="inverted_cdf"`` so the answer is always an observed
         sample and agrees with :meth:`evaluate`: numpy's default linear
@@ -53,7 +60,9 @@ class EmpiricalCdf:
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if len(self._sorted) == 0:
-            return 0.0
+            raise ValueError(
+                f"EmpiricalCdf({self.name or 'unnamed'}): percentile of an "
+                f"empty sample set is undefined; guard with len(cdf)")
         return float(np.percentile(self._sorted, p, method="inverted_cdf"))
 
     def median(self) -> float:
@@ -62,7 +71,13 @@ class EmpiricalCdf:
 
     def export_dict(self) -> dict:
         """JSON-export summary: sample count, mean, and a fixed
-        percentile grid (consumed by :mod:`repro.analysis.export`)."""
+        percentile grid (consumed by :mod:`repro.analysis.export`).
+
+        An empty set exports ``mean: None`` and no percentile entries —
+        visibly absent rather than a fabricated zero."""
+        if len(self._sorted) == 0:
+            return {"name": self.name, "n": 0, "mean": None,
+                    "percentiles": {}}
         grid = [1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0]
         return {
             "name": self.name,
@@ -86,7 +101,7 @@ class EmpiricalCdf:
         the paper quotes)."""
         points = list(percentiles) if percentiles is not None \
             else [50.0, 90.0, 95.0, 99.0, 99.9, 100.0]
-        return {p: self.percentile(p) for p in points}
+        return {p: self.percentile(p) for p in points}  # raises when empty
 
     def curve(self, n_points: int = 200
               ) -> tuple[np.ndarray, np.ndarray]:
@@ -104,5 +119,7 @@ class EmpiricalCdf:
         return x, y
 
     def __repr__(self) -> str:
+        if len(self._sorted) == 0:
+            return f"EmpiricalCdf({self.name or 'unnamed'}, n=0)"
         return (f"EmpiricalCdf({self.name or 'unnamed'}, n={len(self)}, "
                 f"median={self.median():.3g})")

@@ -210,6 +210,14 @@ def merge_fct_sets(sets: Sequence[FctSet]) -> FctSet:
     ``merge([a, merge([b, c])])`` and equals ``merge([a, b, c])`` — the
     property that lets a sweep merge cached, fresh, and resumed unit
     payloads interchangeably.
+
+    The inputs must describe *disjoint* flows: two records sharing a
+    ``(flow_id, open_ns)`` identity mean the same flow arrived twice
+    (e.g. one unit payload merged with itself after a resume or cache
+    bug), which would silently double-count it in every CDF — that is an
+    error here. Sets from *different simulations* of the same flow plan
+    legitimately repeat identities; pool those with
+    :func:`pool_fct_sets` instead.
     """
     if not sets:
         return FctSet()
@@ -218,10 +226,50 @@ def merge_fct_sets(sets: Sequence[FctSet]) -> FctSet:
         raise ValueError(f"cannot merge FCT sets classified with different "
                          f"mouse thresholds: {sorted(thresholds)}")
     merged = [record for s in sets for record in s.records]
+    seen: set[tuple[int, int]] = set()
+    for record in merged:
+        key = (record.flow_id, record.open_ns)
+        if key in seen:
+            raise ValueError(
+                f"duplicate flow in merge: flow_id={record.flow_id} "
+                f"opened at {record.open_ns} ns appears in more than one "
+                f"input set — merging would double-count it (same unit "
+                f"payload merged twice?); use pool_fct_sets for records "
+                f"from distinct simulations")
+        seen.add(key)
     merged.sort(key=lambda r: (r.open_ns, r.flow_id))
     return FctSet(records=tuple(merged),
                   unfinished=sum(s.unfinished for s in sets),
                   mouse_max_bytes=thresholds.pop())
+
+
+def pool_fct_sets(sets: Sequence[FctSet]) -> FctSet:
+    """Pool FCT sets from *distinct simulations* into one sample set.
+
+    A sweep's grid points simulate the same deterministic flow plan under
+    different parameters, so their records legitimately collide on
+    ``(flow_id, open_ns)`` — they are independent measurements, not the
+    same flow twice. Pooling renumbers each input set's flows into a
+    disjoint id range (set index stacked above the widest id) and then
+    merges; the resulting CDFs are unchanged by renumbering (FCTs do not
+    depend on flow ids) while :func:`merge_fct_sets`'s double-count guard
+    stays meaningful for true unit-payload merges.
+    """
+    if not sets:
+        return FctSet()
+    width = max((r.flow_id for s in sets for r in s.records),
+                default=0) + 1
+    disjoint = []
+    for index, s in enumerate(sets):
+        records = tuple(
+            FlowFct(flow_id=index * width + r.flow_id, src=r.src,
+                    open_ns=r.open_ns, close_ns=r.close_ns,
+                    size_bytes=r.size_bytes,
+                    first_byte_ns=r.first_byte_ns, cls=r.cls)
+            for r in s.records)
+        disjoint.append(FctSet(records=records, unfinished=s.unfinished,
+                               mouse_max_bytes=s.mouse_max_bytes))
+    return merge_fct_sets(disjoint)
 
 
 def format_fct_table(rows: Mapping[str, FctSet],

@@ -72,7 +72,10 @@ def render_cdf_table(cdfs: dict[str, EmpiricalCdf],
     headers = ["pct"] + names
     rows = []
     for p in percentiles:
+        # An empty CDF has no percentiles (percentile() raises); render a
+        # visible dash instead of a fabricated number.
         rows.append([f"p{p:g}"] + [cdfs[name].percentile(p)
+                                   if len(cdfs[name]) else "-"
                                    for name in names])
     caption = title or f"CDF of {value_label}"
     return format_table(headers, rows, title=caption)

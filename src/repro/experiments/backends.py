@@ -1,0 +1,450 @@
+"""Simulation substrates behind the ``backend`` config axis.
+
+Every experiment and sweep config carries a ``backend`` field drawn from
+:data:`BACKENDS`:
+
+- ``packet`` — the discrete-event packet core, unchanged. The default;
+  every golden fixture is pinned against it.
+- ``fluid`` — the whole run approximated on the
+  :class:`~repro.netsim.fluid.FluidIncast` bottleneck model with matched
+  parameters. Flows are grouped into *waves* (start times quantized to
+  the fluid interval); each wave runs as one aggregate fluid burst and
+  per-flow completions come from interval-granular processor sharing of
+  the wave's delivered bytes. Waves do not interact — exactly the
+  fidelity loss ``hybrid`` repairs and ``crossval`` quantifies.
+- ``hybrid`` — fluid for the *steady-state windows*, the packet core for
+  the *burst windows*. For the leaf-spine mix scenario the steady-state
+  window is the elephant warmup (long flows at DCTCP steady state,
+  which the fluid model captures); the mice incast is the burst window
+  and runs on packets against the fluid-predicted standing queue
+  (folded in as reduced queue headroom). For the cyclic dumbbell
+  incast, the slow-start transient (and the first steady burst) is the
+  packet window; the remaining bursts repeat a steady cycle the fluid
+  model carries forward.
+
+Because ``backend`` is an ordinary config field, the sweep DSL can put
+the substrate on a grid axis and the engine cache keys it like any other
+parameter: ``hybrid`` units can never collide with ``packet`` units
+(``tests/test_backend_axis.py`` pins this as a Hypothesis property), and
+a mid-sweep resume re-dispatches each unit to its recorded substrate.
+:mod:`repro.experiments.crossval` cross-validates the substrates on the
+Figure 5 protocol (:func:`repro.experiments.crossval.hybrid_agreement`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from repro import units
+from repro.analysis.fct import ELEPHANT, MOUSE, FlowFct, FctSet, \
+    merge_fct_sets
+from repro.analysis.series import align_and_average
+from repro.core.modes import classify_queue_trace
+from repro.netsim.fluid import FluidConfig, FluidIncast
+from repro.netsim.leafspine import LeafSpineConfig
+from repro.netsim.packet import TCP_IP_HEADER_BYTES
+from repro.workloads.mix import KIND_MOUSE, FlowSpec
+
+BACKENDS = ("packet", "fluid", "hybrid")
+"""The simulation substrates a config's ``backend`` field may name."""
+
+#: Aggregate-window carryover applied to steady (non-first) fluid bursts,
+#: modelling CWND state carried over from the previous burst — the same
+#: choice ``crossval``'s fluid side uses (Section 4.3 straggler ramp-up).
+STEADY_WINDOW_START_FACTOR = 1.5
+
+#: How many leading bursts of a cyclic incast the hybrid backend runs on
+#: the packet core: the slow-start transient the paper discards plus one
+#: measured steady burst; the rest repeat a steady cycle fluid carries.
+HYBRID_PACKET_BURSTS = 2
+
+
+# --------------------------------------------------------------------------
+# Shared plumbing
+# --------------------------------------------------------------------------
+
+def _wire_bytes(size_bytes: int, mss_bytes: int) -> int:
+    """Application bytes -> on-the-wire bytes (per-MSS TCP/IP headers)."""
+    segments = max(1, math.ceil(size_bytes / mss_bytes))
+    return size_bytes + segments * TCP_IP_HEADER_BYTES
+
+
+def _tcp_mss_bytes() -> int:
+    from repro.tcp.config import TcpConfig
+    return TcpConfig().mss_bytes
+
+
+def _min_fct_ns(wire_bytes: int, cfg: FluidConfig) -> int:
+    """Physical lower bound on a flow's FCT: one base RTT plus its own
+    serialization time at the line rate."""
+    serial = wire_bytes * units.BITS_PER_BYTE * units.NS_PER_S \
+        / cfg.line_rate_bps
+    return cfg.base_rtt_ns + int(serial)
+
+
+def _processor_sharing(specs: list[FlowSpec], ref_ns: int,
+                       delivered_bytes: np.ndarray, interval_ns: int,
+                       mss_bytes: int) -> dict[int, int]:
+    """Per-flow completion times from a wave's aggregate fluid deliveries.
+
+    Equal-share processor sharing at interval granularity: every active
+    flow receives an equal slice of the interval's delivered bytes, a
+    flow finishing mid-interval frees its slice for redistribution, and
+    completion instants interpolate linearly within the interval. Returns
+    ``{flow_id: close_ns}``; flows absent from the result did not finish
+    within the trace (unfinished, horizon-truncated).
+    """
+    remaining = {s.flow_id: float(_wire_bytes(s.size_bytes, mss_bytes))
+                 for s in specs}
+    entry = {s.flow_id: max(0, (s.start_ns - ref_ns) // interval_ns)
+             for s in specs}
+    close: dict[int, int] = {}
+    for i, delivered in enumerate(delivered_bytes):
+        total = float(delivered)
+        budget = total
+        active = [fid for fid in remaining
+                  if entry[fid] <= i and fid not in close]
+        while budget > 1e-9 and active:
+            share = budget / len(active)
+            finishing = [fid for fid in active
+                         if remaining[fid] <= share + 1e-9]
+            if not finishing:
+                for fid in active:
+                    remaining[fid] -= share
+                break
+            for fid in finishing:
+                budget -= remaining[fid]
+                remaining[fid] = 0.0
+                frac = (total - budget) / total if total > 0 else 1.0
+                close[fid] = ref_ns + int((i + min(frac, 1.0))
+                                          * interval_ns)
+                active.remove(fid)
+    return close
+
+
+def _wave_groups(flows: list[FlowSpec],
+                 interval_ns: int) -> list[list[FlowSpec]]:
+    """Group flows into fluid waves by start time quantized to the fluid
+    interval (synchronized-burst members land in one wave)."""
+    groups: dict[int, list[FlowSpec]] = {}
+    for spec in sorted(flows, key=lambda f: (f.start_ns, f.flow_id)):
+        groups.setdefault(spec.start_ns // interval_ns, []).append(spec)
+    return [groups[key] for key in sorted(groups)]
+
+
+def _wave_records(specs: list[FlowSpec], trace, fluid_cfg: FluidConfig,
+                  mss_bytes: int,
+                  mouse_max_bytes: int) -> tuple[list[FlowFct], int]:
+    """FCT records (plus unfinished count) for one fluid wave."""
+    ref_ns = min(s.start_ns for s in specs)
+    close = _processor_sharing(specs, ref_ns, trace.delivered_bytes,
+                               fluid_cfg.interval_ns, mss_bytes)
+    records = []
+    for spec in specs:
+        if spec.flow_id not in close:
+            continue
+        wire = _wire_bytes(spec.size_bytes, mss_bytes)
+        floor_ns = spec.start_ns + _min_fct_ns(wire, fluid_cfg)
+        records.append(FlowFct(
+            flow_id=spec.flow_id, src=spec.src_rank,
+            open_ns=spec.start_ns,
+            close_ns=max(close[spec.flow_id], floor_ns),
+            size_bytes=spec.size_bytes, first_byte_ns=None,
+            cls=MOUSE if spec.size_bytes <= mouse_max_bytes
+            else ELEPHANT))
+    return records, len(specs) - len(records)
+
+
+# --------------------------------------------------------------------------
+# Leaf-spine scenario backends
+# --------------------------------------------------------------------------
+
+def _leafspine_fluid_config(cfg) -> FluidConfig:
+    """Fluid bottleneck matched to the scenario's receiver downlink.
+
+    Rates and propagation delays come from the fabric defaults the
+    scenario configs pin (:class:`LeafSpineConfig`); queue capacity and
+    ECN threshold come from the config's own fields. The base RTT is the
+    four-hop cross-rack path (host-leaf-spine-leaf-host), both ways.
+    """
+    fabric = LeafSpineConfig(n_racks=cfg.n_racks,
+                             hosts_per_rack=cfg.hosts_per_rack,
+                             n_spines=cfg.n_spines)
+    wire = _tcp_mss_bytes() + TCP_IP_HEADER_BYTES
+    return FluidConfig(
+        line_rate_bps=fabric.host_rate_bps,
+        base_rtt_ns=8 * fabric.link_prop_delay_ns,
+        capacity_bytes=cfg.queue_capacity_packets * wire,
+        ecn_threshold_frac=(cfg.ecn_threshold_packets
+                            / cfg.queue_capacity_packets),
+        mss_bytes=wire,
+        dctcp_g=cfg.dctcp_g)
+
+
+def _wave_demand_bytes(specs: list[FlowSpec], mss_bytes: int) -> int:
+    return sum(_wire_bytes(s.size_bytes, mss_bytes) for s in specs)
+
+
+def run_fluid_plan(name: str, cfg, flows: list[FlowSpec]):
+    """Execute one scenario grid point entirely on the fluid substrate."""
+    from repro.experiments.scenarios import ScenarioResult, _config_params
+
+    fluid_cfg = _leafspine_fluid_config(cfg)
+    mss = _tcp_mss_bytes()
+    wire = fluid_cfg.mss_bytes
+    records: list[FlowFct] = []
+    unfinished = 0
+    max_len = 0
+    marked = dropped = enqueued = 0.0
+    for specs in _wave_groups(flows, fluid_cfg.interval_ns):
+        trace = FluidIncast(fluid_cfg, len(specs),
+                            _wave_demand_bytes(specs, mss),
+                            fluid_cfg.capacity_bytes).run()
+        wave_records, wave_unfinished = _wave_records(
+            specs, trace, fluid_cfg, mss, cfg.mouse_max_bytes)
+        records.extend(wave_records)
+        unfinished += wave_unfinished
+        max_len = max(max_len, int(round(trace.peak_queue_frac
+                                         * cfg.queue_capacity_packets)))
+        marked += float(trace.marked_bytes.sum())
+        dropped += float(trace.dropped_bytes.sum())
+        enqueued += float(trace.delivered_bytes.sum()
+                          + trace.dropped_bytes.sum())
+    records.sort(key=lambda r: (r.open_ns, r.flow_id))
+    return ScenarioResult(
+        scenario=name,
+        params=_config_params(cfg),
+        fcts=FctSet(records=tuple(records), unfinished=unfinished,
+                    mouse_max_bytes=cfg.mouse_max_bytes),
+        bottleneck={
+            "max_len_packets": max_len,
+            "marked_packets": int(round(marked / wire)),
+            "dropped_packets": int(round(dropped / wire)),
+            "enqueued_packets": int(round(enqueued / wire)),
+        },
+        telemetry=None,
+    )
+
+
+def run_hybrid_plan(name: str, cfg, flows: list[FlowSpec],
+                    packet_executor: Callable):
+    """Fluid for the steady-state window, packets for the burst window.
+
+    The steady-state window is the long-flow (elephant) warmup: those
+    flows sit at DCTCP steady state, which the fluid model reproduces,
+    and their standing queue at the moment the burst window opens is
+    folded into the packet run as reduced queue capacity and ECN
+    headroom. The burst window — the synchronized mice incast whose
+    transient dynamics are the whole point of per-packet fidelity — runs
+    on the packet core. A plan with no steady-state flows (the pure
+    cross-rack incast) is all burst window and runs entirely on packets.
+    """
+    from repro.experiments.scenarios import _config_params
+
+    burst = [f for f in flows if f.kind == KIND_MOUSE]
+    steady = [f for f in flows if f.kind != KIND_MOUSE]
+    if not steady or not burst:
+        # Single-window plans: one substrate covers the whole run.
+        result = packet_executor(name, cfg, flows)
+        result.params = _config_params(cfg)
+        return result
+
+    fluid_cfg = _leafspine_fluid_config(cfg)
+    mss = _tcp_mss_bytes()
+    wire = fluid_cfg.mss_bytes
+    trace = FluidIncast(fluid_cfg, len(steady),
+                        _wave_demand_bytes(steady, mss),
+                        fluid_cfg.capacity_bytes).run()
+    steady_records, steady_unfinished = _wave_records(
+        steady, trace, fluid_cfg, mss, cfg.mouse_max_bytes)
+
+    # Standing queue the fluid model predicts at the instant the burst
+    # window opens (zero if the steady flows drained first).
+    burst_open_ns = min(f.start_ns for f in burst)
+    index = burst_open_ns // fluid_cfg.interval_ns
+    standing_frac = (float(trace.queue_frac[index])
+                     if index < trace.n_intervals else 0.0)
+    standing = int(round(standing_frac * cfg.queue_capacity_packets))
+
+    # The burst window sees the leftover headroom: capacity and marking
+    # threshold both shrink by the standing occupancy.
+    eff_threshold = max(1, cfg.ecn_threshold_packets - standing)
+    eff_capacity = max(eff_threshold + 1,
+                       cfg.queue_capacity_packets - standing)
+    packet_cfg = replace(cfg, backend="packet",
+                         queue_capacity_packets=eff_capacity,
+                         ecn_threshold_packets=eff_threshold)
+    result = packet_executor(name, packet_cfg, burst)
+
+    result.params = _config_params(cfg)
+    result.fcts = merge_fct_sets([
+        result.fcts,
+        FctSet(records=tuple(sorted(steady_records,
+                                    key=lambda r: (r.open_ns, r.flow_id))),
+               unfinished=steady_unfinished,
+               mouse_max_bytes=cfg.mouse_max_bytes),
+    ])
+    bottleneck = dict(result.bottleneck)
+    bottleneck["max_len_packets"] = (bottleneck["max_len_packets"]
+                                     + standing)
+    bottleneck["marked_packets"] += int(round(
+        float(trace.marked_bytes.sum()) / wire))
+    bottleneck["dropped_packets"] += int(round(
+        float(trace.dropped_bytes.sum()) / wire))
+    bottleneck["enqueued_packets"] += int(round(
+        float(trace.delivered_bytes.sum()
+              + trace.dropped_bytes.sum()) / wire))
+    result.bottleneck = bottleneck
+    return result
+
+
+# --------------------------------------------------------------------------
+# Dumbbell (cyclic incast) backends
+# --------------------------------------------------------------------------
+
+def _dumbbell_fluid_config(cfg) -> FluidConfig:
+    """Fluid bottleneck matched to the dumbbell's receiver downlink."""
+    wire = cfg.tcp.mss_bytes + TCP_IP_HEADER_BYTES
+    db = cfg.dumbbell
+    cap = db.queue_capacity_packets
+    threshold = (db.ecn_threshold_packets
+                 if db.ecn_threshold_packets is not None else cap)
+    return FluidConfig(
+        line_rate_bps=db.host_rate_bps,
+        base_rtt_ns=db.base_rtt_ns,
+        capacity_bytes=cap * wire,
+        ecn_threshold_frac=threshold / cap,
+        mss_bytes=wire,
+        dctcp_g=cfg.dctcp_g)
+
+
+def _fluid_cyclic_bursts(cfg, fluid_cfg: FluidConfig, first_index: int,
+                         start_ns: int, burst_results: list,
+                         times: list[int], values: list[float]) -> None:
+    """Append fluid bursts ``first_index .. n_bursts-1`` of the cyclic
+    incast, chaining each start one inter-burst gap after the previous
+    completion (the workload's AFTER_COMPLETION scheduling)."""
+    from repro.workloads.incast import BurstResult
+
+    wire = fluid_cfg.mss_bytes
+    cap_pk = cfg.dumbbell.queue_capacity_packets
+    per_flow_wire = _wire_bytes(cfg.demand_bytes_per_flow,
+                                cfg.tcp.mss_bytes)
+    for index in range(first_index, cfg.n_bursts):
+        factor = 1.0 if index == 0 else STEADY_WINDOW_START_FACTOR
+        trace = FluidIncast(fluid_cfg, cfg.n_flows,
+                            per_flow_wire * cfg.n_flows,
+                            fluid_cfg.capacity_bytes,
+                            window_start_factor=factor).run()
+        for j, frac in enumerate(trace.queue_frac):
+            times.append(start_ns + j * fluid_cfg.interval_ns)
+            values.append(float(frac) * cap_pk)
+        complete = start_ns + trace.n_intervals * fluid_cfg.interval_ns
+        burst_results.append(BurstResult(
+            index=index, start_ns=start_ns, complete_ns=complete,
+            demand_bytes_per_flow=cfg.demand_bytes_per_flow,
+            n_flows=cfg.n_flows,
+            peak_queue_packets=int(round(trace.peak_queue_frac * cap_pk)),
+            drops=int(round(float(trace.dropped_bytes.sum()) / wire)),
+            marked_packets=int(round(float(trace.marked_bytes.sum())
+                                     / wire)),
+            retransmitted_packets=int(round(
+                float(trace.retransmit_bytes.sum()) / wire)),
+            rto_events=0, fast_retransmits=0))
+        start_ns = complete + cfg.inter_burst_gap_ns
+
+
+def _assemble_cyclic_result(cfg, burst_results: list, times: list[int],
+                            values: list[float]):
+    """Build an :class:`IncastSimResult` from synthesized burst results
+    and a queue-occupancy trace, mirroring the packet path's analysis
+    (steady selection, burst-aligned averaging, mode classification)."""
+    from repro.experiments.environment import IncastSimResult
+
+    steady = (burst_results[1:] if len(burst_results) > 1
+              else list(burst_results))
+    times_arr = np.asarray(times, dtype=np.int64)
+    values_arr = np.asarray(values, dtype=np.float64)
+
+    span_ns = cfg.burst_duration_ns + cfg.inter_burst_gap_ns
+    segments = []
+    raw_samples = []
+    for result in steady:
+        mask = ((times_arr >= result.start_ns)
+                & (times_arr < result.start_ns + span_ns))
+        segments.append((times_arr[mask] - result.start_ns,
+                         values_arr[mask]))
+        burst_mask = ((times_arr >= result.start_ns)
+                      & (times_arr < result.start_ns
+                         + cfg.burst_duration_ns))
+        raw_samples.append(values_arr[burst_mask])
+    offsets, averaged = align_and_average(
+        segments, bin_ns=cfg.queue_probe_period_ns, span_ns=span_ns)
+
+    steady_drops = sum(r.drops for r in steady)
+    burst_portion = (np.concatenate(raw_samples) if raw_samples
+                     else np.zeros(1))
+    mode = classify_queue_trace(
+        burst_portion if burst_portion.size else np.zeros(1),
+        cfg.mode_model(), drops=steady_drops)
+
+    mean_bct = (float(np.mean([r.bct_ms for r in steady]))
+                if steady else 0.0)
+    return IncastSimResult(
+        config=cfg,
+        burst_results=list(burst_results),
+        steady_results=steady,
+        mean_bct_ms=mean_bct,
+        queue_times_ns=times_arr,
+        queue_packets=values_arr,
+        burst_starts_ns=[r.start_ns for r in burst_results],
+        aligned_offsets_ns=offsets,
+        aligned_queue_packets=averaged,
+        steady_drops=steady_drops,
+        steady_rtos=sum(r.rto_events for r in steady),
+        steady_marked_packets=sum(r.marked_packets for r in steady),
+        steady_retransmits=sum(r.retransmitted_packets for r in steady),
+        mode=mode,
+        flow_sampler=None,
+        network=None,
+        telemetry=None,
+    )
+
+
+def run_incast_fluid(cfg):
+    """The cyclic dumbbell incast entirely on the fluid substrate."""
+    fluid_cfg = _dumbbell_fluid_config(cfg)
+    burst_results: list = []
+    times: list[int] = []
+    values: list[float] = []
+    _fluid_cyclic_bursts(cfg, fluid_cfg, 0, 0, burst_results, times,
+                         values)
+    return _assemble_cyclic_result(cfg, burst_results, times, values)
+
+
+def run_incast_hybrid(cfg):
+    """Packet core for the transient window, fluid for the steady cycle.
+
+    The first :data:`HYBRID_PACKET_BURSTS` bursts (the slow-start
+    transient the paper's methodology discards, plus one measured steady
+    burst) run on the packet core; the remaining bursts repeat a steady
+    cycle the fluid model carries forward with window carryover.
+    """
+    from repro.experiments.environment import run_incast_sim
+
+    head = min(HYBRID_PACKET_BURSTS, cfg.n_bursts)
+    packet_cfg = replace(cfg, backend="packet", n_bursts=head)
+    packet = run_incast_sim(packet_cfg)
+
+    burst_results = list(packet.burst_results)
+    times = [int(t) for t in packet.queue_times_ns]
+    values = [float(v) for v in packet.queue_packets]
+    if head < cfg.n_bursts:
+        start = burst_results[-1].complete_ns + cfg.inter_burst_gap_ns
+        _fluid_cyclic_bursts(cfg, _dumbbell_fluid_config(cfg), head,
+                             start, burst_results, times, values)
+    return _assemble_cyclic_result(cfg, burst_results, times, values)

@@ -20,6 +20,7 @@ import numpy as np
 from repro import units
 from repro.analysis.series import align_and_average
 from repro.core.modes import DctcpMode, ModeModel, classify_queue_trace
+from repro.experiments.backends import BACKENDS
 from repro.netsim.fluid import FluidConfig
 from repro.netsim.packet import TCP_IP_HEADER_BYTES
 from repro.netsim.topology import Dumbbell, DumbbellConfig, build_dumbbell
@@ -65,6 +66,7 @@ class IncastSimConfig:
     max_sim_time_ns: int = units.sec(20.0)
     telemetry: bool = False
     telemetry_interval_ns: int = units.msec(1.0)
+    backend: str = "packet"
 
     def __post_init__(self) -> None:
         if self.cca not in CCA_FACTORIES:
@@ -72,6 +74,15 @@ class IncastSimConfig:
                              f"choose from {sorted(CCA_FACTORIES)}")
         if self.n_flows <= 0:
             raise ValueError("n_flows must be positive")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"choose from {sorted(BACKENDS)}")
+        if self.backend == "fluid" and (self.telemetry or self.sample_flows):
+            # Per-packet vantage points have no fluid counterpart; hybrid
+            # at least covers its packet window, fluid covers nothing.
+            raise ValueError("telemetry and flow sampling require a "
+                             "backend with a packet window "
+                             "(packet or hybrid), not fluid")
         self.dumbbell = replace(self.dumbbell, n_senders=self.n_flows)
 
     @property
@@ -181,7 +192,19 @@ def _make_cca(cfg: IncastSimConfig) -> CongestionControl:
 
 
 def run_incast_sim(cfg: IncastSimConfig) -> IncastSimResult:
-    """Run one cyclic-incast packet simulation end to end."""
+    """Run one cyclic-incast simulation end to end.
+
+    Dispatches on ``cfg.backend``: the default ``packet`` substrate runs
+    the discrete-event simulation below; ``fluid`` and ``hybrid`` hand
+    off to :mod:`repro.experiments.backends` (imported lazily so the
+    packet path never pays for the fluid machinery).
+    """
+    if cfg.backend != "packet":
+        from repro.experiments.backends import (run_incast_fluid,
+                                                run_incast_hybrid)
+        if cfg.backend == "fluid":
+            return run_incast_fluid(cfg)
+        return run_incast_hybrid(cfg)
     sim = Simulator()
     net = build_dumbbell(sim, cfg.dumbbell)
     recorder = None

@@ -21,6 +21,13 @@ same recipe: build the fabric, schedule each planned flow's connection to
 FCT = close - open only measures the flow if construction happens at the
 start), run, then renumber the telemetry capture to fabric-local ranks and
 sim-local flow ids so output is independent of process history.
+
+Every config also carries a ``backend`` axis (``packet`` / ``fluid`` /
+``hybrid``, :data:`repro.experiments.backends.BACKENDS`): because it is
+an ordinary config field, a sweep can put the simulation substrate on a
+grid axis and the engine cache keys the choice like any other parameter.
+``packet`` is the default and runs the executors below unchanged;
+``fluid`` and ``hybrid`` dispatch to :mod:`repro.experiments.backends`.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from typing import Optional
 from repro import units
 from repro.analysis.fct import (DEFAULT_MOUSE_MAX_BYTES, FctSet,
                                 extract_fcts)
+from repro.experiments.backends import BACKENDS
 from repro.experiments.environment import CCA_FACTORIES
 from repro.netsim.leafspine import LeafSpineConfig, build_leaf_spine
 from repro.simcore.kernel import Simulator
@@ -69,8 +77,16 @@ class ScenarioResult:
 
 
 def _config_params(cfg) -> dict:
-    """A scenario config's fields as a plain JSON-able dict."""
-    return {f.name: getattr(cfg, f.name) for f in fields(cfg)}
+    """A scenario config's fields as a plain JSON-able dict.
+
+    The default ``packet`` backend is elided: exports and golden fixtures
+    produced before the backend axis existed stay byte-identical, while
+    any non-default substrate is always visible in provenance.
+    """
+    params = {f.name: getattr(cfg, f.name) for f in fields(cfg)}
+    if params.get("backend") == "packet":
+        del params["backend"]
+    return params
 
 
 @dataclass(frozen=True)
@@ -98,6 +114,7 @@ class CrossRackIncastConfig:
     telemetry: bool = False
     telemetry_interval_ns: int = units.msec(1.0)
     mouse_max_bytes: int = DEFAULT_MOUSE_MAX_BYTES
+    backend: str = "packet"
 
     def __post_init__(self) -> None:
         if self.n_racks < 2:
@@ -107,6 +124,9 @@ class CrossRackIncastConfig:
         if self.cca not in CCA_FACTORIES:
             raise ValueError(f"unknown CCA {self.cca!r}; "
                              f"choose from {sorted(CCA_FACTORIES)}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"choose from {sorted(BACKENDS)}")
 
     def plan(self, hub: RngHub) -> list[FlowSpec]:
         """The deterministic flow plan: one mouse-class flow per sender,
@@ -146,11 +166,15 @@ class ElephantMiceGridConfig:
     telemetry: bool = False
     telemetry_interval_ns: int = units.msec(1.0)
     mouse_max_bytes: int = DEFAULT_MOUSE_MAX_BYTES
+    backend: str = "packet"
 
     def __post_init__(self) -> None:
         if self.cca not in CCA_FACTORIES:
             raise ValueError(f"unknown CCA {self.cca!r}; "
                              f"choose from {sorted(CCA_FACTORIES)}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"choose from {sorted(BACKENDS)}")
         self.workload()  # validate the mix shape eagerly
 
     def workload(self) -> ElephantMiceConfig:
@@ -232,13 +256,32 @@ def _execute_plan(name: str, cfg, flows: list[FlowSpec]) -> ScenarioResult:
     return result
 
 
+def _run_backend(name: str, cfg, flows: list[FlowSpec]) -> ScenarioResult:
+    """Dispatch one planned run to the configured simulation substrate."""
+    if cfg.backend == "packet":
+        return _execute_plan(name, cfg, flows)
+    # Imported lazily: the packet path must not pay for (or depend on)
+    # the fluid machinery.
+    from repro.experiments.backends import run_fluid_plan, run_hybrid_plan
+    if cfg.backend == "fluid":
+        return run_fluid_plan(name, cfg, flows)
+    return run_hybrid_plan(name, cfg, flows, _execute_plan)
+
+
 def run_cross_rack_incast(cfg: CrossRackIncastConfig) -> ScenarioResult:
     """Execute one cross-rack incast grid point."""
     flows = cfg.plan(RngHub(cfg.seed))
-    assert all(f.kind == KIND_MOUSE for f in flows)
-    return _execute_plan("leafspine_incast", cfg, flows)
+    # Input validation, not a debug check: a plan with non-mouse flows
+    # would silently change what this scenario measures, and an assert
+    # disappears under ``python -O``.
+    rogue = [f.flow_id for f in flows if f.kind != KIND_MOUSE]
+    if rogue:
+        raise ValueError(
+            f"cross-rack incast plans must contain only mouse-class "
+            f"flows; flows {rogue} are not (corrupt plan for {cfg!r})")
+    return _run_backend("leafspine_incast", cfg, flows)
 
 
 def run_elephant_mice(cfg: ElephantMiceGridConfig) -> ScenarioResult:
     """Execute one elephant/mice coexistence grid point."""
-    return _execute_plan("leafspine_mix", cfg, cfg.plan(RngHub(cfg.seed)))
+    return _run_backend("leafspine_mix", cfg, cfg.plan(RngHub(cfg.seed)))

@@ -58,6 +58,11 @@ class Link:
         """Attach the receiving endpoint."""
         self._sink = sink
 
+    @property
+    def sink(self) -> Optional[PacketSink]:
+        """The receiving endpoint, or ``None`` before :meth:`connect`."""
+        return self._sink
+
     def tx_time_ns(self, packet: Packet) -> int:
         """Serialization delay for ``packet`` on this link."""
         size = packet.size_bytes

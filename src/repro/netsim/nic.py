@@ -5,11 +5,23 @@ drops its own packets; TCP's window bounds how much it can have outstanding).
 Ingress: demultiplexes packets to registered connections by flow id, and
 feeds observer hooks — this is where the Millisampler model taps the packet
 stream, exactly as the production tool observes a host's ingress traffic.
+
+Egress runs as a *chain event* when the access link is a plain
+:class:`~repro.netsim.link.Link`: instead of the per-packet
+``transmit``/serialization-complete/pump callback dance, the NIC schedules
+one self-rescheduling chain event per serialization. The chain event fires
+at each end-of-serialization instant, pushes the delivery event, and pushes
+the next chain link — the *identical* sequence of kernel pushes, at the
+identical times and in the identical order, as the legacy path, so global
+event ordering (and therefore every simulation result) is bit-for-bit
+unchanged while the ``Link.transmit`` bookkeeping and pump callbacks
+disappear from the hot path.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Callable, Optional, Protocol
 
 from repro.netsim.link import Link
@@ -52,12 +64,54 @@ class HostNIC:
         self.bytes_received = 0
         self.packets_received = 0
         self.bytes_sent = 0
+        # Chain-event egress (see module docstring). Decided on first send;
+        # None = undecided, False = legacy transmit/pump path.
+        self._chained: Optional[bool] = None
+        self._chain_on = False  # a chain event is in flight
+        self._egress_sink = None
+        # Fully-virtual egress: engaged when the topology builder promises
+        # (via compose_into) that this NIC's traffic is the sole feeder of
+        # one switch egress queue. The NIC's own drain schedule is then
+        # closed-form and feeds the port's composed path directly, so a
+        # send costs no heap event at all on this hop.
+        self._compose_port = None
+        self._virtual: Optional[bool] = None
+        self._vbusy_until = -1
+        self._vrecords: deque[tuple[int, int]] = deque()  # (start, size)
+        # Chain-handoff: chain events stay (their heap order *is* the
+        # multi-feeder arrival order at the downstream switch), but each
+        # chain hands the packet straight into the composed downstream
+        # port with an arrival timestamp instead of scheduling the
+        # switch-delivery event. Requires every feeder of that port to
+        # hand off at one common propagation delay (see
+        # compose_chain_into).
+        self._handoff_port = None
+        self._handoff: Optional[bool] = None
 
     # --- wiring ---------------------------------------------------------
 
     def connect(self, link: Link) -> None:
         """Attach the outgoing access link."""
         self.egress_link = link
+
+    def compose_into(self, port) -> None:
+        """Declare that every packet this NIC sends lands in ``port``'s
+        queue (topology-builder sole-feeder promise; see
+        :mod:`repro.netsim.switch`). Routing is still checked per packet —
+        a destination the switch would route elsewhere raises rather than
+        silently taking the wrong path."""
+        self._compose_port = port
+
+    def compose_chain_into(self, port) -> None:
+        """Declare that this NIC's access link feeds ``port``'s switch and
+        that **every** feeder of ``port``'s queue is a chain-mode NIC whose
+        access link has the *same* propagation delay (topology-builder
+        promise). Chain events then hand packets straight into ``port``'s
+        composed virtual queue: equal delays make chain-firing order equal
+        arrival order, so admission/marking order — including same-instant
+        FIFO tie-breaks — matches the legacy delivery events exactly.
+        Routing is still checked per packet."""
+        self._handoff_port = port
 
     def register_flow(self, flow_id: int, handler: PacketHandler) -> None:
         """Deliver packets for ``flow_id`` to ``handler``."""
@@ -88,19 +142,188 @@ class HostNIC:
     @property
     def egress_backlog_packets(self) -> int:
         """Packets waiting in the host's egress FIFO."""
+        if self._vrecords:
+            self._settle_egress()
         return len(self._egress_fifo)
 
     def send(self, packet: Packet) -> None:
         """Queue ``packet`` for transmission on the access link."""
-        if self.egress_link is None:
+        link = self.egress_link
+        if link is None:
             raise RuntimeError(f"{self.name}: send before connect()")
         self.bytes_sent += packet.size_bytes
         if self._egress_hooks:
             now = self._sim.now
             for hook in tuple(self._egress_hooks):
                 hook(packet, now)
-        self._egress_fifo.append(packet)
-        self._pump()
+        if self._virtual or (self._virtual is None and self._decide_virtual()):
+            self._send_virtual(packet, link)
+            return
+        chained = self._chained
+        if chained is None:
+            chained = self._chained = (type(link) is Link
+                                       and link.sink is not None)
+        if not chained:
+            self._egress_fifo.append(packet)
+            self._pump()
+            return
+        if self._chain_on:
+            # Transmitter busy: queue behind it; the chain pops it later.
+            self._egress_fifo.append(packet)
+            return
+        # Idle transmitter: start serializing now, exactly as the legacy
+        # pump called Link.transmit from within send().
+        self._chain_on = True
+        size = packet.size_bytes
+        link.bytes_sent += size
+        link.packets_sent += 1
+        tx = link._tx_time_cache.get(size)
+        if tx is None:
+            tx = link.tx_time_ns(packet)
+        sim = self._sim
+        sim._queue.push_fire(sim._now + tx, self._chain, (packet,))
+
+    def _chain(self, packet: Packet) -> None:
+        """End-of-serialization for ``packet``: deliver it after propagation
+        and immediately start serializing the next queued packet.
+
+        The push order here — delivery first, then the next chain link —
+        matches the legacy ``Link._tx_complete`` (delivery push, then the
+        ``on_done`` pump's ``transmit`` push), preserving FIFO tie-breaks.
+        """
+        link = self.egress_link
+        sim = self._sim
+        now = sim._now
+        prop = link.prop_delay_ns
+        if self._handoff or (self._handoff is None and self._decide_handoff()):
+            port = self._handoff_port
+            switch = port._switch
+            if (switch._routes.get(packet.dst, switch._default_port)
+                    is not port):
+                raise RuntimeError(
+                    f"{self.name}: destination {packet.dst} does not route "
+                    f"to the chain-handoff port {port.name} — the "
+                    f"topology builder's promise was violated")
+            port._virtual_enqueue(packet, now + prop)
+        else:
+            sink = self._egress_sink
+            if sink is None:
+                sink = self._egress_sink = link.sink
+            if prop == 0:
+                sink.receive(packet)
+            else:
+                sim._queue.push_fire(now + prop, sink.receive, (packet,))
+        fifo = self._egress_fifo
+        if fifo:
+            nxt = fifo.popleft()
+            size = nxt.size_bytes
+            link.bytes_sent += size
+            link.packets_sent += 1
+            tx = link._tx_time_cache.get(size)
+            if tx is None:
+                tx = link.tx_time_ns(nxt)
+            # Inline EventQueue.push_fire (chain times are always positive).
+            eq = sim._queue
+            seq = eq._next_seq
+            free = eq._free
+            if free:
+                entry = free.pop()
+                entry[0] = now + tx
+                entry[1] = seq
+                entry[2] = self._chain
+                entry[3] = (nxt,)
+            else:
+                entry = [now + tx, seq, self._chain, (nxt,)]
+            eq._next_seq = seq + 1
+            heappush(eq._heap, entry)
+            eq._live += 1
+        else:
+            self._chain_on = False
+
+    def _decide_handoff(self) -> bool:
+        """Engage chain-handoff if the builder declared a downstream port
+        and that port can run composed. Unequal feeder propagation delays
+        would silently reorder arrivals, so they are a hard error rather
+        than a fallback (a mix of handoff and legacy-delivery feeders
+        could not keep one consistent arrival order either)."""
+        port = self._handoff_port
+        link = self.egress_link
+        handoff = (port is not None and type(link) is Link
+                   and link.prop_delay_ns > 0
+                   and link.sink is port._switch
+                   and port._engage_composed())
+        if handoff:
+            prop = port._vfeeder_prop
+            if prop is None:
+                port._vfeeder_prop = link.prop_delay_ns
+            elif prop != link.prop_delay_ns:
+                raise RuntimeError(
+                    f"{self.name}: chain-handoff into {port.name} needs "
+                    f"every feeder link to share one propagation delay "
+                    f"(have {link.prop_delay_ns} ns, port engaged with "
+                    f"{prop} ns)")
+        self._handoff = handoff
+        return handoff
+
+    def _decide_virtual(self) -> bool:
+        """Engage the fully-virtual egress if the builder declared a sole
+        downstream port and that port can run composed."""
+        link = self.egress_link
+        port = self._compose_port
+        virtual = (port is not None and type(link) is Link
+                   and link.prop_delay_ns > 0
+                   and link.sink is port._switch
+                   and port._engage_composed())
+        self._virtual = virtual
+        return virtual
+
+    def _send_virtual(self, packet: Packet, link: Link) -> None:
+        port = self._compose_port
+        switch = port._switch
+        if switch._routes.get(packet.dst, switch._default_port) is not port:
+            raise RuntimeError(
+                f"{self.name}: destination {packet.dst} does not route to "
+                f"the composed port {port.name} — the sole-feeder promise "
+                f"was violated")
+        sim = self._sim
+        now = sim._now
+        records = self._vrecords
+        if records and records[0][0] < now:
+            self._settle_egress()
+        size = packet.size_bytes
+        tx = link._tx_time_cache.get(size)
+        if tx is None:
+            tx = link.tx_time_ns(packet)
+        busy_until = self._vbusy_until
+        if records or busy_until >= now:
+            # Busy (>= for the same event-order reason as the switch port's
+            # batched path): the packet queues; its foregone chain event is
+            # credited now and its bookkeeping settles on observation.
+            self._egress_fifo.append(packet)
+            records.append((busy_until, size))
+            end = busy_until + tx
+            sim.count_batched(1)
+        else:
+            # Idle: the legacy path starts serializing within send().
+            link.bytes_sent += size
+            link.packets_sent += 1
+            end = now + tx
+            sim.count_batched(1)
+        self._vbusy_until = end
+        port._virtual_enqueue(packet, end + link.prop_delay_ns)
+
+    def _settle_egress(self) -> None:
+        """Book virtual egress drains strictly older than now (strict ``<``
+        for the same observation-order reason as the switch port settle)."""
+        records = self._vrecords
+        now = self._sim._now
+        fifo = self._egress_fifo
+        link = self.egress_link
+        while records and records[0][0] < now:
+            size = records.popleft()[1]
+            fifo.popleft()
+            link.bytes_sent += size
+            link.packets_sent += 1
 
     def _pump(self) -> None:
         if self.egress_link is None or self.egress_link.busy:

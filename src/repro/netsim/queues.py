@@ -88,9 +88,30 @@ class DropTailQueue:
         self._fifo: deque[Packet] = deque()
         self._len_bytes = 0
         self._watchers: list[QueueWatcher] = []
-        self.stats = QueueStats()
+        # Installed by a batched egress port (netsim.switch): a callable
+        # that applies any queue drains whose serialization has already
+        # finished in virtual time, so every observation below sees the
+        # same depth the legacy per-packet drain events would have left.
+        self._settle: Optional[Callable[[], None]] = None
+        self._stats = QueueStats()
+
+    @property
+    def stats(self) -> QueueStats:
+        """Lifetime counters, settled up to the current virtual time.
+
+        Reading through this property first applies any drains the batched
+        egress path has computed but not yet booked, so mid-run samplers
+        (e.g. the occupancy watermark probe) see exactly the counters the
+        legacy per-packet drain events would have produced. Internal fast
+        paths use ``_stats`` directly after settling themselves.
+        """
+        if self._settle is not None:
+            self._settle()
+        return self._stats
 
     def __len__(self) -> int:
+        if self._settle is not None:
+            self._settle()
         return len(self._fifo)
 
     # --- observation -----------------------------------------------------
@@ -98,6 +119,11 @@ class DropTailQueue:
     def add_watcher(self, watcher: QueueWatcher) -> QueueWatcher:
         """Observe every enqueue/drop/dequeue (measurement tap); returns
         ``watcher`` for later :meth:`remove_watcher`."""
+        if self._settle is not None:
+            raise RuntimeError(
+                f"{self.name}: cannot attach a watcher after the batched "
+                f"egress path has engaged; attach watchers before the "
+                f"first packet is enqueued")
         self._watchers.append(watcher)
         return watcher
 
@@ -108,11 +134,15 @@ class DropTailQueue:
     @property
     def len_packets(self) -> int:
         """Current queue length in packets."""
+        if self._settle is not None:
+            self._settle()
         return len(self._fifo)
 
     @property
     def len_bytes(self) -> int:
         """Current queue length in bytes."""
+        if self._settle is not None:
+            self._settle()
         return self._len_bytes
 
     def _would_overflow(self, packet: Packet) -> bool:
@@ -131,8 +161,10 @@ class DropTailQueue:
         the shared buffer pool rejects the bytes. On success the packet may
         be CE-marked per the ECN threshold.
         """
+        if self._settle is not None:
+            self._settle()
         fifo = self._fifo
-        stats = self.stats
+        stats = self._stats
         size = packet.size_bytes
         if self._would_overflow(packet) or not self._pool_admit(packet):
             stats.dropped_packets += 1
@@ -172,7 +204,7 @@ class DropTailQueue:
         if not self._fifo:
             return None
         packet = self._fifo.popleft()
-        stats = self.stats
+        stats = self._stats
         size = packet.size_bytes
         self._len_bytes -= size
         stats.dequeued_packets += 1

@@ -5,16 +5,60 @@ is by a static destination-address table (sufficient for the dumbbell and any
 tree topology the experiments use). An arriving packet is looked up and
 offered to the egress port's queue; the port drains the queue onto its link
 one packet at a time.
+
+Ports have three drain implementations, chosen per port at first traffic:
+
+- the **legacy per-packet pump**: pop one packet, ``Link.transmit`` it, and
+  be called back at end-of-serialization — two kernel events per packet;
+- the **batched closed-form path**: a FIFO queue in front of a
+  work-conserving link has a schedule that is fully determined at enqueue
+  time (``start = max(now, busy_until)``, ``end = start + tx``,
+  ``delivery = end + prop``), so the port schedules *only* the delivery
+  event and records the drain times, settling queue bookkeeping for every
+  drain that virtual time has passed in one tight loop the next time
+  anything observes the queue — one kernel event per packet;
+- the **composed path**: when the topology builder promises (via
+  :meth:`EgressPort.compose_route`) that a downstream port's queue is fed
+  *only* by this port, the downstream drain schedule is itself closed-form
+  at this port's enqueue time, so the packet's entire switch-fabric
+  traversal collapses into a single delivery event at the far endpoint;
+  the downstream queue's arrivals, marks, drops, and drains are recorded
+  and settled lazily, in exact virtual-time order.
+
+Batched drains and composed arrivals are credited through
+:meth:`repro.simcore.kernel.Simulator.count_batched` so event accounting
+matches the legacy path one-for-one.
+
+The batched/composed paths engage only when behaviour is provably
+identical to the legacy pump: a plain :class:`~repro.netsim.link.Link`
+with a positive propagation delay (so delivery is a separate event, as in
+the legacy path), no shared :class:`~repro.netsim.buffers.BufferPool`
+(admission timing couples queues), and no queue watchers (observers need
+per-dequeue callbacks at exact drain times). Anything else falls back to
+the legacy pump. The settle discipline applies strictly-older bookkeeping
+only (strict ``<`` against virtual now), which reproduces the legacy
+observation order: a drain completing at time T was always the
+last-scheduled event among same-T events — its completion was scheduled
+one serialization time before T, later than any arrival or probe event,
+which travel a propagation delay or more.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
+
+from heapq import heappush
 
 from repro.netsim.link import Link
 from repro.netsim.packet import Packet
 from repro.netsim.queues import DropTailQueue
+from repro.simcore import kernel as _kernel
 from repro.simcore.kernel import Simulator
+
+BATCHED_EGRESS_ENABLED = True
+"""Global switch for the batched/composed egress paths (tests may disable
+to force every port onto the legacy per-packet pump)."""
 
 
 class EgressPort:
@@ -22,7 +66,9 @@ class EgressPort:
 
     The port pumps the queue whenever the link transmitter is idle; the link
     calls back at end-of-serialization so the next packet starts immediately,
-    keeping the output link work-conserving.
+    keeping the output link work-conserving. Eligible ports (see module
+    docstring) instead compute the whole drain schedule at enqueue time and
+    batch the bookkeeping.
     """
 
     def __init__(self, sim: Simulator, link: Link, queue: DropTailQueue,
@@ -31,13 +77,337 @@ class EgressPort:
         self.link = link
         self.queue = queue
         self.name = name
+        self._batched: Optional[bool] = None  # decided on first enqueue
+        self._drains: deque[int] = deque()    # drain-start times, FIFO order
+        self._busy_until = -1                 # when the transmitter frees up
+        self._sink = None
+        # Composition (this port as the upstream feeder):
+        self._compose_routes: dict[int, "EgressPort"] = {}
+        self._switch: Optional["Switch"] = None  # set by attach_port
+        # Composition (this port as the composed downstream):
+        self._composed: Optional[bool] = None
+        # Propagation delay shared by every chain-handoff feeder (see
+        # HostNIC.compose_chain_into): equal delays are what make
+        # chain-firing order equal arrival order across feeders.
+        self._vfeeder_prop: Optional[int] = None
+        # Admission constants, cached by _engage_composed:
+        self._vcap_pk: Optional[int] = None
+        self._vcap_by: Optional[int] = None
+        self._vthresh: Optional[int] = None
+        self._vbusy_until = -1
+        self._vlen_pk = 0
+        self._vlen_by = 0
+        self._vfuture: deque[tuple[int, int]] = deque()  # (start, size)
+        self._varrivals: deque[tuple] = deque()  # (arr, start, pkt, mark, drop)
+        self._vdrains: deque[tuple[int, int]] = deque()  # (start, size)
+
+    def compose_route(self, dst: int, downstream: "EgressPort") -> None:
+        """Declare that every packet this port delivers toward host ``dst``
+        is the *only* traffic entering ``downstream``'s queue.
+
+        This is a topology-builder promise (e.g. the dumbbell's trunk port
+        is the sole feeder of the receiver-downlink queue). It licenses the
+        composed path; if traffic ever reaches the downstream port from
+        anywhere else while composed, the downstream port raises rather
+        than silently diverge.
+        """
+        self._compose_routes[dst] = downstream
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer ``packet`` to the port. Returns ``False`` on tail drop."""
+        if self._composed:
+            raise RuntimeError(
+                f"{self.name}: real enqueue on a composed port — the "
+                f"topology builder's sole-feeder promise was violated")
+        batched = self._batched
+        if batched is None:
+            batched = self._decide_mode()
+        if batched:
+            return self._enqueue_batched(packet)
         accepted = self.queue.offer(packet)
         if accepted:
             self._pump()
         return accepted
+
+    def _decide_mode(self) -> bool:
+        """Pick the drain implementation once, at first traffic."""
+        link = self.link
+        queue = self.queue
+        batched = (BATCHED_EGRESS_ENABLED
+                   and type(link) is Link and link.prop_delay_ns > 0
+                   and link.sink is not None
+                   and queue.pool is None and not queue._watchers)
+        self._batched = batched
+        if batched:
+            self._sink = link.sink
+            queue._settle = self._settle
+            # Skip the mode dispatch on every later call (a batched port
+            # can never become composed: engagement requires an undecided
+            # mode, so this shadow is permanent and safe).
+            self.enqueue = self._enqueue_batched
+        return batched
+
+    def _enqueue_batched(self, packet: Packet) -> bool:
+        # This inlines DropTailQueue.offer for the eligible case (no pool,
+        # no watchers — guaranteed by _decide_mode), settling first so
+        # capacity and ECN marking see exactly the depth the legacy drain
+        # events would have left.
+        sim = self._sim
+        now = sim._now
+        drains = self._drains
+        if drains and drains[0] < now:
+            self._settle()
+        queue = self.queue
+        fifo = queue._fifo
+        stats = queue._stats
+        size = packet.size_bytes
+        depth = len(fifo)
+        cap = queue.capacity_packets
+        cap_bytes = queue.capacity_bytes
+        depth_bytes = queue._len_bytes + size
+        if ((cap is not None and depth >= cap)
+                or (cap_bytes is not None and depth_bytes > cap_bytes)):
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
+            return False
+        threshold = queue.ecn_threshold_packets
+        if threshold is not None and depth >= threshold and packet.ecn != 0:
+            packet.ecn = 2  # ECN.CE
+            stats.marked_packets += 1
+            stats.marked_bytes += size
+        fifo.append(packet)
+        queue._len_bytes = depth_bytes
+        stats.enqueued_packets += 1
+        stats.enqueued_bytes += size
+        if depth + 1 > stats.max_len_packets:
+            stats.max_len_packets = depth + 1
+        if depth_bytes > stats.max_len_bytes:
+            stats.max_len_bytes = depth_bytes
+        link = self.link
+        tx = link._tx_time_cache.get(size)
+        if tx is None:
+            tx = link.tx_time_ns(packet)
+        busy_until = self._busy_until
+        if drains or busy_until >= now:
+            # Transmitter busy (>= matches the legacy pump: the completion
+            # event for a transmission ending exactly now always carries a
+            # later sequence number than the arrival that got us here, so
+            # the legacy port would still have seen busy=True). The drain
+            # is credited now (its legacy completion event is foregone);
+            # its bookkeeping settles lazily on observation.
+            drains.append(busy_until)
+            end = busy_until + tx
+            sim.count_batched(1)
+        else:
+            # Idle transmitter: the legacy pump pops and starts transmitting
+            # within the enqueue event itself; mirror that inline.
+            fifo.popleft()
+            queue._len_bytes = depth_bytes - size
+            stats.dequeued_packets += 1
+            stats.dequeued_bytes += size
+            link.bytes_sent += size
+            link.packets_sent += 1
+            end = now + tx
+            sim.count_batched(1)
+        self._busy_until = end
+        arrival = end + link.prop_delay_ns
+        downstream = self._compose_routes.get(packet.dst)
+        if downstream is not None and downstream._engage_composed():
+            downstream._virtual_enqueue(packet, arrival)
+        else:
+            sim._queue.push_fire(arrival, self._sink.receive, (packet,))
+        return True
+
+    def _settle(self) -> None:
+        """Apply every pending drain that virtual time has strictly passed
+        (see the module docstring for why strict ``<`` is exact)."""
+        drains = self._drains
+        if not drains:
+            return
+        now = self._sim._now
+        if drains[0] >= now:
+            return
+        queue = self.queue
+        fifo = queue._fifo
+        stats = queue._stats
+        link = self.link
+        len_bytes = queue._len_bytes
+        while drains and drains[0] < now:
+            drains.popleft()
+            size = fifo.popleft().size_bytes
+            len_bytes -= size
+            stats.dequeued_packets += 1
+            stats.dequeued_bytes += size
+            link.bytes_sent += size
+            link.packets_sent += 1
+        queue._len_bytes = len_bytes
+
+    # --- composed downstream -------------------------------------------
+
+    def _engage_composed(self) -> bool:
+        """Check (once) that this port can run as a composed downstream."""
+        composed = self._composed
+        if composed is None:
+            link = self.link
+            queue = self.queue
+            composed = (BATCHED_EGRESS_ENABLED
+                        and type(link) is Link and link.prop_delay_ns > 0
+                        and link.sink is not None
+                        and queue.pool is None and not queue._watchers
+                        and self._batched is None and not queue._fifo)
+            self._composed = composed
+            if composed:
+                self._batched = False  # real-enqueue path must not engage
+                self._sink = link.sink
+                queue._settle = self._settle_composed
+                # Admission parameters are construction-time constants
+                # (nothing in the repository mutates them mid-run); cache
+                # them so the per-packet path skips the queue derefs.
+                self._vcap_pk = queue.capacity_packets
+                self._vcap_by = queue.capacity_bytes
+                self._vthresh = queue.ecn_threshold_packets
+        return composed
+
+    def _virtual_enqueue(self, packet: Packet, arrival: int) -> None:
+        """Admit ``packet`` into this port's *future* queue state at time
+        ``arrival``, scheduling only the final delivery event.
+
+        The caller guarantees non-decreasing ``arrival`` order — either a
+        single upstream FIFO feeder (sole-feeder composition), or several
+        chain-handoff feeders whose access links share one propagation
+        delay (chain events fire in heap order; adding a common constant
+        preserves both the order and the FIFO tie-breaks). The future
+        occupancy at each arrival instant is then exact: packets whose
+        drain starts strictly before the arrival have left (legacy
+        drain-completion events at the arrival instant fired *after* the
+        arrival event).
+        """
+        future = self._vfuture
+        vlen_pk = self._vlen_pk
+        vlen_by = self._vlen_by
+        while future and future[0][0] < arrival:
+            vlen_by -= future.popleft()[1]
+            vlen_pk -= 1
+        size = packet.size_bytes
+        sim = self._sim
+        cap_pk = self._vcap_pk
+        cap_by = self._vcap_by
+        if ((cap_pk is not None and vlen_pk >= cap_pk)
+                or (cap_by is not None and vlen_by + size > cap_by)):
+            self._vlen_pk = vlen_pk
+            self._vlen_by = vlen_by
+            self._varrivals.append((arrival, -1, packet, False, True))
+            # Credit the foregone arrival event; no drain.
+            sim._events_processed += 1
+            _kernel._total_events_processed += 1
+            return
+        threshold = self._vthresh
+        marked = (threshold is not None and vlen_pk >= threshold
+                  and packet.ecn != 0)
+        if marked:
+            packet.ecn = 2  # ECN.CE
+        vbusy = self._vbusy_until
+        start = vbusy if vbusy >= arrival else arrival
+        link = self.link
+        tx = link._tx_time_cache.get(size)
+        if tx is None:
+            tx = link.tx_time_ns(packet)
+        end = start + tx
+        self._vbusy_until = end
+        future.append((start, size))
+        self._vlen_pk = vlen_pk + 1
+        self._vlen_by = vlen_by + size
+        self._varrivals.append((arrival, start, packet, marked, False))
+        # Credit the two foregone legacy events (arrival delivery + drain
+        # completion) now; their bookkeeping settles lazily on observation.
+        sim._events_processed += 2
+        _kernel._total_events_processed += 2
+        # Compose recursively when the next hop's queue is also solely fed
+        # by this port: the whole multi-hop traversal then costs a single
+        # delivery event at the final endpoint.
+        downstream = self._compose_routes.get(packet.dst)
+        if downstream is not None and downstream._engage_composed():
+            downstream._virtual_enqueue(packet, end + link.prop_delay_ns)
+            return
+        # Inline EventQueue.push_fire (delivery time is always positive).
+        eq = sim._queue
+        seq = eq._next_seq
+        free = eq._free
+        if free:
+            entry = free.pop()
+            entry[0] = end + link.prop_delay_ns
+            entry[1] = seq
+            entry[2] = self._sink.receive
+            entry[3] = (packet,)
+        else:
+            entry = [end + link.prop_delay_ns, seq,
+                     self._sink.receive, (packet,)]
+        eq._next_seq = seq + 1
+        heappush(eq._heap, entry)
+        eq._live += 1
+
+    def _settle_composed(self) -> None:
+        """Replay this composed queue's arrivals and drains that virtual
+        time has strictly passed, in exact order (arrival before drain on
+        ties — the legacy arrival event carried the smaller sequence
+        number), so every observation of queue depth or stats matches the
+        legacy event interleaving.
+        """
+        arrivals = self._varrivals
+        drains = self._vdrains
+        now = self._sim._now
+        arr = arrivals[0] if arrivals else None
+        dr = drains[0] if drains else None
+        if ((arr is None or arr[0] >= now)
+                and (dr is None or dr[0] >= now)):
+            return
+        queue = self.queue
+        fifo = queue._fifo
+        stats = queue._stats
+        link = self.link
+        switch = self._switch
+        while True:
+            if (arr is not None and arr[0] < now
+                    and (dr is None or arr[0] <= dr[0])):
+                arrivals.popleft()
+                arrival, start, packet, marked, dropped = arr
+                size = packet.size_bytes
+                if switch is not None:
+                    switch.forwarded_packets += 1
+                if dropped:
+                    stats.dropped_packets += 1
+                    stats.dropped_bytes += size
+                else:
+                    if marked:
+                        stats.marked_packets += 1
+                        stats.marked_bytes += size
+                    fifo.append(packet)
+                    depth_bytes = queue._len_bytes + size
+                    queue._len_bytes = depth_bytes
+                    stats.enqueued_packets += 1
+                    stats.enqueued_bytes += size
+                    if len(fifo) > stats.max_len_packets:
+                        stats.max_len_packets = len(fifo)
+                    if depth_bytes > stats.max_len_bytes:
+                        stats.max_len_bytes = depth_bytes
+                    drains.append((start, size))
+                    if dr is None:
+                        dr = drains[0]
+                arr = arrivals[0] if arrivals else None
+            elif dr is not None and dr[0] < now:
+                drains.popleft()
+                size = dr[1]
+                fifo.popleft()
+                queue._len_bytes -= size
+                stats.dequeued_packets += 1
+                stats.dequeued_bytes += size
+                link.bytes_sent += size
+                link.packets_sent += 1
+                dr = drains[0] if drains else None
+            else:
+                break
+
+    # --- legacy pump ----------------------------------------------------
 
     def _pump(self) -> None:
         if self.link.busy:
@@ -75,6 +445,7 @@ class Switch:
         """Create an egress port that drains ``queue`` onto ``link``."""
         port = EgressPort(self._sim, link, queue,
                           name or f"{self.name}.p{len(self._ports)}")
+        port._switch = self
         self._ports.append(port)
         return port
 

@@ -186,6 +186,16 @@ def build_rack(sim: Simulator, config: Optional[RackConfig] = None) -> Rack:
         receivers.append(receiver)
         receiver_queues.append(queue)
 
+    # Chain-handoff declarations (see build_dumbbell): each trunk queue is
+    # fed only by host NICs whose access links share one propagation
+    # delay — sender uplinks feed the A->B trunk (data), receiver uplinks
+    # feed the B->A trunk (ACKs).
+    for hosts in sender_groups:
+        for host in hosts:
+            host.nic.compose_chain_into(trunk_port_a)
+    for receiver in receivers:
+        receiver.nic.compose_chain_into(trunk_port_b)
+
     return Rack(sim=sim, config=cfg, receivers=receivers,
                 sender_groups=sender_groups, tor_senders=tor_a,
                 tor_receivers=tor_b, receiver_queues=receiver_queues,
@@ -215,6 +225,7 @@ def build_dumbbell(sim: Simulator,
 
     senders = [Host(sim, name=f"sender{i}") for i in range(cfg.n_senders)]
     receiver = Host(sim, name="receiver")
+    sender_downlink_ports = []
 
     # Sender access links: host -> ToR-A, and the reverse port for ACKs.
     for sender in senders:
@@ -229,6 +240,7 @@ def build_dumbbell(sim: Simulator,
         port = tor_a.attach_port(
             downlink, _make_queue(cfg, pool_a, f"torA->{sender.name}"))
         tor_a.add_route(sender.address, port)
+        sender_downlink_ports.append(port)
 
     # Trunk: ToR-A <-> ToR-B.
     trunk_ab = Link(sim, cfg.trunk_rate_bps, cfg.link_prop_delay_ns,
@@ -257,6 +269,27 @@ def build_dumbbell(sim: Simulator,
                    name="receiver->torB")
     recv_up.connect(tor_b)
     receiver.nic.connect(recv_up)
+
+    # Sole-feeder declarations (licence for the composed egress fast path,
+    # see repro.netsim.switch): hosts only exchange traffic with the
+    # receiver, so everything entering the receiver-downlink queue came off
+    # the A->B trunk, and everything entering a sender-downlink queue (the
+    # ACK return path) came off the B->A trunk.
+    trunk_port_a.compose_route(receiver.address, recv_port)
+    for sender, port in zip(senders, sender_downlink_ports):
+        trunk_port_b.compose_route(sender.address, port)
+    # All sender access links share one propagation delay, so the order in
+    # which their NIC chain events fire *is* the order their packets reach
+    # ToR-A: each chain may hand its packet straight into the trunk port's
+    # composed virtual queue instead of scheduling the switch-delivery
+    # event.
+    for sender in senders:
+        sender.nic.compose_chain_into(trunk_port_a)
+    # The receiver only ever emits ACKs toward the senders, all of which
+    # take ToR-B's default route: its NIC is the sole feeder of the
+    # reverse-trunk queue, so the whole ACK path (receiver NIC -> trunk ->
+    # sender downlink) composes into a single delivery event.
+    receiver.nic.compose_into(trunk_port_b)
 
     return Dumbbell(sim=sim, config=cfg, senders=senders, receiver=receiver,
                     tor_senders=tor_a, tor_receiver=tor_b,

@@ -131,6 +131,21 @@ class Simulator:
         if event is not None:
             self._queue.cancel(event)
 
+    def count_batched(self, n: int) -> None:
+        """Credit ``n`` logical events retired by a batched fast path.
+
+        The batched egress path (see :mod:`repro.netsim.switch`) collapses
+        per-packet queue-drain events into closed-form arithmetic: the
+        drains still *happen* in simulation terms, they just never touch
+        the heap. Crediting them here keeps ``events_processed`` meaning
+        "per-packet simulation operations performed" whichever path ran,
+        so engine reports and bench events/sec stay comparable across
+        batched and legacy runs.
+        """
+        global _total_events_processed
+        self._events_processed += n
+        _total_events_processed += n
+
     # --- execution -----------------------------------------------------
 
     def step(self) -> bool:
@@ -224,38 +239,65 @@ class Timer:
 
     Used for TCP retransmission timeouts: ``start`` arms (or rearms) the
     timer, ``stop`` disarms it, and the callback fires once when it expires.
+
+    Rearming is *lazy*: pushing the deadline later (the overwhelmingly
+    common case — every new ACK restarts the RTO clock) only records the
+    new deadline instead of cancelling and re-pushing a heap entry. The
+    already-scheduled event fires, notices it is stale, and re-schedules
+    itself at the recorded deadline — one heap operation per elapsed
+    timeout period instead of one per rearm. Pulling the deadline
+    *earlier* still cancels eagerly, so the callback can never fire late.
     """
 
     def __init__(self, sim: Simulator, fn: Callable[[], Any]):
         self._sim = sim
         self._fn = fn
         self._event: Optional[Event] = None
+        self._deadline: Optional[int] = None
 
     @property
     def armed(self) -> bool:
         """Whether the timer is currently scheduled to fire."""
-        return self._event is not None and not self._event.cancelled
+        return self._deadline is not None
 
     @property
     def expiry_ns(self) -> Optional[int]:
         """Absolute expiry time, or ``None`` when disarmed."""
-        if not self.armed:
-            return None
-        assert self._event is not None
-        return self._event.time_ns
+        return self._deadline
 
     def start(self, delay_ns: int) -> None:
         """Arm the timer to fire ``delay_ns`` from now, replacing any
         previously armed expiry."""
-        self.stop()
+        if delay_ns < 0:
+            raise SimulationError(
+                f"cannot arm a timer into the past (delay {delay_ns} ns)")
+        deadline = self._sim.now + delay_ns
+        event = self._event
+        if event is not None:
+            if not event.cancelled and event.time_ns <= deadline:
+                # Deadline moved later (or stayed): keep the scheduled
+                # event; _fire will chase the recorded deadline.
+                self._deadline = deadline
+                return
+            self._sim.cancel(event)
+        self._deadline = deadline
         self._event = self._sim.schedule(delay_ns, self._fire)
 
     def stop(self) -> None:
         """Disarm the timer. Idempotent."""
+        self._deadline = None
         if self._event is not None:
             self._sim.cancel(self._event)
             self._event = None
 
     def _fire(self) -> None:
         self._event = None
+        deadline = self._deadline
+        if deadline is None:  # stopped and re-fired stale; nothing to do
+            return
+        if deadline > self._sim.now:
+            # Stale: the deadline was lazily pushed later. Chase it.
+            self._event = self._sim.schedule_at(deadline, self._fire)
+            return
+        self._deadline = None
         self._fn()

@@ -143,7 +143,7 @@ class PeriodicProbe:
         self._fn = fn
         self._period_ns = period_ns
         self.series = TimeSeries(name)
-        self._event = None
+        self._generation = 0
         self._running = False
 
     def start(self, delay_ns: int = 0) -> None:
@@ -151,17 +151,21 @@ class PeriodicProbe:
         if self._running:
             return
         self._running = True
-        self._event = self._sim.schedule(delay_ns, self._tick)
+        # Fire-and-forget ticks ride the kernel's pooled no-handle path
+        # (sampling is the highest-frequency periodic activity in large
+        # runs). Stopping works by flag: a tick already in the heap fires
+        # once more, sees the stale generation or the cleared flag, and
+        # records nothing. The generation token keeps a stop()/start()
+        # cycle from double-ticking via such a stale event.
+        self._generation += 1
+        self._sim.schedule_fire(delay_ns, self._tick, (self._generation,))
 
     def stop(self) -> None:
         """Stop sampling. Idempotent."""
         self._running = False
-        if self._event is not None:
-            self._sim.cancel(self._event)
-            self._event = None
 
-    def _tick(self) -> None:
-        if not self._running:
+    def _tick(self, generation: int) -> None:
+        if not self._running or generation != self._generation:
             return
         self.series.record(self._sim.now, float(self._fn()))
-        self._event = self._sim.schedule(self._period_ns, self._tick)
+        self._sim.schedule_fire(self._period_ns, self._tick, (generation,))

@@ -134,6 +134,19 @@ def _bench_fig6_incast(n_flows: int) -> int:
     return kernel.total_events_processed() - before
 
 
+def _bench_mix_hybrid(n_mice: int) -> int:
+    """The leaf-spine elephant/mice scenario on the ``hybrid`` backend:
+    fluid steady-state window plus a packet-core mice incast. Counts only
+    the packet-window events (the fluid window processes none), so the
+    score also tracks how much work the substrate split avoids."""
+    from repro.experiments.scenarios import (ElephantMiceGridConfig,
+                                             run_elephant_mice)
+    before = kernel.total_events_processed()
+    run_elephant_mice(ElephantMiceGridConfig(n_mice=n_mice, seed=0,
+                                             backend="hybrid"))
+    return kernel.total_events_processed() - before
+
+
 def kernel_scenarios() -> dict[str, tuple[dict, Callable[[], int]]]:
     """The kernel suite: ``name -> (spec, callable)``.
 
@@ -154,6 +167,9 @@ def kernel_scenarios() -> dict[str, tuple[dict, Callable[[], int]]]:
         "fig6_incast_500": ({"n_flows": 500, "n_bursts": 3, "seed": 0,
                              "burst_ms": 2.0},
                             lambda: _bench_fig6_incast(500)),
+        "leafspine_mix_hybrid": ({"n_mice": 192, "seed": 0,
+                                  "backend": "hybrid"},
+                                 lambda: _bench_mix_hybrid(192)),
     }
 
 

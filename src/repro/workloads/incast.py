@@ -149,7 +149,9 @@ class FlowStateSampler:
         self.active.append(np.fromiter(
             (s.active for s in self._senders), dtype=bool,
             count=len(self._senders)))
-        self._sim.schedule(self._period_ns, self._tick)
+        # Fire-and-forget: stop() works by flag, never by cancellation, so
+        # the pooled no-handle path serves (and allocates nothing).
+        self._sim.schedule_fire(self._period_ns, self._tick)
 
     def __getstate__(self) -> dict:
         # The sampler is pickled as part of work-unit payloads crossing
@@ -223,8 +225,15 @@ class IncastWorkload:
         self._completing_index = 0
         self._done = False
         self._stats_marks = self._snapshot_stats()
-        for receiver in self._receivers:
-            receiver.add_delivery_hook(self._on_delivery)
+        # Completion is tracked with O(1) per-delivery counters: receiver i
+        # has "level" floor(delivered / demand) — burst k is complete once
+        # every receiver's level is > k (delivered >= demand * (k+1), the
+        # same integer comparison _burst_target expressed). Scanning all N
+        # receivers on every delivered segment is quadratic in flow count.
+        self._levels = [0] * len(self._receivers)
+        self._level_done: dict[int, int] = {}
+        for index, receiver in enumerate(self._receivers):
+            receiver.add_delivery_hook(self._make_delivery_hook(index))
 
     # --- lifecycle -----------------------------------------------------------
 
@@ -270,16 +279,30 @@ class IncastWorkload:
     def _burst_target(self, index: int) -> int:
         return self.demand_bytes_per_flow * (index + 1)
 
-    def _on_delivery(self, _delivered: int) -> None:
+    def _make_delivery_hook(self, index: int):
+        demand = self.demand_bytes_per_flow
+        levels = self._levels
+        level_done = self._level_done
+
+        def hook(delivered: int, _index: int = index) -> None:
+            level = delivered // demand
+            prev = levels[_index]
+            if level > prev:
+                levels[_index] = level
+                for k in range(prev + 1, level + 1):
+                    level_done[k] = level_done.get(k, 0) + 1
+                self._on_level_crossed()
+
+        return hook
+
+    def _on_level_crossed(self) -> None:
+        n = len(self._receivers)
+        level_done = self._level_done
         while (self._completing_index <= self._burst_index
                and not self._done
-               and self._all_delivered(self._burst_target(
-                   self._completing_index))):
+               and level_done.get(self._completing_index + 1, 0) >= n):
             self._finish_burst(self._completing_index)
             self._completing_index += 1
-
-    def _all_delivered(self, target: int) -> bool:
-        return all(r.delivered_bytes >= target for r in self._receivers)
 
     def _snapshot_stats(self) -> tuple[int, int, int, int, int]:
         stats = self._queue.stats

@@ -18,9 +18,9 @@ class TestEvaluate:
     def test_empty(self):
         cdf = EmpiricalCdf([])
         assert cdf.evaluate(1) == 0.0
-        assert cdf.percentile(50) == 0.0
         assert cdf.mean() == 0.0
         assert len(cdf) == 0
+        # percentile() of an empty set raises — see TestPercentiles.
 
     def test_fraction_alias(self):
         cdf = EmpiricalCdf([0.0, 0.0, 1.0, 1.0])
@@ -62,6 +62,26 @@ class TestPercentiles:
     def test_invalid_percentile(self):
         with pytest.raises(ValueError):
             EmpiricalCdf([1]).percentile(101)
+
+    def test_percentile_of_empty_sample_set_raises(self):
+        # A percentile of nothing is undefined; silently returning 0.0
+        # fabricated a plausible-looking latency for empty flow classes.
+        with pytest.raises(ValueError, match="empty sample set"):
+            EmpiricalCdf([]).percentile(50)
+
+    def test_empty_error_names_the_cdf(self):
+        with pytest.raises(ValueError, match="mice"):
+            EmpiricalCdf([], name="mice").percentile(99)
+
+    def test_tail_summary_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([]).tail_summary()
+
+    def test_empty_export_is_honest(self):
+        out = EmpiricalCdf([], name="mice").export_dict()
+        assert out["n"] == 0
+        assert out["mean"] is None
+        assert out["percentiles"] == {}
 
     def test_tail_summary_default_points(self):
         summary = EmpiricalCdf(range(1000)).tail_summary()

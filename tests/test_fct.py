@@ -15,7 +15,8 @@ import pytest
 
 from repro.analysis.fct import (DEFAULT_MOUSE_MAX_BYTES, ELEPHANT, MOUSE,
                                 FctSet, FlowFct, extract_fcts,
-                                format_fct_table, merge_fct_sets)
+                                format_fct_table, merge_fct_sets,
+                                pool_fct_sets)
 from repro.telemetry.recorder import FlowEvent
 
 
@@ -162,6 +163,43 @@ class TestMergeAlgebra:
     def test_merge_identity_element(self):
         a, _, _ = self.sets()
         assert merge_fct_sets([a, FctSet()]) == a
+
+    def test_merging_a_set_with_itself_raises(self):
+        # The duplicate guard: merging a set with itself would silently
+        # double-weight every flow in downstream CDFs.
+        a, _, _ = self.sets()
+        with pytest.raises(ValueError, match="duplicate flow"):
+            merge_fct_sets([a, a])
+
+    def test_merge_rejects_colliding_identities_across_sets(self):
+        a = extract_fcts(lifecycle(0, 0, 100))
+        b = extract_fcts(lifecycle(0, 0, 250))  # same (flow_id, open_ns)
+        with pytest.raises(ValueError, match="duplicate flow"):
+            merge_fct_sets([a, b])
+
+    def test_same_flow_id_with_distinct_opens_merges_fine(self):
+        a = extract_fcts(lifecycle(0, 0, 100))
+        b = extract_fcts(lifecycle(0, 500, 900))
+        assert len(merge_fct_sets([a, b]).records) == 2
+
+
+class TestPooling:
+    def test_pooling_a_set_with_itself_preserves_distributions(self):
+        a = extract_fcts(lifecycle(0, 0, 100) + lifecycle(1, 50, 60))
+        pooled = pool_fct_sets([a, a])
+        assert len(pooled.records) == 2 * len(a.records)
+        assert sorted(r.fct_ns for r in pooled.records) \
+            == sorted(list(r.fct_ns for r in a.records) * 2)
+
+    def test_pooled_ids_are_disjoint_and_unfinished_sums(self):
+        a = extract_fcts(lifecycle(0, 0, 100) + [ev(10, "open", 9)])
+        pooled = pool_fct_sets([a, a, a])
+        ids = [r.flow_id for r in pooled.records]
+        assert len(set(ids)) == len(ids)
+        assert pooled.unfinished == 3 * a.unfinished
+
+    def test_pool_of_nothing_is_the_empty_set(self):
+        assert pool_fct_sets([]) == FctSet()
 
 
 class TestReporting:
