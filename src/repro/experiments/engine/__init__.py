@@ -40,15 +40,33 @@ checksummed entries (corruption costs a recompute, never a wrong
 result), graceful ``ENOSPC`` degradation, and optional LRU quota
 eviction.
 
+Execution is pluggable behind the :class:`ExecutorBackend` strategy:
+:class:`SerialBackend` and :class:`LocalPoolBackend` cover the classic
+in-machine paths, and :class:`DistributedBackend`
+(:mod:`repro.experiments.engine.distributed`) is a TCP coordinator that
+serves units to ``python -m repro.tools.worker`` clients — same cache
+keys, journal records and payload bytes, so a fleet run is
+byte-identical to a laptop run.
+
 Chaos testing hooks live in :mod:`repro.experiments.engine.faults`:
-deterministic crash/hang/flaky/signal/disk-full fault specs, off by
+deterministic crash/hang/flaky/signal/disk-full fault specs — plus
+distributed-fleet modes (worker crash/hang, connection drop) — off by
 default and invisible to cache keys.
 """
 
-from repro.experiments.engine.cache import ResultCache
-from repro.experiments.engine.core import (EXPERIMENT_MODULES, CampaignError,
+from repro.experiments.engine.cache import (CorruptPayloadError, ResultCache,
+                                            seal_payload, unseal_payload)
+from repro.experiments.engine.core import (EXPERIMENT_MODULES,
+                                           BackendContext, CampaignError,
                                            CampaignInterrupted,
+                                           ExecutorBackend,
+                                           LocalPoolBackend, SerialBackend,
                                            run_experiment, run_experiments)
+from repro.experiments.engine.distributed import (DistributedBackend,
+                                                  FrameDecoder,
+                                                  ProtocolError,
+                                                  encode_frame,
+                                                  parse_hostport)
 from repro.experiments.engine.faults import (FaultInjected, FaultSpec,
                                              faults_from_env, parse_faults)
 from repro.experiments.engine.journal import (CampaignJournal, JournalError,
@@ -63,24 +81,36 @@ from repro.experiments.engine.spec import WorkUnit
 
 __all__ = [
     "EXPERIMENT_MODULES",
+    "BackendContext",
     "CampaignError",
     "CampaignInterrupted",
     "CampaignJournal",
+    "CorruptPayloadError",
+    "DistributedBackend",
+    "ExecutorBackend",
     "FailureRecord",
     "FaultInjected",
     "FaultSpec",
+    "FrameDecoder",
     "JournalError",
     "JournalReplay",
+    "LocalPoolBackend",
+    "ProtocolError",
     "ResultCache",
     "ResumeMismatchError",
     "RunReport",
+    "SerialBackend",
     "UnitReport",
     "WorkUnit",
     "campaign_identity",
+    "encode_frame",
     "faults_from_env",
     "load_resume_state",
     "parse_faults",
+    "parse_hostport",
     "replay_journal",
     "run_experiment",
     "run_experiments",
+    "seal_payload",
+    "unseal_payload",
 ]

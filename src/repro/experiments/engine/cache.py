@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import re
 import warnings
 from pathlib import Path
 from typing import Any, Callable, Iterable, Optional, Union
@@ -41,17 +42,71 @@ _SENTINEL = object()
 _FOOTER_MAGIC = b"RPRCSUM1"
 _FOOTER_LEN = len(_FOOTER_MAGIC) + 32
 
+#: Spill files written on behalf of a remote worker carry
+#: ``.<key>.pkl.w-<token>.tmp`` names instead of a bare PID, so a
+#: coordinator restart cannot mistake a live remote worker's in-flight
+#: write for a dead local process's garbage.
+_WORKER_TOKEN_PREFIX = "w-"
+_WORKER_TOKEN_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9_-]*\Z")
+
+
+class CorruptPayloadError(ValueError):
+    """A sealed payload blob failed its checksum footer or unpickling."""
+
+
+def seal_payload(payload: Any) -> bytes:
+    """Pickle ``payload`` and append the checksum footer.
+
+    This byte format is simultaneously the on-disk cache entry format
+    and the distributed backend's result wire contract — one sealed
+    blob, verified by :func:`unseal_payload` wherever it lands.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return blob + _FOOTER_MAGIC + hashlib.sha256(blob).digest()
+
+
+def unseal_payload(blob: bytes) -> Any:
+    """Verify a sealed blob's footer and unpickle the payload.
+
+    Raises:
+        CorruptPayloadError: The footer is absent (pre-footer format),
+            the checksum does not match (truncation, bit rot, a torn
+            network transfer), or the checksum-valid pickle fails to
+            load (written by an incompatible code state).
+    """
+    if (len(blob) <= _FOOTER_LEN
+            or blob[-_FOOTER_LEN:-32] != _FOOTER_MAGIC):
+        raise CorruptPayloadError("payload blob has no checksum footer")
+    payload_bytes = blob[:-_FOOTER_LEN]
+    if hashlib.sha256(payload_bytes).digest() != blob[-32:]:
+        raise CorruptPayloadError("payload blob failed its checksum")
+    try:
+        return pickle.loads(payload_bytes)
+    except Exception as exc:
+        raise CorruptPayloadError(
+            f"checksum-valid payload failed to unpickle: {exc}") from exc
+
+
+def _writer_token(tmp_name: str) -> Optional[str]:
+    """The raw writer token in a ``.<key>.pkl.<token>.tmp`` file name
+    (a PID string or a ``w-``-prefixed worker id), or ``None`` if the
+    name does not follow the spill-file convention."""
+    parts = tmp_name.rsplit(".", 2)
+    if len(parts) == 3 and parts[2] == "tmp" and parts[1]:
+        return parts[1]
+    return None
+
 
 def _writer_pid(tmp_name: str) -> Optional[int]:
     """The PID embedded in a ``.<key>.pkl.<pid>.tmp`` file name, or
-    ``None`` if the name does not follow the spill-file convention."""
-    parts = tmp_name.rsplit(".", 2)
-    if len(parts) == 3 and parts[2] == "tmp":
-        try:
-            return int(parts[1])
-        except ValueError:
-            return None
-    return None
+    ``None`` for worker-token spills and non-conforming names."""
+    token = _writer_token(tmp_name)
+    if token is None:
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        return None
 
 
 def _pid_alive(pid: int) -> bool:
@@ -92,18 +147,32 @@ class ResultCache:
             entries. Before a write that would exceed it, least-recently
             -used entries are evicted; a payload larger than the whole
             quota is skipped (counted in ``quota_skips``).
+        worker_token: Identity stamped into this instance's spill-file
+            names instead of the local PID (``.<key>.pkl.w-<token>.tmp``).
+            Remote workers sharing a cache directory set this so a
+            coordinator (whose PID table knows nothing about them) can
+            never reap a live remote writer's temp files —
+            :meth:`sweep_stale` only removes worker-token spills whose
+            token the caller explicitly names as dead.
     """
 
     def __init__(self, directory: Union[str, Path, None] = None,
                  enabled: bool = True,
-                 quota_bytes: Optional[int] = None):
+                 quota_bytes: Optional[int] = None,
+                 worker_token: Optional[str] = None):
         if quota_bytes is not None and quota_bytes <= 0:
             raise ValueError(f"quota_bytes must be positive, "
                              f"got {quota_bytes}")
+        if worker_token is not None \
+                and not _WORKER_TOKEN_RE.match(worker_token):
+            raise ValueError(
+                f"worker_token must match {_WORKER_TOKEN_RE.pattern!r} "
+                f"(no dots or path separators), got {worker_token!r}")
         self.enabled = enabled
         self.directory = (Path(directory).expanduser() if directory
                           else default_cache_dir())
         self.quota_bytes = quota_bytes
+        self.worker_token = worker_token
         #: Failed :meth:`put` calls (payload computed but not persisted).
         self.put_errors = 0
         #: Summary of the first :meth:`put` failure, for the run report.
@@ -179,19 +248,9 @@ class ResultCache:
             return None
         except OSError:
             return None
-        if (len(blob) <= _FOOTER_LEN
-                or blob[-_FOOTER_LEN:-32] != _FOOTER_MAGIC):
-            self._drop_corrupt(path)
-            return None
-        payload_bytes = blob[:-_FOOTER_LEN]
-        if hashlib.sha256(payload_bytes).digest() != blob[-32:]:
-            self._drop_corrupt(path)
-            return None
         try:
-            payload = pickle.loads(payload_bytes)
-        except Exception:
-            # Checksum-valid but unloadable: written by an incompatible
-            # code state; drop it and recompute.
+            payload = unseal_payload(blob)
+        except CorruptPayloadError:
             self._drop_corrupt(path)
             return None
         try:
@@ -248,12 +307,13 @@ class ResultCache:
         if not self.enabled:
             return False
         path = self.path_for(key)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        writer = (f"{_WORKER_TOKEN_PREFIX}{self.worker_token}"
+                  if self.worker_token is not None else str(os.getpid()))
+        tmp = path.with_name(f".{path.name}.{writer}.tmp")
         try:
             if self.put_fault is not None:
                 self.put_fault(key)
-            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-            blob += _FOOTER_MAGIC + hashlib.sha256(blob).digest()
+            blob = seal_payload(payload)
             if not self._evict_for(len(blob)):
                 return False
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -303,30 +363,48 @@ class ResultCache:
                     pass
         return removed
 
-    def sweep_stale(self, pids: Optional[Iterable[int]] = None) -> int:
-        """Remove leftover ``.<key>.pkl.<pid>.tmp`` spill files.
+    def sweep_stale(self, pids: Optional[Iterable[int]] = None,
+                    tokens: Optional[Iterable[str]] = None) -> int:
+        """Remove leftover ``.<key>.pkl.<writer>.tmp`` spill files.
 
         A worker killed mid-:meth:`put` (before ``os.replace``) leaks its
         temp file; nothing ever reads those, so any that exist are garbage.
         The engine calls this once per invocation at startup, and again
         whenever it kills a worker pool (crash recovery, unit timeout,
-        Ctrl-C). Only files whose writer PID is *not* a live process are
-        removed, so a concurrent run sharing the cache directory keeps its
-        in-flight writes; ``pids`` names writers the caller *knows* are
-        dead (the pool workers it just reaped), which are swept even if
-        the PID was already reused by an unrelated process. Returns the
-        number of files removed; no-op when disabled or the cache
-        directory does not exist yet.
+        Ctrl-C). Liveness is judged by the writer identity in the name:
+
+        - **PID spills** (``.<key>.pkl.<pid>.tmp``): removed when the PID
+          is not a live process, so a concurrent run sharing the cache
+          directory keeps its in-flight writes. ``pids`` names writers
+          the caller *knows* are dead (the pool workers it just reaped),
+          which are swept even if the PID was already reused.
+        - **Worker-token spills** (``.<key>.pkl.w-<token>.tmp``, written
+          by remote distributed workers): the local PID table says
+          *nothing* about a remote writer's liveness, so these are
+          removed **only** when their bare token appears in ``tokens`` —
+          a coordinator restart can never reap a live remote worker's
+          in-flight write.
+        - Names that follow neither convention are garbage and swept
+          unconditionally.
+
+        Returns the number of files removed; no-op when disabled or the
+        cache directory does not exist yet.
         """
         if not self.enabled or not self.directory.exists():
             return 0
         known_dead = frozenset(pids or ())
+        dead_tokens = frozenset(tokens or ())
         removed = 0
         for entry in sorted(self.directory.rglob(".*.tmp")):
-            pid = _writer_pid(entry.name)
-            if (pid is not None and pid not in known_dead
-                    and _pid_alive(pid)):
-                continue
+            token = _writer_token(entry.name)
+            if token is not None and token.startswith(_WORKER_TOKEN_PREFIX):
+                if token[len(_WORKER_TOKEN_PREFIX):] not in dead_tokens:
+                    continue  # remote worker: presumed alive unless named
+            else:
+                pid = _writer_pid(entry.name)
+                if (pid is not None and pid not in known_dead
+                        and _pid_alive(pid)):
+                    continue
             try:
                 entry.unlink()
                 removed += 1

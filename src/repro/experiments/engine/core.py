@@ -76,7 +76,8 @@ from typing import Any, Callable, Iterable, Optional, Sequence, Union
 from repro.experiments import (ablations, crossval, fig1, fig2, fig3, fig4,
                                fig5, fig6, fig7, table1)
 from repro.experiments.engine.cache import ResultCache
-from repro.experiments.engine.faults import (MODE_DISK_FULL, MODE_SIGNAL,
+from repro.experiments.engine.faults import (DISTRIBUTED_MODES,
+                                             MODE_DISK_FULL, MODE_SIGNAL,
                                              WORKER_MODES, FaultSpec,
                                              maybe_inject)
 from repro.experiments.engine.journal import (CampaignJournal, JournalReplay,
@@ -302,54 +303,144 @@ def _kill_pool(pool: ProcessPoolExecutor) -> list[int]:
     return pids
 
 
-def _execute_serial(
-        tasks: list[_Task], *, max_attempts: int, backoff_s: float,
-        faults: Sequence[FaultSpec], journal: CampaignJournal,
-        on_success: Callable[[_Task, Any, float, int, int], None],
-        on_permanent_failure: Callable[[_Task], None]) -> None:
-    """The classic in-process path (``jobs == 1``), now with retries.
+@dataclasses.dataclass
+class BackendContext:
+    """Everything an :class:`ExecutorBackend` needs to run a batch.
+
+    The engine builds one per campaign and hands it to the chosen
+    backend's :meth:`ExecutorBackend.execute`; it bundles the campaign's
+    retry policy, chaos specs, durable stores and result callbacks so a
+    backend implementation never reaches back into engine internals.
+
+    Attributes:
+        max_attempts: Charged attempts allowed per unit (``retries + 1``).
+        backoff_s: Base retry delay; attempt ``k`` waits
+            ``backoff_s * 2**(k-1)``.
+        unit_timeout_s: Per-unit wall-clock budget (``None`` = unlimited);
+            pool backends respawn past it, the distributed backend expires
+            the unit's lease.
+        faults: Backend-relevant :class:`FaultSpec` s — worker-side modes
+            (threaded into :func:`execute_unit`) plus distributed modes
+            (handled by the remote worker client around execution).
+        cache: The campaign's result cache (spill-file sweeps, shared
+            payload store).
+        journal: The campaign journal; backends record ``started`` /
+            ``attempt-failed`` / ``requeued`` transitions through it.
+        on_success: Called with ``(task, payload, wall_s, events,
+            worker)`` when a unit's payload exists; ``worker`` is a
+            free-form executor id (``"pid:1234"``, ``"w:worker-0"``).
+        on_permanent_failure: Called when a task's budget is exhausted;
+            raises ``_CampaignAbort`` on fail-fast campaigns.
+        respawn_counter: Single-cell mutable counter of pool respawns /
+            worker replacements (survives a fail-fast unwind).
+    """
+
+    max_attempts: int
+    backoff_s: float
+    unit_timeout_s: Optional[float]
+    faults: tuple[FaultSpec, ...]
+    cache: ResultCache
+    journal: CampaignJournal
+    on_success: Callable[["_Task", Any, float, int, str], None]
+    on_permanent_failure: Callable[["_Task"], None]
+    respawn_counter: list[int] = dataclasses.field(
+        default_factory=lambda: [0])
+
+    def charge_failure(self, task: "_Task", kind: str,
+                       detail: str) -> bool:
+        """Charge one failed attempt against ``task``'s retry budget.
+
+        Journals the charged attempt, and either schedules the retry
+        (sets ``task.next_eligible`` to the backoff deadline, returns
+        ``True`` — the backend requeues it) or declares the failure
+        permanent (invokes ``on_permanent_failure``, returns ``False``).
+        """
+        task.attempts += 1
+        task.last_error = detail
+        task.history.append(
+            f"attempt {task.attempts} {kind}: {_summary_line(detail)}")
+        self.journal.record_attempt_failed(task.key, task.unit.label,
+                                           task.attempts, kind,
+                                           _summary_line(detail))
+        if task.attempts >= self.max_attempts:
+            self.on_permanent_failure(task)  # may raise _CampaignAbort
+            return False
+        backoff = self.backoff_s * (2 ** (task.attempts - 1))
+        task.next_eligible = time.monotonic() + backoff
+        return True
+
+    def record_requeue(self, task: "_Task", reason: str,
+                       worker: Optional[str] = None) -> None:
+        """Journal an *uncharged* requeue (innocent respawn victim,
+        quarantine release, lost distributed worker) and make the task
+        immediately eligible again."""
+        task.next_eligible = 0.0
+        self.journal.record_requeued(task.key, task.unit.label, reason,
+                                     worker=worker)
+
+
+class ExecutorBackend:
+    """Strategy interface: drive a batch of pending tasks to completion.
+
+    A backend owns *where* units execute (in-process, local pool,
+    remote fleet) and the corresponding failure detection; everything
+    else — retry budgets, journaling, caching, report assembly — stays
+    in the engine and is reached through the :class:`BackendContext`.
+    Implementations must call ``context.on_success`` or drive each task
+    to permanent failure via ``context.charge_failure``; tasks they drop
+    silently would strand their experiments' merges.
+    """
+
+    #: Human-readable backend tag (CLI ``--backend`` values match these).
+    name = "abstract"
+
+    def execute(self, tasks: list["_Task"],
+                context: BackendContext) -> None:
+        """Run every task until success or permanent failure."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutorBackend):
+    """The classic in-process path (``jobs == 1``), with retries.
 
     Wall-clock timeouts are not enforceable here — a hung unit would hang
-    the engine itself; ``unit_timeout_s`` therefore requires the pool
-    path (validated by the caller).
+    the engine itself; ``unit_timeout_s`` therefore requires a pool or
+    distributed backend (validated by the engine).
     """
-    for task in tasks:
-        while True:
-            journal.record_started(task.key, task.unit.label,
-                                   task.attempts)
-            try:
-                payload, wall_s, events, pid = execute_unit(
-                    task.unit, attempt=task.attempts, faults=faults)
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:
-                detail = _describe_exception(exc)
-                task.attempts += 1
-                task.last_error = detail
-                task.history.append(f"attempt {task.attempts} error: "
-                                    f"{_summary_line(detail)}")
-                journal.record_attempt_failed(
-                    task.key, task.unit.label, task.attempts, "error",
-                    _summary_line(detail))
-                if task.attempts >= max_attempts:
-                    on_permanent_failure(task)
+
+    name = "serial"
+
+    def execute(self, tasks: list["_Task"],
+                context: BackendContext) -> None:
+        """Run tasks one after another where the engine stands."""
+        for task in tasks:
+            while True:
+                context.journal.record_started(task.key, task.unit.label,
+                                               task.attempts)
+                try:
+                    payload, wall_s, events, pid = execute_unit(
+                        task.unit, attempt=task.attempts,
+                        faults=context.faults)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    if not context.charge_failure(
+                            task, "error", _describe_exception(exc)):
+                        break
+                    pause = task.next_eligible - time.monotonic()
+                    if pause > 0:
+                        time.sleep(pause)
+                else:
+                    context.on_success(task, payload, wall_s, events,
+                                       f"pid:{pid}")
                     break
-                if backoff_s > 0:
-                    time.sleep(backoff_s * (2 ** (task.attempts - 1)))
-            else:
-                on_success(task, payload, wall_s, events, pid)
-                break
 
 
-def _execute_pool(
-        tasks: list[_Task], *, workers: int,
-        unit_timeout_s: Optional[float], max_attempts: int,
-        backoff_s: float, faults: Sequence[FaultSpec], cache: ResultCache,
-        journal: CampaignJournal,
-        on_success: Callable[[_Task, Any, float, int, int], None],
-        on_permanent_failure: Callable[[_Task], None],
-        respawn_counter: list[int]) -> None:
-    """Fan ``tasks`` out over a (respawnable) process pool.
+class LocalPoolBackend(ExecutorBackend):
+    """Fan tasks out over a (respawnable) local process pool.
 
     A worker crash breaks the whole :class:`ProcessPoolExecutor` and the
     culprit is unknowable from outside — every in-flight future reports
@@ -362,183 +453,197 @@ def _execute_pool(
     and released back to normal scheduling. Probing serializes a few
     units after a crash, which is the price of never misattributing one.
 
-    Pool respawns are counted into ``respawn_counter[0]`` (a mutable
-    cell, so the count survives a fail-fast unwind). On any unwinding
-    exception (fail-fast abort, Ctrl-C) the pool's workers are killed
-    first and their spill files swept, so nothing orphaned outlives the
-    engine.
+    Pool respawns are counted into ``context.respawn_counter[0]`` (a
+    mutable cell, so the count survives a fail-fast unwind). On any
+    unwinding exception (fail-fast abort, Ctrl-C) the pool's workers are
+    killed first and their spill files swept, so nothing orphaned
+    outlives the engine.
+
+    Args:
+        jobs: Pool width; ``None`` uses every available CPU. The pool is
+            never wider than the batch handed to :meth:`execute`.
     """
-    # Longest-expected-first: a dominant unit submitted late would
-    # serialize the end of the run. Stable sort, so equal hints keep
-    # plan order; results are keyed by unit, so scheduling order can
-    # never affect payloads or merges.
-    queue = sorted(tasks, key=lambda task: -task.unit.cost_hint)
-    active: dict[Future, _Task] = {}
-    # Crash suspects awaiting an isolated probe run (see docstring).
-    quarantine: list[_Task] = []
-    pool = ProcessPoolExecutor(max_workers=workers)
 
-    def respawn() -> None:
-        nonlocal pool
-        dead = _kill_pool(pool)
-        cache.sweep_stale(pids=dead)
+    name = "local"
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = resolve_jobs(jobs)
+
+    def __repr__(self) -> str:
+        return f"LocalPoolBackend(jobs={self.jobs})"
+
+    def execute(self, tasks: list["_Task"],
+                context: BackendContext) -> None:
+        """Drive the submit/wait/blame loop until the batch resolves."""
+        workers = min(self.jobs, len(tasks)) or 1
+        unit_timeout_s = context.unit_timeout_s
+        # Longest-expected-first: a dominant unit submitted late would
+        # serialize the end of the run. Stable sort, so equal hints keep
+        # plan order; results are keyed by unit, so scheduling order can
+        # never affect payloads or merges.
+        queue = sorted(tasks, key=lambda task: -task.unit.cost_hint)
+        active: dict[Future, _Task] = {}
+        # Crash suspects awaiting an isolated probe run (see docstring).
+        quarantine: list[_Task] = []
         pool = ProcessPoolExecutor(max_workers=workers)
-        respawn_counter[0] += 1
 
-    def charge_failure(task: _Task, kind: str, detail: str) -> None:
-        task.attempts += 1
-        task.last_error = detail
-        task.history.append(
-            f"attempt {task.attempts} {kind}: {_summary_line(detail)}")
-        journal.record_attempt_failed(task.key, task.unit.label,
-                                      task.attempts, kind,
-                                      _summary_line(detail))
-        if task.attempts >= max_attempts:
-            on_permanent_failure(task)  # raises _CampaignAbort on fail-fast
-            return
-        backoff = backoff_s * (2 ** (task.attempts - 1))
-        task.next_eligible = time.monotonic() + backoff
-        queue.append(task)
+        def respawn() -> None:
+            nonlocal pool
+            dead = _kill_pool(pool)
+            context.cache.sweep_stale(pids=dead)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            context.respawn_counter[0] += 1
 
-    def requeue_uncharged(task: _Task, reason: str) -> None:
-        """Return an innocent in-flight task to the queue, uncharged."""
-        task.next_eligible = 0.0
-        queue.append(task)
-        journal.record_requeued(task.key, task.unit.label, reason)
+        def charge_failure(task: _Task, kind: str, detail: str) -> None:
+            if context.charge_failure(task, kind, detail):
+                queue.append(task)
 
-    def submit(task: _Task) -> bool:
-        """Hand ``task`` to the pool; False if the pool was found dead
-        (task is left uncharged, the pool respawned)."""
-        task.started = time.monotonic()
-        try:
-            future = pool.submit(execute_unit, task.unit,
-                                 attempt=task.attempts,
-                                 faults=tuple(faults))
-        except (BrokenProcessPool, RuntimeError):
-            respawn()
-            return False
-        active[future] = task
-        journal.record_started(task.key, task.unit.label, task.attempts)
-        return True
+        def requeue_uncharged(task: _Task, reason: str) -> None:
+            """Return an innocent in-flight task to the queue, uncharged."""
+            context.record_requeue(task, reason)
+            queue.append(task)
 
-    try:
-        while queue or active or quarantine:
-            # Submit eligible work. One task per worker: the engine keeps
-            # its own queue so per-unit deadlines start at true submission
-            # time and un-submitted units survive a pool respawn untouched.
-            if quarantine:
-                # Probe suspects one at a time; nothing else may share
-                # the pool or blame stays ambiguous.
-                while quarantine and not active:
-                    task = quarantine[0]
-                    if submit(task):
-                        quarantine.pop(0)
-            else:
-                now = time.monotonic()
-                while len(active) < workers:
-                    index = next((i for i, t in enumerate(queue)
-                                  if t.next_eligible <= now), None)
-                    if index is None:
-                        break
-                    task = queue.pop(index)
-                    if not submit(task):
-                        queue.insert(0, task)
-
-            if not active:
-                # Everything runnable is backing off.
-                pause = min(task.next_eligible for task in queue) \
-                    - time.monotonic()
-                if pause > 0:
-                    time.sleep(pause)
-                continue
-
-            wait_s: Optional[float] = None
-            if unit_timeout_s is not None:
-                deadline = min(task.started for task in active.values()) \
-                    + unit_timeout_s
-                wait_s = max(deadline - time.monotonic(), 0.0)
-            if not quarantine and len(active) < workers and queue:
-                # A worker is idle waiting on backoff; wake when the next
-                # retry becomes eligible.
-                eligible_in = max(
-                    min(task.next_eligible for task in queue)
-                    - time.monotonic(), 0.0)
-                wait_s = eligible_in if wait_s is None \
-                    else min(wait_s, eligible_in)
-            done, _ = futures_wait(set(active), timeout=wait_s,
-                                   return_when=FIRST_COMPLETED)
-
-            # Successful results first: when the pool breaks, completed
-            # futures may sit in `done` next to the poisoned one, and
-            # their payloads are still perfectly good.
-            pool_broke = False
-            for future in sorted(
-                    done, key=lambda f: isinstance(f.exception(),
-                                                   BrokenProcessPool)):
-                task = active.pop(future)
-                exc = future.exception()
-                if exc is None:
-                    payload, wall_s, events, pid = future.result()
-                    on_success(task, payload, wall_s, events, pid)
-                elif isinstance(exc, BrokenProcessPool):
-                    active[future] = task  # back among the suspects
-                    pool_broke = True
-                    break
-                else:
-                    charge_failure(task, "error", _describe_exception(exc))
-            if pool_broke:
-                # Every unit still in flight died with the pool;
-                # completed and queued units are untouched.
-                suspects = list(active.values())
-                active.clear()
+        def submit(task: _Task) -> bool:
+            """Hand ``task`` to the pool; False if the pool was found dead
+            (task is left uncharged, the pool respawned)."""
+            task.started = time.monotonic()
+            try:
+                future = pool.submit(execute_unit, task.unit,
+                                     attempt=task.attempts,
+                                     faults=tuple(context.faults))
+            except (BrokenProcessPool, RuntimeError):
                 respawn()
-                if len(suspects) == 1:
-                    # Alone in the pool: blame is unambiguous. Charge it
-                    # and presume the remaining suspects innocent.
-                    charge_failure(
-                        suspects[0], "worker-crash",
-                        "worker process died while this unit ran alone "
-                        "in the pool")
-                    for task in quarantine:
-                        requeue_uncharged(task, "quarantine-released")
-                    quarantine.clear()
-                else:
-                    # Culprit unknown: probe the suspects one at a time,
-                    # uncharged until proven guilty.
-                    for task in suspects:
-                        journal.record_requeued(task.key, task.unit.label,
-                                                "pool-crash-quarantine")
-                    quarantine.extend(suspects)
-                continue
+                return False
+            active[future] = task
+            context.journal.record_started(task.key, task.unit.label,
+                                           task.attempts)
+            return True
 
-            if unit_timeout_s is not None:
-                now = time.monotonic()
-                expired = [task for task in active.values()
-                           if now - task.started >= unit_timeout_s]
-                if expired:
-                    # A hung worker cannot be cancelled individually:
-                    # charge the expired unit(s), requeue innocent
-                    # in-flight units *uncharged*, and respawn the pool.
-                    victims = [task for task in active.values()
-                               if task not in expired]
+        try:
+            while queue or active or quarantine:
+                # Submit eligible work. One task per worker: the engine
+                # keeps its own queue so per-unit deadlines start at true
+                # submission time and un-submitted units survive a pool
+                # respawn untouched.
+                if quarantine:
+                    # Probe suspects one at a time; nothing else may share
+                    # the pool or blame stays ambiguous.
+                    while quarantine and not active:
+                        task = quarantine[0]
+                        if submit(task):
+                            quarantine.pop(0)
+                else:
+                    now = time.monotonic()
+                    while len(active) < workers:
+                        index = next((i for i, t in enumerate(queue)
+                                      if t.next_eligible <= now), None)
+                        if index is None:
+                            break
+                        task = queue.pop(index)
+                        if not submit(task):
+                            queue.insert(0, task)
+
+                if not active:
+                    # Everything runnable is backing off.
+                    pause = min(task.next_eligible for task in queue) \
+                        - time.monotonic()
+                    if pause > 0:
+                        time.sleep(pause)
+                    continue
+
+                wait_s: Optional[float] = None
+                if unit_timeout_s is not None:
+                    deadline = min(task.started
+                                   for task in active.values()) \
+                        + unit_timeout_s
+                    wait_s = max(deadline - time.monotonic(), 0.0)
+                if not quarantine and len(active) < workers and queue:
+                    # A worker is idle waiting on backoff; wake when the
+                    # next retry becomes eligible.
+                    eligible_in = max(
+                        min(task.next_eligible for task in queue)
+                        - time.monotonic(), 0.0)
+                    wait_s = eligible_in if wait_s is None \
+                        else min(wait_s, eligible_in)
+                done, _ = futures_wait(set(active), timeout=wait_s,
+                                       return_when=FIRST_COMPLETED)
+
+                # Successful results first: when the pool breaks,
+                # completed futures may sit in `done` next to the poisoned
+                # one, and their payloads are still perfectly good.
+                pool_broke = False
+                for future in sorted(
+                        done, key=lambda f: isinstance(f.exception(),
+                                                       BrokenProcessPool)):
+                    task = active.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        payload, wall_s, events, pid = future.result()
+                        context.on_success(task, payload, wall_s, events,
+                                           f"pid:{pid}")
+                    elif isinstance(exc, BrokenProcessPool):
+                        active[future] = task  # back among the suspects
+                        pool_broke = True
+                        break
+                    else:
+                        charge_failure(task, "error",
+                                       _describe_exception(exc))
+                if pool_broke:
+                    # Every unit still in flight died with the pool;
+                    # completed and queued units are untouched.
+                    suspects = list(active.values())
                     active.clear()
                     respawn()
-                    for task in victims:
-                        requeue_uncharged(task, "timeout-victim")
-                    for task in expired:
+                    if len(suspects) == 1:
+                        # Alone in the pool: blame is unambiguous. Charge
+                        # it and presume the remaining suspects innocent.
                         charge_failure(
-                            task, "timeout",
-                            f"unit exceeded the {unit_timeout_s:g}s "
-                            f"wall-clock timeout")
-    except BaseException:
-        cache.sweep_stale(pids=_kill_pool(pool))
-        raise
-    pool.shutdown(wait=True)
+                            suspects[0], "worker-crash",
+                            "worker process died while this unit ran "
+                            "alone in the pool")
+                        for task in quarantine:
+                            requeue_uncharged(task, "quarantine-released")
+                        quarantine.clear()
+                    else:
+                        # Culprit unknown: probe the suspects one at a
+                        # time, uncharged until proven guilty.
+                        for task in suspects:
+                            context.journal.record_requeued(
+                                task.key, task.unit.label,
+                                "pool-crash-quarantine")
+                        quarantine.extend(suspects)
+                    continue
+
+                if unit_timeout_s is not None:
+                    now = time.monotonic()
+                    expired = [task for task in active.values()
+                               if now - task.started >= unit_timeout_s]
+                    if expired:
+                        # A hung worker cannot be cancelled individually:
+                        # charge the expired unit(s), requeue innocent
+                        # in-flight units *uncharged*, and respawn the
+                        # pool.
+                        victims = [task for task in active.values()
+                                   if task not in expired]
+                        active.clear()
+                        respawn()
+                        for task in victims:
+                            requeue_uncharged(task, "timeout-victim")
+                        for task in expired:
+                            charge_failure(
+                                task, "timeout",
+                                f"unit exceeded the {unit_timeout_s:g}s "
+                                f"wall-clock timeout")
+        except BaseException:
+            context.cache.sweep_stale(pids=_kill_pool(pool))
+            raise
+        pool.shutdown(wait=True)
 
 
 def run_experiments(
         names: list[str], *, scale: float = 1.0, seed: int = 0,
         jobs: Optional[int] = None, cache: Optional[ResultCache] = None,
+        backend: Optional[ExecutorBackend] = None,
         on_unit: Optional[Callable[[UnitReport], None]] = None,
         telemetry: bool = False,
         telemetry_interval_ns: Optional[int] = None,
@@ -560,9 +665,20 @@ def run_experiments(
         scale: Workload scale factor (1.0 = paper scale).
         seed: Root random seed.
         jobs: Worker processes; ``None`` uses every CPU, ``1`` runs
-            serially in-process.
+            serially in-process. Ignored when ``backend`` is given.
         cache: Payload memo; ``None`` disables caching (library callers
             opt in, the CLI enables it by default).
+        backend: Explicit :class:`ExecutorBackend` to run pending units
+            on (e.g. a configured
+            :class:`~repro.experiments.engine.distributed
+            .DistributedBackend`, or a :class:`LocalPoolBackend` /
+            :class:`SerialBackend` pinned for tests). ``None`` (default)
+            keeps the classic behaviour: serial in-process when
+            ``jobs == 1`` (or for a single fault-free unit without a
+            timeout), a local process pool otherwise. Everything around
+            execution — plan, cache, journal, resume, retry budgets,
+            merge — is backend-independent, which is what makes a
+            distributed run byte-comparable to a serial one.
         on_unit: Optional progress callback, invoked with each
             :class:`UnitReport` as its unit resolves.
         telemetry: Record Millisampler-style in-sim telemetry. A
@@ -645,11 +761,20 @@ def run_experiments(
     if unit_timeout_s is not None and unit_timeout_s <= 0:
         raise ValueError(f"unit_timeout_s must be positive, "
                          f"got {unit_timeout_s}")
-    if unit_timeout_s is not None and jobs == 1:
+    if unit_timeout_s is not None and jobs == 1 and backend is None:
         raise ValueError("unit_timeout_s requires jobs >= 2: a hung unit "
                          "cannot be interrupted in-process")
+    if isinstance(backend, SerialBackend) and unit_timeout_s is not None:
+        raise ValueError("unit_timeout_s is not enforceable on the "
+                         "serial backend: a hung unit cannot be "
+                         "interrupted in-process")
     faults = tuple(faults)
     worker_faults = tuple(f for f in faults if f.mode in WORKER_MODES)
+    # Distributed modes travel to remote worker clients alongside the
+    # classic worker-side modes; execute_unit ignores them locally.
+    backend_faults = tuple(f for f in faults
+                           if f.mode in WORKER_MODES
+                           or f.mode in DISTRIBUTED_MODES)
     signal_faults = [f for f in faults if f.mode == MODE_SIGNAL]
     disk_faults = [f for f in faults if f.mode == MODE_DISK_FULL]
     cache = cache if cache is not None else ResultCache(enabled=False)
@@ -789,19 +914,19 @@ def run_experiments(
         cache.put_fault = put_fault
 
     def on_success(task: _Task, payload: Any, wall_s: float, events: int,
-                   pid: int) -> None:
+                   worker: str) -> None:
         payloads[task.key] = payload
         persisted = cache.put(task.key, payload)
         record = primary_record[task.key]
         record.source = SOURCE_RUN
         record.wall_s = wall_s
         record.events = events
-        record.worker = f"pid:{pid}"
+        record.worker = worker
         record.attempts = task.attempts + 1
         journal.record_completed(task.key, task.unit.label,
                                  attempts=task.attempts + 1,
                                  wall_s=wall_s, events=events,
-                                 cached=persisted)
+                                 cached=persisted, worker=worker)
         progress["completed"] += 1
         journal.maybe_checkpoint(**progress)
         if on_unit:
@@ -882,24 +1007,27 @@ def run_experiments(
                 # budget fail permanently without another execution.
                 for task in carried_failed:
                     on_permanent_failure(task)
-                if pending and (jobs == 1 or (len(pending) == 1
-                                              and unit_timeout_s is None
-                                              and not worker_faults)):
-                    _execute_serial(
-                        pending, max_attempts=max_attempts,
-                        backoff_s=retry_backoff_s, faults=worker_faults,
-                        journal=journal, on_success=on_success,
-                        on_permanent_failure=on_permanent_failure)
-                elif pending:
-                    _execute_pool(
-                        pending, workers=min(jobs, len(pending)),
-                        unit_timeout_s=unit_timeout_s,
+                if pending:
+                    chosen = backend
+                    if chosen is None:
+                        # Classic selection: serial in-process when the
+                        # campaign cannot benefit from (or must not use)
+                        # a pool, otherwise fan out locally.
+                        if jobs == 1 or (len(pending) == 1
+                                         and unit_timeout_s is None
+                                         and not worker_faults):
+                            chosen = SerialBackend()
+                        else:
+                            chosen = LocalPoolBackend(jobs=jobs)
+                    context = BackendContext(
                         max_attempts=max_attempts,
-                        backoff_s=retry_backoff_s, faults=worker_faults,
-                        cache=cache, journal=journal,
-                        on_success=on_success,
+                        backoff_s=retry_backoff_s,
+                        unit_timeout_s=unit_timeout_s,
+                        faults=backend_faults, cache=cache,
+                        journal=journal, on_success=on_success,
                         on_permanent_failure=on_permanent_failure,
                         respawn_counter=respawn_counter)
+                    chosen.execute(pending, context)
             except _CampaignAbort as abort:
                 report = finish_report()
                 journal.checkpoint(final=True, status="failed",

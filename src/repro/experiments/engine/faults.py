@@ -53,11 +53,29 @@ MODE_CRASH = "crash"          # hard-kill the worker (BrokenProcessPool)
 MODE_HANG = "hang"            # sleep past any sane unit timeout
 MODE_SIGNAL = "signal"        # deliver a signal to the campaign process
 MODE_DISK_FULL = "disk_full"  # ENOSPC out of the result cache's put()
-MODES = (MODE_ERROR, MODE_CRASH, MODE_HANG, MODE_SIGNAL, MODE_DISK_FULL)
+MODE_WORKER_CRASH = "worker_crash"  # SIGKILL-style death of a remote worker
+MODE_WORKER_HANG = "worker_hang"    # remote executor hangs, heartbeats live
+MODE_CONN_DROP = "conn_drop"        # remote worker drops its TCP connection
+MODES = (MODE_ERROR, MODE_CRASH, MODE_HANG, MODE_SIGNAL, MODE_DISK_FULL,
+         MODE_WORKER_CRASH, MODE_WORKER_HANG, MODE_CONN_DROP)
 
 #: Modes that execute inside a *worker*, threaded through
 #: :func:`repro.experiments.engine.core.execute_unit`.
 WORKER_MODES = (MODE_ERROR, MODE_CRASH, MODE_HANG)
+
+#: Modes handled by the distributed worker *client*
+#: (:mod:`repro.tools.worker`) around unit execution, not inside it:
+#: ``worker_crash`` kills the whole worker process (the coordinator sees
+#: the connection die and requeues its leases uncharged), ``worker_hang``
+#: stalls the executor while the heartbeat thread keeps the connection
+#: alive (only the per-unit lease timeout can catch it), and
+#: ``conn_drop`` abruptly closes the coordinator connection mid-lease
+#: and reconnects (a transient network partition). Distributed specs
+#: fire on the unit's *dispatch* index — how many times a coordinator
+#: handed the unit out, charged or not — because an uncharged requeue
+#: re-dispatches the same attempt and an attempt-scoped spec would
+#: otherwise re-fire forever.
+DISTRIBUTED_MODES = (MODE_WORKER_CRASH, MODE_WORKER_HANG, MODE_CONN_DROP)
 
 #: Modes the engine fires in the *campaign parent*: ``signal`` when a
 #: matching unit completes (deterministic preemption — "SIGTERM after the
@@ -126,13 +144,19 @@ class FaultSpec:
             Path(self.marker).touch()
         detail = (f"injected {self.mode} fault: unit {unit.label} "
                   f"attempt {attempt}")
-        if self.mode == MODE_CRASH:
+        if self.mode in (MODE_CRASH, MODE_WORKER_CRASH):
             # A real worker crash: no exception, no cleanup, no cache
-            # write — the pool observes a dead process.
+            # write — the pool (or the distributed coordinator) observes
+            # a dead process.
             os._exit(CRASH_EXIT_STATUS)
-        if self.mode == MODE_HANG:
+        if self.mode in (MODE_HANG, MODE_WORKER_HANG):
             time.sleep(self.hang_s)
             raise FaultInjected(detail + f" (hang outlived {self.hang_s}s)")
+        if self.mode == MODE_CONN_DROP:
+            # The drop itself needs the worker's socket; the client
+            # handles it in-line and never routes it through fire().
+            raise FaultInjected(detail + " (conn_drop is handled by the "
+                                         "distributed worker client)")
         if self.mode == MODE_SIGNAL:
             # A real preemption: the campaign process receives the signal
             # exactly as a job scheduler would deliver it.
@@ -149,10 +173,12 @@ def maybe_inject(unit: "WorkUnit", attempt: int,
     """Fire the first *worker-side* spec matching ``(unit, attempt)``.
 
     Engine-side modes (:data:`ENGINE_MODES`) are skipped here — the
-    engine fires those itself at the matching campaign-parent event.
+    engine fires those itself at the matching campaign-parent event —
+    and so are :data:`DISTRIBUTED_MODES`, which the distributed worker
+    client handles around (not inside) unit execution.
     """
     for spec in faults:
-        if spec.mode in ENGINE_MODES:
+        if spec.mode not in WORKER_MODES:
             continue
         if spec.should_fire(unit, attempt):
             spec.fire(unit, attempt)

@@ -166,18 +166,31 @@ class CampaignJournal:
                       "source": source,
                       "attempts_carried": attempts_carried}, sync=False)
 
-    def record_started(self, key: str, label: str, attempt: int) -> None:
-        """An attempt was handed to a worker (or started in-process)."""
-        self._append({"t": REC_STARTED, "key": key, "label": label,
-                      "attempt": attempt}, sync=False)
+    def record_started(self, key: str, label: str, attempt: int,
+                       worker: Optional[str] = None) -> None:
+        """An attempt was handed to a worker (or started in-process).
+
+        ``worker`` attributes the attempt to a specific executor (the
+        distributed backend passes its worker id); omitted for local
+        execution, where the pool's PID lands in the run report instead.
+        """
+        record = {"t": REC_STARTED, "key": key, "label": label,
+                  "attempt": attempt}
+        if worker is not None:
+            record["worker"] = worker
+        self._append(record, sync=False)
 
     def record_completed(self, key: str, label: str, attempts: int,
-                         wall_s: float, events: int, cached: bool) -> None:
+                         wall_s: float, events: int, cached: bool,
+                         worker: Optional[str] = None) -> None:
         """A unit's payload exists (``cached`` = written to the result
         cache, i.e. durable for a later ``--resume`` leg)."""
-        self._append({"t": REC_COMPLETED, "key": key, "label": label,
-                      "attempts": attempts, "wall_s": round(wall_s, 4),
-                      "events": events, "cached": cached}, sync=False)
+        record = {"t": REC_COMPLETED, "key": key, "label": label,
+                  "attempts": attempts, "wall_s": round(wall_s, 4),
+                  "events": events, "cached": cached}
+        if worker is not None:
+            record["worker"] = worker
+        self._append(record, sync=False)
 
     def record_attempt_failed(self, key: str, label: str, attempts: int,
                               kind: str, error: str) -> None:
@@ -186,10 +199,16 @@ class CampaignJournal:
                       "attempts": attempts, "kind": kind, "error": error},
                      sync=False)
 
-    def record_requeued(self, key: str, label: str, reason: str) -> None:
-        """An *uncharged* requeue (pool respawn victim, quarantine)."""
-        self._append({"t": REC_REQUEUED, "key": key, "label": label,
-                      "reason": reason}, sync=False)
+    def record_requeued(self, key: str, label: str, reason: str,
+                        worker: Optional[str] = None) -> None:
+        """An *uncharged* requeue (pool respawn victim, quarantine, or a
+        distributed worker whose connection/lease was lost —
+        ``worker`` names the executor that held the lease)."""
+        record = {"t": REC_REQUEUED, "key": key, "label": label,
+                  "reason": reason}
+        if worker is not None:
+            record["worker"] = worker
+        self._append(record, sync=False)
 
     def record_failed(self, key: str, label: str, attempts: int,
                       error: str) -> None:

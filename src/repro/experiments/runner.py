@@ -58,6 +58,8 @@ from repro.experiments.engine import (CampaignError, CampaignInterrupted,
                                       JournalError, ResultCache,
                                       ResumeMismatchError, faults_from_env,
                                       load_resume_state, run_experiments)
+from repro.experiments.engine.distributed import (DistributedBackend,
+                                                  parse_hostport)
 from repro.experiments.engine.journal import JournalReplay
 from repro.experiments.result import ExperimentResult
 
@@ -131,6 +133,25 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for independent trials "
                              "(default: all CPUs; 1 = serial in-process)")
+    parser.add_argument("--backend", choices=("local", "distributed"),
+                        default="local",
+                        help="where units execute: 'local' (default) "
+                             "fans out over in-machine worker processes; "
+                             "'distributed' starts a TCP coordinator "
+                             "that serves units to "
+                             "'python -m repro.tools.worker' clients — "
+                             "same cache keys, journal and results, so "
+                             "output is byte-identical either way")
+    parser.add_argument("--listen", type=str, default=None,
+                        metavar="HOST:PORT",
+                        help="coordinator bind address for --backend "
+                             "distributed (e.g. 0.0.0.0:7777; port 0 "
+                             "picks a free port, printed to stderr)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="with --backend distributed: also spawn N "
+                             "local worker subprocesses pointed at the "
+                             "coordinator (they share --cache-dir and "
+                             "are reaped when the campaign ends)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the on-disk result "
                              "cache")
@@ -208,9 +229,27 @@ def _validate_engine_args(parser: argparse.ArgumentParser,
     if args.unit_timeout is not None and args.unit_timeout <= 0:
         parser.error(f"--unit-timeout must be positive, "
                      f"got {args.unit_timeout}")
-    if args.unit_timeout is not None and args.jobs == 1:
+    if args.unit_timeout is not None and args.jobs == 1 \
+            and args.backend == "local":
         parser.error("--unit-timeout requires --jobs >= 2 (a hung unit "
                      "cannot be interrupted in-process)")
+    if args.backend != "distributed":
+        if args.listen is not None:
+            parser.error("--listen requires --backend distributed")
+        if args.workers:
+            parser.error("--workers requires --backend distributed")
+    else:
+        if args.workers < 0:
+            parser.error(f"--workers must be >= 0, got {args.workers}")
+        if args.listen is not None:
+            try:
+                parse_hostport(args.listen)
+            except ValueError as exc:
+                parser.error(f"--listen: {exc}")
+        if args.listen is None and args.workers == 0:
+            parser.error("--backend distributed needs --listen HOST:PORT "
+                         "(for external workers), --workers N (to spawn "
+                         "local ones), or both")
     if (args.cache_dir is not None and not args.no_cache
             and Path(args.cache_dir).exists()
             and not Path(args.cache_dir).is_dir()):
@@ -232,6 +271,24 @@ def _validate_engine_args(parser: argparse.ArgumentParser,
         except ValueError as exc:
             parser.error(f"--cache-quota: {exc}")
     return quota_bytes
+
+
+def _build_backend(args: argparse.Namespace
+                   ) -> Optional[DistributedBackend]:
+    """The executor backend the flags ask for (``None`` = classic local
+    selection). The distributed coordinator announces its bound address
+    on stderr so external workers know where to connect."""
+    if args.backend != "distributed":
+        return None
+
+    def announce(host: str, port: int) -> None:
+        print(f"coordinator listening on {host}:{port}", file=sys.stderr)
+
+    return DistributedBackend(
+        listen=args.listen if args.listen is not None else ("127.0.0.1",
+                                                            0),
+        spawn_workers=args.workers,
+        on_listening=announce)
 
 
 def _parse_faults(parser: argparse.ArgumentParser):
@@ -301,6 +358,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         results, report = run_experiments(
             names, scale=scale, seed=seed, jobs=args.jobs,
+            backend=_build_backend(args),
             cache=cache, telemetry=telemetry,
             telemetry_interval_ns=interval_ns,
             unit_timeout_s=args.unit_timeout, retries=args.retries,
@@ -442,6 +500,7 @@ def _sweep_run(parser: argparse.ArgumentParser,
     try:
         result, report = sweep_mod.run_sweep(
             spec, scale=scale, seed=seed, jobs=args.jobs,
+            backend=_build_backend(args),
             cache=cache, telemetry=telemetry,
             telemetry_interval_ns=interval_ns,
             unit_timeout_s=args.unit_timeout, retries=args.retries,

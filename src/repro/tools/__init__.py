@@ -12,4 +12,8 @@
   ``BENCH_kernel.json`` / ``BENCH_experiments.json``).
 - ``python -m repro.tools.docstrings`` — docstring coverage gate for the
   public API (interrogate-style ``--fail-under``).
+- ``python -m repro.tools.worker`` — distributed campaign worker: connects
+  to a ``--backend distributed`` coordinator, pulls work units and streams
+  back checksummed result payloads (see
+  :mod:`repro.experiments.engine.distributed`).
 """

@@ -241,3 +241,73 @@ class TestQuota:
         assert cache.quota_skips == 1
         assert cache.evictions == 0  # the resident entry was not purged
         assert cache.get(KEY) is not None
+
+
+class TestWorkerTokenSpills:
+    """Remote-worker spill files and the coordinator-restart sweep.
+
+    The latent bug this pins down: ``sweep_stale(pids=...)`` judged
+    *every* spill file by the local PID table, but a distributed
+    worker's PID belongs to another machine — a coordinator restart
+    could reap a live remote worker's in-flight write. Remote workers
+    therefore stamp a ``w-<token>`` identity instead of a PID, and
+    token spills are swept **only** when their token is explicitly
+    named dead.
+    """
+
+    def test_put_stamps_the_worker_token_not_the_pid(self, tmp_path,
+                                                     monkeypatch):
+        cache = make_cache(tmp_path, worker_token="nodeA-17")
+        seen = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen.append(Path(src).name)
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        assert cache.put(KEY, {"x": 1}) is True
+        assert seen and seen[0].endswith(".w-nodeA-17.tmp")
+        assert str(os.getpid()) not in seen[0]
+
+    def test_live_remote_spill_survives_every_unnamed_sweep(self, tmp_path):
+        """Neither a bare sweep nor one armed with known-dead *local*
+        PIDs may touch a remote worker's file — its liveness is simply
+        unknowable from here."""
+        cache = make_cache(tmp_path)
+        spill = cache.version_dir / f".{KEY}.pkl.w-nodeB-3.tmp"
+        spill.parent.mkdir(parents=True, exist_ok=True)
+        spill.write_bytes(b"partial")
+        assert cache.sweep_stale() == 0
+        assert cache.sweep_stale(pids=[os.getpid(), 999_999_999]) == 0
+        assert spill.exists()
+
+    def test_named_dead_token_is_swept(self, tmp_path):
+        cache = make_cache(tmp_path)
+        dead = cache.version_dir / f".{KEY}.pkl.w-spawn0-42.tmp"
+        live = cache.version_dir / f".{KEY}.pkl.w-spawn1-42.tmp"
+        dead.parent.mkdir(parents=True, exist_ok=True)
+        dead.write_bytes(b"partial")
+        live.write_bytes(b"partial")
+        assert cache.sweep_stale(tokens=["spawn0-42"]) == 1
+        assert not dead.exists() and live.exists()
+
+    def test_pid_and_garbage_sweeps_are_unchanged(self, tmp_path):
+        """Adding the token convention must not weaken the old rules:
+        dead-PID spills and nonconforming names still go."""
+        cache = make_cache(tmp_path)
+        base = cache.version_dir
+        base.mkdir(parents=True, exist_ok=True)
+        dead_pid = base / f".{KEY}.pkl.999999999.tmp"
+        garbage = base / ".what-even-is-this.tmp"
+        mine = base / f".{KEY}.pkl.{os.getpid()}.tmp"
+        for f in (dead_pid, garbage, mine):
+            f.write_bytes(b"partial")
+        assert cache.sweep_stale() == 2
+        assert mine.exists()  # this process is demonstrably alive
+
+    def test_worker_token_is_validated(self, tmp_path):
+        for bad in ("has.dots", "a/b", "", "-leading", "sp ace"):
+            with pytest.raises(ValueError, match="worker_token"):
+                make_cache(tmp_path, worker_token=bad)
+        make_cache(tmp_path, worker_token="ok-token_1")

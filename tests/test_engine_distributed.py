@@ -1,0 +1,464 @@
+"""Loopback chaos suite for the distributed campaign executor.
+
+The :class:`DistributedBackend` coordinator runs in the test process and
+its workers are in-process threads driving :func:`repro.tools.worker
+.run_worker` over real loopback TCP sockets (real frames, real partial
+reads, real RSTs) — plus genuine worker *subprocesses* where a fault
+must kill a whole process. The anchor invariant, inherited from the
+local chaos suite: every RNG stream derives from ``(seed, name)``, so a
+distributed run — even one that crashed workers, dropped connections,
+timed out leases and stole work — is **byte-identical** to a serial
+fault-free run. Where it executed, how often it was dispatched, and
+which worker won a steal race can never reach the payload bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.export import result_to_dict
+from repro.experiments.engine import (DistributedBackend, FaultSpec,
+                                      FrameDecoder, LocalPoolBackend,
+                                      ResultCache, encode_frame,
+                                      run_experiments)
+from repro.experiments.engine.distributed import (MSG_HELLO, MSG_REJECT,
+                                                  PROTOCOL_NAME,
+                                                  PROTOCOL_VERSION)
+from repro.tools.worker import (EXIT_REJECTED, ConnectionLost,
+                                WorkerRejected, run_worker,
+                                sanitize_worker_token)
+
+SCALE = 0.05
+SEED = 11
+
+#: Immediate retries: chaos tests should not spend wall time backing off.
+FAST = {"retry_backoff_s": 0.0}
+
+
+def doc(result) -> str:
+    """Canonical JSON form of a result for byte-identity comparison."""
+    return json.dumps(result_to_dict(result), sort_keys=True,
+                      allow_nan=False,
+                      default=lambda o: f"<{type(o).__name__}>")
+
+
+@pytest.fixture(scope="module")
+def serial_fig5() -> str:
+    """Serial fault-free fig5: the baseline every fleet must reproduce."""
+    results, report = run_experiments(["fig5"], scale=SCALE, seed=SEED,
+                                      jobs=1)
+    assert report.retries == 0 and not report.failures
+    return doc(results["fig5"])
+
+
+class _Fleet:
+    """A coordinator-to-be plus N thread workers wired to its port.
+
+    The backend binds an ephemeral loopback port inside
+    ``run_experiments``; ``on_listening`` publishes the address and the
+    waiting worker threads dial in. Worker exceptions are collected, not
+    swallowed — a test that expects a clean fleet asserts ``errors`` is
+    empty.
+    """
+
+    def __init__(self, n_workers: int, *, worker_kwargs=None,
+                 **backend_kwargs):
+        self.address = None
+        self._ready = threading.Event()
+        self.errors: list[BaseException] = []
+        self.executed: list[int] = []
+        self.backend = DistributedBackend(
+            on_listening=self._on_listening, **backend_kwargs)
+        self.threads = [
+            threading.Thread(target=self._serve, name=f"worker-t{i}",
+                             args=(i, dict(worker_kwargs or {})),
+                             daemon=True)
+            for i in range(n_workers)]
+        for thread in self.threads:
+            thread.start()
+
+    def _on_listening(self, host: str, port: int) -> None:
+        self.address = (host, port)
+        self._ready.set()
+
+    def _serve(self, index: int, kwargs) -> None:
+        assert self._ready.wait(30), "coordinator never bound"
+        kwargs.setdefault("worker_id", f"t{index}")
+        kwargs.setdefault("heartbeat_interval_s", 0.2)
+        try:
+            self.executed.append(run_worker(self.address, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - reported to the test
+            self.errors.append(exc)
+
+    def join(self, timeout_s: float = 60.0) -> None:
+        """Wait for every worker thread to finish its session."""
+        for thread in self.threads:
+            thread.join(timeout_s)
+            assert not thread.is_alive(), f"{thread.name} did not exit"
+
+
+def run_distributed(experiments=("fig5",), *, n_workers=2,
+                    worker_kwargs=None, backend_kwargs=None,
+                    **engine_kwargs):
+    """One distributed campaign over an in-process loopback fleet."""
+    fleet = _Fleet(n_workers, worker_kwargs=worker_kwargs,
+                   **(backend_kwargs or {}))
+    results, report = run_experiments(
+        list(experiments), scale=SCALE, seed=SEED,
+        backend=fleet.backend, **FAST, **engine_kwargs)
+    fleet.join()
+    return results, report, fleet
+
+
+class TestByteIdentity:
+    def test_distributed_matches_serial_and_local_pool(self, serial_fig5):
+        """The acceptance scenario's healthy half: fig5 over two loopback
+        workers is byte-identical to the serial run and to an explicit
+        LocalPoolBackend run — the backend axis never reaches payloads."""
+        pooled, pool_report = run_experiments(
+            ["fig5"], scale=SCALE, seed=SEED,
+            backend=LocalPoolBackend(jobs=2))
+        assert doc(pooled["fig5"]) == serial_fig5
+        assert pool_report.pool_respawns == 0
+
+        # max_units=2 per worker makes both workers load-bearing: three
+        # units, each puller capped at two, so the campaign can only
+        # finish if both connect and execute (a slow-to-schedule worker
+        # thread is waited for, not raced against).
+        results, report, fleet = run_distributed(
+            worker_kwargs={"max_units": 2})
+        assert not fleet.errors
+        assert doc(results["fig5"]) == serial_fig5
+        assert not report.failures and report.retries == 0
+        workers = {u.worker for u in report.units}
+        assert workers == {"w:t0", "w:t1"}
+        assert sum(fleet.executed) == report.executed == 3
+
+    def test_distributed_payloads_warm_a_serial_cache(self, serial_fig5,
+                                                      tmp_path: Path):
+        """Payload bytes — not just merged results — are placement-free:
+        a serial run over the cache a fleet filled hits every unit, and
+        the cached files are byte-identical to serially-written ones."""
+        fleet_dir, serial_dir = tmp_path / "fleet", tmp_path / "serial"
+        results, report, fleet = run_distributed(
+            cache=ResultCache(directory=fleet_dir))
+        assert not fleet.errors
+        assert report.cache_hits == 0 and report.executed == 3
+
+        run_experiments(["fig5"], scale=SCALE, seed=SEED, jobs=1,
+                        cache=ResultCache(directory=serial_dir))
+        fleet_files = {p.relative_to(fleet_dir): p.read_bytes()
+                       for p in fleet_dir.rglob("*") if p.is_file()}
+        serial_files = {p.relative_to(serial_dir): p.read_bytes()
+                        for p in serial_dir.rglob("*") if p.is_file()}
+        assert fleet_files and fleet_files == serial_files
+
+        warm, warm_report = run_experiments(
+            ["fig5"], scale=SCALE, seed=SEED, jobs=1,
+            cache=ResultCache(directory=fleet_dir))
+        assert warm_report.cache_hits == warm_report.n_units == 3
+        assert warm_report.executed == 0
+        assert doc(warm["fig5"]) == serial_fig5
+
+    def test_journal_attributes_work_to_remote_workers(self,
+                                                       tmp_path: Path):
+        journal = tmp_path / "journal.jsonl"
+        _, report, fleet = run_distributed(
+            worker_kwargs={"max_units": 2},
+            journal_path=journal, cache=ResultCache(
+                directory=tmp_path / "cache"))
+        assert not fleet.errors
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        started = [r for r in records if r["t"] == "started"]
+        completed = [r for r in records if r["t"] == "completed"]
+        assert len(started) == len(completed) == 3
+        assert {r["worker"] for r in started} == {"w:t0", "w:t1"}
+        assert all(r["worker"].startswith("w:t") for r in completed)
+        assert all(r["cached"] for r in completed)
+
+
+class TestWorkerCrash:
+    def test_sigkilled_workers_leases_requeue_uncharged(self,
+                                                        serial_fig5):
+        """A worker that dies mid-unit (``os._exit``, a real process — a
+        thread cannot model this) costs a respawn, never an attempt:
+        with ``retries=0`` the campaign still finishes byte-identical
+        and every unit records exactly one charged attempt."""
+        crash = [FaultSpec(unit="fig5/panel:mode1_healthy",
+                           mode="worker_crash", times=1)]
+        backend = DistributedBackend(spawn_workers=2,
+                                     heartbeat_timeout_s=5.0)
+        results, report = run_experiments(
+            ["fig5"], scale=SCALE, seed=SEED, backend=backend,
+            retries=0, faults=crash, **FAST)
+        assert doc(results["fig5"]) == serial_fig5
+        assert not report.failures
+        assert report.pool_respawns >= 1  # the lost worker is counted
+        assert all(u.attempts == 1 for u in report.units)
+
+    def test_crash_requeue_lands_in_the_journal(self, tmp_path: Path):
+        journal = tmp_path / "journal.jsonl"
+        crash = [FaultSpec(unit="fig5/panel:mode2_degenerate",
+                           mode="worker_crash", times=1)]
+        backend = DistributedBackend(spawn_workers=2,
+                                     heartbeat_timeout_s=5.0)
+        _, report = run_experiments(
+            ["fig5"], scale=SCALE, seed=SEED, backend=backend,
+            retries=0, faults=crash, journal_path=journal,
+            cache=ResultCache(directory=tmp_path / "cache"), **FAST)
+        assert all(u.attempts == 1 for u in report.units)
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        requeues = [r for r in records if r["t"] == "requeued"]
+        assert requeues, "the crashed lease must journal its requeue"
+        assert all(r["reason"] == "worker-lost" for r in requeues)
+        assert all(r["worker"].startswith("w:spawn") for r in requeues)
+
+
+class TestWorkerHang:
+    def test_hung_worker_trips_lease_timeout_not_other_budgets(
+            self, serial_fig5):
+        """``worker_hang`` stalls the executor while heartbeats keep the
+        connection demonstrably alive — only the per-unit lease timeout
+        can catch it. The hung *unit* is charged one attempt; every
+        other unit's budget is untouched (the victim requeue path)."""
+        hang = [FaultSpec(unit="fig5/panel:mode3_timeouts",
+                          mode="worker_hang", times=1, hang_s=12.0)]
+        results, report, fleet = run_distributed(
+            worker_kwargs={"reconnect_attempts": 0},
+            backend_kwargs={"heartbeat_timeout_s": 30.0},
+            retries=1, unit_timeout_s=3.0, faults=hang)
+        assert doc(results["fig5"]) == serial_fig5
+        assert not report.failures
+        by_id = {u.unit_id: u for u in report.units}
+        assert by_id["panel:mode3_timeouts"].attempts == 2
+        assert all(u.attempts == 1 for u in report.units
+                   if u.unit_id != "panel:mode3_timeouts")
+        # The hung worker wakes into a dropped connection; the only
+        # acceptable way for any worker to die here is ConnectionLost —
+        # never a charge against some other unit's budget.
+        assert all(isinstance(e, ConnectionLost) for e in fleet.errors)
+
+    def test_timeout_with_one_job_requires_a_backend(self):
+        """The ``jobs == 1`` timeout guard must not reject distributed
+        runs: a coordinator can reap leases without a local pool."""
+        with pytest.raises(ValueError, match="jobs >= 2"):
+            run_experiments(["fig5"], scale=SCALE, seed=SEED, jobs=1,
+                            unit_timeout_s=1.0)
+        hang = [FaultSpec(unit="fig5/panel:mode1_healthy",
+                          mode="worker_hang", times=1, hang_s=12.0)]
+        _, report, _ = run_distributed(
+            worker_kwargs={"reconnect_attempts": 0}, jobs=1,
+            retries=1, unit_timeout_s=3.0, faults=hang)
+        assert not report.failures
+
+
+class TestConnDrop:
+    def test_dropped_connection_requeues_uncharged(self, serial_fig5):
+        """A transient partition (RST mid-lease, worker reconnects):
+        the unit is requeued uncharged and re-dispatched — with
+        ``retries=0`` the campaign must still complete byte-identical.
+        A single worker makes the rejoin load-bearing: nobody else can
+        finish the dropped unit, so the campaign only completes if the
+        reconnected worker gets it re-leased."""
+        drop = [FaultSpec(unit="fig5/panel:mode2_degenerate",
+                          mode="conn_drop", times=1)]
+        results, report, fleet = run_distributed(
+            n_workers=1, worker_kwargs={"reconnect_attempts": 2},
+            retries=0, faults=drop)
+        assert not fleet.errors
+        assert doc(results["fig5"]) == serial_fig5
+        assert not report.failures
+        assert all(u.attempts == 1 for u in report.units)
+        assert report.pool_respawns >= 1  # the drop held a lease
+
+
+class TestWorkStealing:
+    def test_straggler_is_stolen_and_first_result_wins(self,
+                                                       serial_fig5):
+        """One worker stalls on a unit with no lease timeout configured;
+        after ``steal_after_s`` the idle worker gets a speculative
+        duplicate, finishes first, and the unit resolves with **zero**
+        charged failures. The straggler's late answer is dropped by
+        key, not double-merged."""
+        hang = [FaultSpec(unit="fig5/panel:mode1_healthy",
+                          mode="worker_hang", times=1, hang_s=8.0)]
+        results, report, fleet = run_distributed(
+            worker_kwargs={"reconnect_attempts": 0},
+            backend_kwargs={"steal_after_s": 0.3,
+                            "heartbeat_timeout_s": 30.0},
+            retries=0, faults=hang)
+        assert doc(results["fig5"]) == serial_fig5
+        assert not report.failures and report.retries == 0
+        assert all(u.attempts == 1 for u in report.units)
+        # Exactly one payload per unit reached the merge (three units).
+        assert report.executed == 3
+
+
+class TestHandshake:
+    def test_coordinator_rejects_version_mismatch_cleanly(
+            self, serial_fig5):
+        """A version-skewed worker gets a ``reject`` frame naming the
+        mismatch — it can never hold a lease — while the same campaign
+        completes normally on the well-versioned fleet."""
+        rejections: list[dict] = []
+
+        def bad_hello(fleet: _Fleet) -> None:
+            assert fleet._ready.wait(30)
+            with socket.create_connection(fleet.address,
+                                          timeout=10) as sock:
+                sock.sendall(encode_frame(
+                    {"type": MSG_HELLO, "protocol": PROTOCOL_NAME,
+                     "version": PROTOCOL_VERSION + 1, "worker": "skewed"}))
+                decoder = FrameDecoder()
+                while not rejections:
+                    data = sock.recv(1 << 16)
+                    assert data, "coordinator closed without answering"
+                    rejections.extend(decoder.feed(data))
+
+        fleet = _Fleet(2, worker_kwargs={"max_units": 2})
+        probe = threading.Thread(target=bad_hello, args=(fleet,),
+                                 daemon=True)
+        probe.start()
+        results, report = run_experiments(
+            ["fig5"], scale=SCALE, seed=SEED, backend=fleet.backend,
+            **FAST)
+        fleet.join()
+        probe.join(30)
+        assert not probe.is_alive() and not fleet.errors
+        assert doc(results["fig5"]) == serial_fig5
+        assert rejections[0]["type"] == MSG_REJECT
+        assert "version" in rejections[0]["reason"]
+        # Nothing was ever leased to (or attributed to) the skewed peer.
+        assert all(u.worker in ("w:t0", "w:t1") for u in report.units)
+
+    def test_worker_exits_clean_on_reject(self):
+        """Worker side of the same contract: a ``reject`` answer raises
+        WorkerRejected and the CLI maps it to exit code 3 — a clean
+        error, not a crash or a hang."""
+        server = socket.create_server(("127.0.0.1", 0))
+        host, port = server.getsockname()
+
+        def fake_coordinator() -> None:
+            conn, _ = server.accept()
+            with conn:
+                decoder = FrameDecoder()
+                while not decoder.feed(conn.recv(1 << 16)):
+                    pass
+                conn.sendall(encode_frame(
+                    {"type": MSG_REJECT,
+                     "reason": "protocol version mismatch"}))
+
+        threading.Thread(target=fake_coordinator, daemon=True).start()
+        with pytest.raises(WorkerRejected, match="version"):
+            run_worker((host, port), worker_id="w0")
+        server.close()
+        assert EXIT_REJECTED == 3
+
+    def test_sanitize_worker_token_strips_hostname_dots(self,
+                                                        tmp_path: Path):
+        assert sanitize_worker_token("node-3.rack2.dc-7") \
+            == "node-3-rack2-dc-7"
+        assert sanitize_worker_token("...") == "worker"
+        # The sanitized form is always a valid cache token.
+        ResultCache(directory=tmp_path / "cache",
+                    worker_token=sanitize_worker_token("a.b/c:d"))
+
+
+class TestPreemptResumeDistributed:
+    """The acceptance scenario's crash-safety half, end to end through
+    the CLI: a ``--backend distributed`` coordinator SIGTERMed
+    mid-campaign (deterministic ``signal`` fault) exits 143 having reaped
+    its spawned workers; restarted with ``--resume`` — again distributed
+    — it completes byte-identical to a serial baseline."""
+
+    @staticmethod
+    def _cli(argv, faults=None) -> subprocess.CompletedProcess:
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(__file__).resolve().parents[1] / "src"))
+        env.pop("REPRO_FAULTS", None)
+        if faults is not None:
+            env["REPRO_FAULTS"] = json.dumps(faults)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.experiments", *argv],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            timeout=300)
+
+    def test_sigterm_then_distributed_resume_is_byte_identical(
+            self, tmp_path: Path):
+        cache_dir = tmp_path / "cache"
+        journal = tmp_path / "journal.jsonl"
+        out_base = tmp_path / "out-baseline"
+        out_resumed = tmp_path / "out-resumed"
+        common = ["-e", "fig5", "--scale", str(SCALE),
+                  "--seed", str(SEED)]
+
+        baseline = self._cli(
+            [*common, "--jobs", "1", "--json-dir", str(out_base),
+             "--cache-dir", str(tmp_path / "cache-baseline")])
+        assert baseline.returncode == 0, baseline.stderr
+
+        # Leg 1: the first completed unit triggers a SIGTERM — exactly a
+        # scheduler preempting the coordinator host.
+        leg1 = self._cli(
+            [*common, "--backend", "distributed", "--workers", "2",
+             "--cache-dir", str(cache_dir), "--journal", str(journal)],
+            faults=[{"unit": "fig5/*", "mode": "signal", "times": 1}])
+        assert leg1.returncode == 128 + signal.SIGTERM, leg1.stderr
+        assert b"interrupted" in leg1.stderr
+        assert b"coordinator listening on" in leg1.stderr
+        assert journal.exists()
+        # Preemption reaped the spawned workers and their spill tokens.
+        assert not list(cache_dir.rglob(".*.tmp"))
+
+        # Leg 2: resume — also distributed — runs only the remainder.
+        leg2 = self._cli(
+            ["--resume", str(journal), "--backend", "distributed",
+             "--workers", "2", "--cache-dir", str(cache_dir),
+             "--json-dir", str(out_resumed)])
+        assert leg2.returncode == 0, leg2.stderr
+        assert (out_resumed / "fig5.json").read_bytes() == \
+            (out_base / "fig5.json").read_bytes()
+
+        report = json.loads((out_resumed / "run_report.json").read_text())
+        assert report["resume"]["resumed"] is True
+        assert report["resume"]["completed_carried"] >= 1
+        carried = [u for u in report["units"] if u["source"] == "cache"]
+        assert carried and all(u["attempts"] == 0 for u in carried)
+        executed = [u for u in report["units"] if u["source"] == "run"]
+        assert all(u["worker"].startswith("w:spawn") for u in executed)
+
+    def test_crash_faulted_cli_run_matches_serial(self, tmp_path: Path):
+        """The CI smoke scenario as a test: coordinator + two spawned
+        workers, one crash-faulted mid-unit, output cmp-equal to the
+        serial baseline."""
+        out_serial = tmp_path / "out-serial"
+        out_dist = tmp_path / "out-dist"
+        common = ["-e", "fig5", "--scale", str(SCALE),
+                  "--seed", str(SEED)]
+        baseline = self._cli([*common, "--jobs", "1", "--json-dir",
+                              str(out_serial), "--no-cache"])
+        assert baseline.returncode == 0, baseline.stderr
+        dist = self._cli(
+            [*common, "--backend", "distributed", "--workers", "2",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--json-dir", str(out_dist)],
+            faults=[{"unit": "fig5/panel:mode1_healthy",
+                     "mode": "worker_crash", "times": 1}])
+        assert dist.returncode == 0, dist.stderr
+        assert (out_dist / "fig5.json").read_bytes() == \
+            (out_serial / "fig5.json").read_bytes()
+        report = json.loads((out_dist / "run_report.json").read_text())
+        assert report["pool_respawns"] >= 1
+        assert all(u["attempts"] == 1 for u in report["units"])

@@ -93,6 +93,56 @@ class TestParser:
         assert excinfo.value.code == 2
         assert "--jobs >= 2" in capsys.readouterr().err
 
+    def test_distributed_only_flags_need_the_backend(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--listen", "127.0.0.1:0"])
+        assert excinfo.value.code == 2
+        assert "--listen requires --backend distributed" \
+            in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--workers", "2"])
+        assert excinfo.value.code == 2
+        assert "--workers requires --backend distributed" \
+            in capsys.readouterr().err
+
+    def test_distributed_backend_needs_a_worker_source(self, capsys):
+        """A coordinator with no bind address and no spawned workers
+        would wait forever; refuse it up front."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--backend", "distributed"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--listen" in err and "--workers" in err
+
+    @pytest.mark.parametrize("listen", ["nope:", "host:banana",
+                                        "host:99999"])
+    def test_unparseable_listen_rejected(self, listen, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--backend", "distributed",
+                  "--listen", listen])
+        assert excinfo.value.code == 2
+        assert "--listen" in capsys.readouterr().err
+
+    def test_negative_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--backend", "distributed",
+                  "--workers", "-1"])
+        assert excinfo.value.code == 2
+        assert "--workers must be >= 0" in capsys.readouterr().err
+
+    def test_unit_timeout_allows_single_job_when_distributed(self):
+        """``--unit-timeout`` + ``--jobs 1`` is only an error for the
+        local backend — a distributed coordinator reaps leases itself.
+        Validation must accept the combination (the campaign then runs
+        on whatever fleet connects)."""
+        from repro.experiments.runner import _validate_engine_args
+        parser = build_parser()
+        args = parser.parse_args(
+            ["-e", "fig1", "--jobs", "1", "--unit-timeout", "60",
+             "--backend", "distributed", "--workers", "2"])
+        _validate_engine_args(parser, args)  # must not parser.error
+        assert args.unit_timeout == 60.0 and args.workers == 2
+
     def test_malformed_faults_env_rejected(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_FAULTS", "not json")
         with pytest.raises(SystemExit) as excinfo:
