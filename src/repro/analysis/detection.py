@@ -1,0 +1,65 @@
+"""Detection-quality metrics for online burst detectors.
+
+The ``detect`` mitigation scheme runs a switch-side burst detector in-sim
+(per *Distributed Incast Detection*); this module scores its output
+against ground truth the driving workload knows: for each true burst
+start, did a detection fire within the match window, and how late?
+
+:func:`evaluate_detections` is deliberately a pure function over two time
+lists so tests can pin its matching semantics without any simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def evaluate_detections(detections_ns: list[int],
+                        truth_starts_ns: list[int], *,
+                        match_window_ns: int) -> dict:
+    """Score detector firings against ground-truth burst starts.
+
+    Matching is greedy and order-preserving: each truth start claims the
+    earliest unclaimed detection inside ``[start, start +
+    match_window_ns]``. A detection claimed by no burst is a false
+    positive; a burst claiming no detection is a miss.
+
+    Returns a JSON-able dict with ``n_truth``, ``n_detections``,
+    ``matched``, ``precision``, ``recall``, and detection-latency
+    statistics (``latency_p50_us`` / ``p90`` / ``p99`` / ``mean``) over
+    the matched pairs.
+    """
+    if match_window_ns <= 0:
+        raise ValueError("match_window_ns must be positive")
+    detections = sorted(int(t) for t in detections_ns)
+    truths = sorted(int(t) for t in truth_starts_ns)
+    claimed = [False] * len(detections)
+    latencies = []
+    cursor = 0
+    for start in truths:
+        while cursor < len(detections) and detections[cursor] < start:
+            cursor += 1
+        index = cursor
+        while index < len(detections) and claimed[index]:
+            index += 1
+        if (index < len(detections)
+                and detections[index] <= start + match_window_ns):
+            claimed[index] = True
+            latencies.append(detections[index] - start)
+    matched = len(latencies)
+    lat = np.asarray(latencies, dtype=np.float64)
+
+    def pct(q: float) -> float:
+        return float(np.percentile(lat, q)) / 1e3 if lat.size else 0.0
+
+    return {
+        "n_truth": len(truths),
+        "n_detections": len(detections),
+        "matched": matched,
+        "precision": matched / len(detections) if detections else 0.0,
+        "recall": matched / len(truths) if truths else 0.0,
+        "latency_p50_us": pct(50.0),
+        "latency_p90_us": pct(90.0),
+        "latency_p99_us": pct(99.0),
+        "latency_mean_us": float(lat.mean()) / 1e3 if lat.size else 0.0,
+    }

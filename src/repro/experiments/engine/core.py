@@ -74,7 +74,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro.experiments import (ablations, crossval, fig1, fig2, fig3, fig4,
-                               fig5, fig6, fig7, table1)
+                               fig5, fig6, fig7, table1, verdict)
 from repro.experiments.engine.cache import ResultCache
 from repro.experiments.engine.faults import (DISTRIBUTED_MODES,
                                              MODE_DISK_FULL, MODE_SIGNAL,
@@ -104,6 +104,7 @@ EXPERIMENT_MODULES = {
     "fig7": fig7,
     "ablations": ablations,
     "crossval": crossval,
+    "verdict": verdict,
 }
 
 DEFAULT_TELEMETRY_INTERVAL_NS = 1_000_000

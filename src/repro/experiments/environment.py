@@ -34,6 +34,7 @@ from repro.tcp.cca.swiftlike import SwiftLike
 from repro.tcp.config import TcpConfig
 from repro.tcp.connection import open_connection
 from repro.tcp.guardrail import CwndGuardrail
+from repro.tcp.schemes import DEFAULT_SCHEME, SchemeContext, get_scheme
 from repro.telemetry.recorder import TelemetryCapture, TelemetryRecorder
 from repro.workloads.incast import (BurstResult, FlowStateSampler,
                                     IncastConfig, IncastWorkload,
@@ -67,6 +68,8 @@ class IncastSimConfig:
     telemetry: bool = False
     telemetry_interval_ns: int = units.msec(1.0)
     backend: str = "packet"
+    scheme: str = DEFAULT_SCHEME
+    scheme_params: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.cca not in CCA_FACTORIES:
@@ -83,6 +86,11 @@ class IncastSimConfig:
             raise ValueError("telemetry and flow sampling require a "
                              "backend with a packet window "
                              "(packet or hybrid), not fluid")
+        # Fails fast on an unknown scheme or a knob it does not declare.
+        get_scheme(self.scheme).validate_params(self.scheme_params or {})
+        if self.backend != "packet" and self.scheme != DEFAULT_SCHEME:
+            raise ValueError("mitigation schemes wire into per-packet "
+                             "state; they require the packet backend")
         self.dumbbell = replace(self.dumbbell, n_senders=self.n_flows)
 
     @property
@@ -122,6 +130,7 @@ class IncastSimResult:
     flow_sampler: Optional[FlowStateSampler]
     network: Optional[Dumbbell]
     telemetry: Optional[TelemetryCapture] = None
+    scheme_stats: Optional[dict] = None
 
     @property
     def optimal_bct_ms(self) -> float:
@@ -151,7 +160,7 @@ class IncastSimResult:
         """
         finite = self.aligned_queue_packets[
             np.isfinite(self.aligned_queue_packets)]
-        return {
+        out = {
             "n_flows": self.config.n_flows,
             "cca": self.config.cca,
             "mode": self.mode.name,
@@ -167,6 +176,13 @@ class IncastSimResult:
             else 0.0,
             "n_bursts": len(self.burst_results),
         }
+        # Elided for the default so every pre-zoo export and golden
+        # fixture stays byte-identical (the same rule as ``backend``).
+        scheme = getattr(self.config, "scheme", DEFAULT_SCHEME)
+        if scheme != DEFAULT_SCHEME:
+            out["scheme"] = scheme
+            out["scheme_stats"] = self.scheme_stats
+        return out
 
 
 def telemetry_from_params(cfg: IncastSimConfig,
@@ -220,10 +236,34 @@ def run_incast_sim(cfg: IncastSimConfig) -> IncastSimResult:
         recorder.attach_host(net.senders[0])
         recorder.attach_queue(net.bottleneck_queue)
         recorder.attach_queue(net.trunk_queue)
+    # Mitigation-scheme installation must precede all traffic: schemes
+    # that watch the bottleneck queue can only attach while the switch
+    # fast paths can still fall back to the byte-identical legacy pump.
+    # The default scheme installs nothing — the pre-zoo path, untouched.
+    runtime = None
+    if cfg.scheme != DEFAULT_SCHEME:
+        runtime = get_scheme(cfg.scheme).install(
+            SchemeContext(
+                sim=sim, tcp=cfg.tcp, n_flows=cfg.n_flows,
+                ecn_threshold_packets=(
+                    cfg.dumbbell.ecn_threshold_packets or 0),
+                queue_capacity_packets=cfg.dumbbell.queue_capacity_packets,
+                bdp_bytes=cfg.dumbbell.bdp_bytes,
+                bottleneck_queue=net.bottleneck_queue,
+                receiver_host=net.receiver),
+            cfg.scheme_params or {})
+
+    def _conn_cca():
+        cca = _make_cca(cfg)
+        return runtime.wrap_cca(cca) if runtime is not None else cca
+
     connections = [
-        open_connection(sim, cfg.tcp, _make_cca(cfg), sender, net.receiver)
+        open_connection(sim, cfg.tcp, _conn_cca(), sender, net.receiver)
         for sender in net.senders
     ]
+    if runtime is not None:
+        for conn_sender, conn_receiver in connections:
+            runtime.on_connection(conn_sender, conn_receiver)
     rng = RngHub(cfg.seed).stream("jitter")
     workload = IncastWorkload(
         sim, connections,
@@ -245,6 +285,8 @@ def run_incast_sim(cfg: IncastSimConfig) -> IncastSimResult:
     workload.add_done_callback(probe.stop)
     if sampler is not None:
         workload.add_done_callback(sampler.stop)
+    if runtime is not None:
+        workload.add_done_callback(runtime.stop)
     workload.start()
     sim.run(until_ns=cfg.max_sim_time_ns)
     if not workload.done:
@@ -304,6 +346,10 @@ def run_incast_sim(cfg: IncastSimConfig) -> IncastSimResult:
         flow_sampler=sampler,
         network=net,
         telemetry=_finish_telemetry(recorder, net, connections),
+        scheme_stats=(runtime.finish(
+            burst_starts_ns=workload.burst_starts_ns,
+            burst_duration_ns=cfg.burst_duration_ns)
+            if runtime is not None else None),
     )
 
 

@@ -11,6 +11,15 @@ Usage::
     python -m repro.experiments sweep plan examples/sweeps/ecn_k.yaml
     python -m repro.experiments sweep run examples/sweeps/ecn_k.yaml \
         --jobs 4 --journal sweep.jsonl
+    python -m repro.experiments verdict --schemes dctcp,ictcp \
+        --flows 50,150 --jobs 4
+
+The ``verdict`` subcommand runs the mitigation-scheme comparison
+campaign (:mod:`repro.experiments.verdict`): scheme x flow count x
+burst length through the engine, with ``--schemes`` / ``--flows`` /
+``--burst-ms`` / ``--no-mix`` trimming the grid, ``--plan`` printing
+the compiled units without running, and the same engine flags
+(``--jobs``, ``--resume``, caching, journaling) as everything else.
 
 The ``sweep`` subcommand runs declarative YAML parameter sweeps
 (:mod:`repro.experiments.sweep`) through the same engine: ``sweep list``
@@ -53,7 +62,7 @@ from typing import Callable, Optional
 
 from repro.analysis.export import write_result, write_run_report
 from repro.experiments import (ablations, crossval, fig1, fig2, fig3, fig4,
-                               fig5, fig6, fig7, table1)
+                               fig5, fig6, fig7, table1, verdict)
 from repro.experiments.engine import (CampaignError, CampaignInterrupted,
                                       JournalError, ResultCache,
                                       ResumeMismatchError, faults_from_env,
@@ -99,6 +108,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig7": fig7.run,
     "ablations": ablations.run,
     "crossval": crossval.run,
+    "verdict": verdict.run,
 }
 
 
@@ -304,6 +314,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "verdict":
+        return verdict_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     quota_bytes = _validate_engine_args(parser, args)
@@ -560,6 +572,167 @@ def sweep_main(argv: list[str]) -> int:
         print(sweep_mod.plan_document(spec, args.scale, args.seed))
         return 0
     return _sweep_run(parser, args)
+
+
+def build_verdict_parser() -> argparse.ArgumentParser:
+    """Parser for the ``verdict`` subcommand (the cross-scheme campaign
+    with a CLI-trimmable grid plus every engine flag)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments verdict",
+        description="Run the mitigation-scheme verdict campaign: "
+                    "scheme x flow count x burst length through the "
+                    "experiment engine, with the mode-boundary and "
+                    "FCT-cost comparison tables")
+    parser.add_argument("--schemes", type=str, default=None,
+                        help="comma-separated scheme names to compare "
+                             "(default: the whole registry zoo)")
+    parser.add_argument("--flows", type=str, default=None,
+                        help="comma-separated incast degrees "
+                             "(default: 50,150,400)")
+    parser.add_argument("--burst-ms", type=str, default=None,
+                        help="comma-separated burst lengths in ms "
+                             "(default: 2,15)")
+    parser.add_argument("--no-mix", action="store_true",
+                        help="skip the per-scheme elephant/mice FCT-cost "
+                             "scenario")
+    parser.add_argument("--plan", action="store_true",
+                        help="print the compiled unit plan (ids and "
+                             "cache keys) without running")
+    _add_engine_flags(parser)
+    return parser
+
+
+def _verdict_grid(parser: argparse.ArgumentParser,
+                  args: argparse.Namespace):
+    """Build the (possibly trimmed) grid the flags describe; every
+    malformed value exits through ``parser.error``."""
+    from repro.experiments import verdict as verdict_mod
+
+    def split(text: str) -> list[str]:
+        return [part.strip() for part in text.split(",") if part.strip()]
+
+    kwargs: dict = {}
+    if args.schemes is not None:
+        kwargs["schemes"] = tuple(split(args.schemes))
+    try:
+        if args.flows is not None:
+            kwargs["flow_counts"] = tuple(int(n) for n in
+                                          split(args.flows))
+        if args.burst_ms is not None:
+            kwargs["burst_ms"] = tuple(float(b) for b in
+                                       split(args.burst_ms))
+    except ValueError:
+        parser.error(f"--flows/--burst-ms must be comma-separated "
+                     f"numbers, got {args.flows!r} / {args.burst_ms!r}")
+    if args.no_mix:
+        kwargs["mix"] = False
+    try:
+        return verdict_mod.VerdictGrid(**kwargs)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
+def verdict_main(argv: list[str]) -> int:
+    """Entry point for ``python -m repro.experiments verdict ...``,
+    mirroring the sweep runner's engine plumbing and exit codes."""
+    from repro.experiments import verdict as verdict_mod
+    parser = build_verdict_parser()
+    args = parser.parse_args(argv)
+    grid = _verdict_grid(parser, args)
+    quota_bytes = _validate_engine_args(parser, args)
+    faults = _parse_faults(parser)
+    scale = args.scale if args.scale is not None else 1.0
+    seed = args.seed if args.seed is not None else 0
+    if args.plan:
+        import json as json_mod
+        plan = verdict_mod.grid_units(grid, scale, seed)
+        print(json_mod.dumps({
+            "experiment": "verdict", "scale": scale, "seed": seed,
+            "n_units": len(plan),
+            "units": [{"unit_id": u.unit_id, "cache_key": u.cache_key(),
+                       "params": u.params} for u in plan],
+        }, indent=2, sort_keys=True))
+        return 0
+
+    resume_state: Optional[JournalReplay] = None
+    if args.resume:
+        try:
+            resume_state = load_resume_state(args.resume)
+        except JournalError as exc:
+            parser.error(f"--resume: {exc}")
+        if list(resume_state.names) != ["verdict"]:
+            parser.error(f"--resume: journal records campaign "
+                         f"{list(resume_state.names)}, not a verdict "
+                         f"campaign")
+        if args.scale is None:
+            scale = resume_state.scale
+        if args.seed is None:
+            seed = resume_state.seed
+    telemetry = args.telemetry or (resume_state is not None
+                                   and resume_state.telemetry is not None)
+    interval_ns = None
+    if args.telemetry_interval_us is not None:
+        if args.telemetry_interval_us <= 0:
+            parser.error("--telemetry-interval-us must be positive")
+        interval_ns = int(args.telemetry_interval_us * 1000)
+    elif resume_state is not None and resume_state.telemetry:
+        interval_ns = resume_state.telemetry.get("interval_ns")
+
+    cache = ResultCache(
+        directory=Path(args.cache_dir) if args.cache_dir else None,
+        enabled=not args.no_cache, quota_bytes=quota_bytes)
+    adapter = verdict_mod.make_experiment(grid)
+    try:
+        results, report = run_experiments(
+            ["verdict"], scale=scale, seed=seed, jobs=args.jobs,
+            backend=_build_backend(args),
+            cache=cache, telemetry=telemetry,
+            telemetry_interval_ns=interval_ns,
+            unit_timeout_s=args.unit_timeout, retries=args.retries,
+            keep_going=args.keep_going, faults=faults,
+            journal_path=args.journal,
+            checkpoint_interval_s=args.checkpoint_interval,
+            resume_from=resume_state, handle_signals=True,
+            extra_modules={"verdict": adapter})
+    except CampaignInterrupted as exc:
+        print(f"\ninterrupted: {exc}; worker pool reaped, journal "
+              f"checkpoint flushed", file=sys.stderr)
+        if exc.report is not None and exc.report.resume:
+            print(f"resume with: verdict --resume "
+                  f"{exc.report.resume['journal']}", file=sys.stderr)
+        return 128 + int(exc.signum)
+    except KeyboardInterrupt:
+        print("\ninterrupted: campaign cancelled, worker pool reaped",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except ResumeMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CampaignError as exc:
+        print(exc.report.render())
+        print(f"error: {exc} (see the failures table above)",
+              file=sys.stderr)
+        return 1
+
+    result = results.get("verdict")
+    if result is None:  # lost to a failed unit under --keep-going
+        print("[verdict: FAILED — no result; see the failures table "
+              "below]\n")
+    else:
+        print(result.render())
+        if args.json_dir is not None:
+            path = write_result(result, Path(args.json_dir))
+            print(f"[wrote {path}]")
+        print()
+    print(report.render())
+    if args.json_dir is not None:
+        path = write_run_report(report, Path(args.json_dir))
+        print(f"[wrote {path}]")
+    if report.failures:
+        print(f"error: {report.failed} unit(s) failed permanently",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

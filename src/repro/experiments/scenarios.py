@@ -45,6 +45,7 @@ from repro.simcore.kernel import Simulator
 from repro.simcore.random import RngHub
 from repro.tcp.config import TcpConfig
 from repro.tcp.connection import open_connection
+from repro.tcp.schemes import DEFAULT_SCHEME, SchemeContext, get_scheme
 from repro.telemetry.recorder import TelemetryCapture, TelemetryRecorder
 from repro.workloads.mix import (KIND_MOUSE, ElephantMiceConfig, FlowSpec,
                                  flow_sizes, plan_elephant_mice)
@@ -68,25 +69,43 @@ class ScenarioResult:
     fcts: FctSet
     bottleneck: dict
     telemetry: Optional[TelemetryCapture] = None
+    scheme_stats: Optional[dict] = None
 
     def export_dict(self) -> dict:
         """Scalar digest for JSON export and golden fixtures."""
-        return {"scenario": self.scenario, "params": dict(self.params),
-                "fct": self.fcts.summary(),
-                "bottleneck": dict(self.bottleneck)}
+        out = {"scenario": self.scenario, "params": dict(self.params),
+               "fct": self.fcts.summary(),
+               "bottleneck": dict(self.bottleneck)}
+        # Present only for non-default schemes, mirroring the params
+        # elision: pre-zoo exports stay byte-identical.
+        if self.params.get("scheme"):
+            out["scheme_stats"] = self.scheme_stats
+        return out
 
 
 def _config_params(cfg) -> dict:
     """A scenario config's fields as a plain JSON-able dict.
 
-    The default ``packet`` backend is elided: exports and golden fixtures
-    produced before the backend axis existed stay byte-identical, while
-    any non-default substrate is always visible in provenance.
+    The default ``packet`` backend and default ``dctcp`` scheme are
+    elided: exports and golden fixtures produced before those axes
+    existed stay byte-identical, while any non-default choice is always
+    visible in provenance.
     """
     params = {f.name: getattr(cfg, f.name) for f in fields(cfg)}
     if params.get("backend") == "packet":
         del params["backend"]
+    if params.get("scheme") == DEFAULT_SCHEME:
+        del params["scheme"]
     return params
+
+
+def _check_scheme(scheme: str, backend: str) -> None:
+    """Validate a config's mitigation-scheme axis (registry lookup plus
+    the packet-backend requirement)."""
+    get_scheme(scheme)
+    if backend != "packet" and scheme != DEFAULT_SCHEME:
+        raise ValueError("mitigation schemes wire into per-packet state; "
+                         "they require the packet backend")
 
 
 @dataclass(frozen=True)
@@ -115,6 +134,7 @@ class CrossRackIncastConfig:
     telemetry_interval_ns: int = units.msec(1.0)
     mouse_max_bytes: int = DEFAULT_MOUSE_MAX_BYTES
     backend: str = "packet"
+    scheme: str = DEFAULT_SCHEME
 
     def __post_init__(self) -> None:
         if self.n_racks < 2:
@@ -127,6 +147,7 @@ class CrossRackIncastConfig:
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}; "
                              f"choose from {sorted(BACKENDS)}")
+        _check_scheme(self.scheme, self.backend)
 
     def plan(self, hub: RngHub) -> list[FlowSpec]:
         """The deterministic flow plan: one mouse-class flow per sender,
@@ -167,6 +188,7 @@ class ElephantMiceGridConfig:
     telemetry_interval_ns: int = units.msec(1.0)
     mouse_max_bytes: int = DEFAULT_MOUSE_MAX_BYTES
     backend: str = "packet"
+    scheme: str = DEFAULT_SCHEME
 
     def __post_init__(self) -> None:
         if self.cca not in CCA_FACTORIES:
@@ -175,6 +197,7 @@ class ElephantMiceGridConfig:
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}; "
                              f"choose from {sorted(BACKENDS)}")
+        _check_scheme(self.scheme, self.backend)
         self.workload()  # validate the mix shape eagerly
 
     def workload(self) -> ElephantMiceConfig:
@@ -220,16 +243,43 @@ def _execute_plan(name: str, cfg, flows: list[FlowSpec]) -> ScenarioResult:
 
     tcp = TcpConfig()
 
+    # Scheme installation precedes all traffic (queue watchers must
+    # attach while the switch fast paths can still fall back to the
+    # byte-identical legacy pump); the default installs nothing.
+    runtime = None
+    if cfg.scheme != DEFAULT_SCHEME:
+        fab_cfg = fab.config
+        # RTT across host->leaf->spine->leaf->host: 8 propagation legs.
+        bdp_bytes = int(fab_cfg.host_rate_bps
+                        * (8 * fab_cfg.link_prop_delay_ns) / 8e9)
+        runtime = get_scheme(cfg.scheme).install(
+            SchemeContext(
+                sim=sim, tcp=tcp, n_flows=len(flows),
+                ecn_threshold_packets=cfg.ecn_threshold_packets,
+                queue_capacity_packets=cfg.queue_capacity_packets,
+                bdp_bytes=bdp_bytes, bottleneck_queue=bottleneck,
+                receiver_host=receiver),
+            {})
+
     def open_flow(spec: FlowSpec) -> None:
         cca = CCA_FACTORIES[cfg.cca](tcp, cfg.dctcp_g)
-        sender, _ = open_connection(sim, tcp, cca, hosts[spec.src_rank],
-                                    hosts[spec.dst_rank],
-                                    flow_id=spec.flow_id)
+        if runtime is not None:
+            cca = runtime.wrap_cca(cca)
+        sender, flow_receiver = open_connection(sim, tcp, cca,
+                                                hosts[spec.src_rank],
+                                                hosts[spec.dst_rank],
+                                                flow_id=spec.flow_id)
+        if runtime is not None:
+            runtime.on_connection(sender, flow_receiver)
         sender.send(spec.size_bytes)
 
     for spec in flows:
         sim.schedule_at(spec.start_ns, open_flow, (spec,))
     sim.run(until_ns=cfg.max_sim_time_ns)
+    scheme_stats = None
+    if runtime is not None:
+        runtime.stop()
+        scheme_stats = runtime.finish()
 
     capture = recorder.export()
     recorder.detach()
@@ -252,6 +302,7 @@ def _execute_plan(name: str, cfg, flows: list[FlowSpec]) -> ScenarioResult:
             "enqueued_packets": stats.enqueued_packets,
         },
         telemetry=capture if cfg.telemetry else None,
+        scheme_stats=scheme_stats,
     )
     return result
 

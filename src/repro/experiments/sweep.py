@@ -208,10 +208,12 @@ def plan_document(spec: SweepSpec, scale: float = 1.0,
     }, indent=2, sort_keys=True)
 
 
-def _scaled(cfg, scale: float):
+def scaled_config(cfg, scale: float):
     """Apply the engine scale factor: per-flow demands shrink linearly
     (floored at :data:`MIN_SCALED_BYTES`); topology and thresholds are
-    identity-defining and never scale."""
+    identity-defining and never scale. Shared with the verdict campaign
+    (:mod:`repro.experiments.verdict`), which scales its mix scenario by
+    the same rule."""
     if scale == 1.0:
         return cfg
     changes = {}
@@ -227,7 +229,7 @@ def run_unit(unit: WorkUnit) -> ScenarioResult:
     config_cls, executor = SCENARIOS[unit.params["scenario"]]
     overrides = dict(unit.params.get("overrides", {}))
     overrides.setdefault("seed", unit.seed)
-    cfg = _scaled(config_cls(**overrides), unit.scale)
+    cfg = scaled_config(config_cls(**overrides), unit.scale)
     tele = unit.params.get("telemetry")
     if tele:
         cfg = replace(cfg, telemetry=True,

@@ -56,11 +56,20 @@ class Packet:
             infers from TCP state in production).
         sent_time_ns: When the sender transmitted this packet; ``None`` until
             stamped. Used for RTT sampling.
+        incast_degree: Pulser-style explicit incast notification stamped
+            onto ACK-path packets by an instrumented switch port: the number
+            of distinct flows recently seen converging on the congested
+            egress. ``None`` (the default) on every packet unless a
+            mitigation scheme installs the stamping hook.
+        fec_block: For FEC repair packets, the ``(start, end)`` byte range
+            of the block this packet protects; ``None`` for ordinary
+            segments and ACKs.
     """
 
     __slots__ = ("flow_id", "src", "dst", "seq", "payload_bytes", "is_ack",
                  "ack_seq", "ece", "ecn", "is_retransmit", "sent_time_ns",
-                 "sack_blocks", "rwnd_bytes", "size_bytes")
+                 "sack_blocks", "rwnd_bytes", "size_bytes", "incast_degree",
+                 "fec_block")
 
     def __init__(self, flow_id: int, src: int, dst: int, seq: int = 0,
                  payload_bytes: int = 0, is_ack: bool = False,
@@ -68,7 +77,9 @@ class Packet:
                  is_retransmit: bool = False,
                  sent_time_ns: Optional[int] = None,
                  sack_blocks: tuple = (),
-                 rwnd_bytes: Optional[int] = None):
+                 rwnd_bytes: Optional[int] = None,
+                 incast_degree: Optional[int] = None,
+                 fec_block: Optional[tuple] = None):
         if payload_bytes < 0:
             raise ValueError(f"payload must be >= 0, got {payload_bytes}")
         self.flow_id = flow_id
@@ -85,6 +96,8 @@ class Packet:
         self.sent_time_ns = sent_time_ns
         self.sack_blocks = sack_blocks
         self.rwnd_bytes = rwnd_bytes
+        self.incast_degree = incast_degree
+        self.fec_block = fec_block
 
     @property
     def end_seq(self) -> int:

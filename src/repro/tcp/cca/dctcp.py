@@ -60,6 +60,8 @@ class Dctcp(CongestionControl):
 
     def on_ack(self, bytes_acked: int, ece: bool, snd_una: int, snd_nxt: int,
                now_ns: int) -> None:
+        """Track marks, apply at most one proportional cut per window,
+        grow Reno-style on unmarked ACKs, and close alpha windows."""
         self._acked_bytes_win += bytes_acked
         if ece:
             self._marked_bytes_win += bytes_acked
@@ -86,11 +88,13 @@ class Dctcp(CongestionControl):
         self._window_end_seq = snd_nxt
 
     def on_loss(self, now_ns: int) -> None:
+        """Halve the window (standard TCP loss response)."""
         # DCTCP falls back to standard TCP behaviour on packet loss.
         self.ssthresh_bytes = max(self.cwnd_bytes / 2.0, float(self.mss))
         self.cwnd_bytes = self.ssthresh_bytes
 
     def on_rto(self, now_ns: int) -> None:
+        """Collapse to one MSS after a retransmission timeout."""
         self.ssthresh_bytes = max(self.cwnd_bytes / 2.0, 2.0 * self.mss)
         self.cwnd_bytes = float(self.mss)
 

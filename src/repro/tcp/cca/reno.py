@@ -26,6 +26,8 @@ class Reno(CongestionControl):
 
     def on_ack(self, bytes_acked: int, ece: bool, snd_una: int, snd_nxt: int,
                now_ns: int) -> None:
+        """Halve once per window on ECE (RFC 3168 CWR); otherwise grow
+        Reno-style."""
         if ece and self._react_to_ecn:
             if snd_una > self._cwr_end_seq:
                 self._multiplicative_decrease()
@@ -35,9 +37,11 @@ class Reno(CongestionControl):
             self._grow_reno(bytes_acked)
 
     def on_loss(self, now_ns: int) -> None:
+        """Halve the window (fast-recovery response)."""
         self._multiplicative_decrease()
 
     def on_rto(self, now_ns: int) -> None:
+        """Collapse to one MSS after a retransmission timeout."""
         self.ssthresh_bytes = max(self.cwnd_bytes / 2.0, 2.0 * self.mss)
         self.cwnd_bytes = float(self.mss)
 

@@ -83,10 +83,13 @@ class SwiftLike(CongestionControl):
     # --- events -------------------------------------------------------------
 
     def on_rtt_sample(self, rtt_ns: int, now_ns: int) -> None:
+        """Remember the latest RTT (the delay signal on_ack reacts to)."""
         self._last_rtt_ns = rtt_ns
 
     def on_ack(self, bytes_acked: int, ece: bool, snd_una: int, snd_nxt: int,
                now_ns: int) -> None:
+        """Additive increase below the target delay, rate-limited
+        multiplicative decrease above it."""
         if bytes_acked <= 0 or self._last_rtt_ns is None:
             return
         rtt = self._last_rtt_ns
@@ -118,8 +121,10 @@ class SwiftLike(CongestionControl):
                 or now_ns - self._last_decrease_ns >= rtt_ns)
 
     def on_loss(self, now_ns: int) -> None:
+        """Cut by the maximum decrease factor on packet loss."""
         self.cwnd_bytes = max(self.cwnd_bytes * (1.0 - self.max_mdf),
                               self.min_cwnd_fraction * self.mss)
 
     def on_rto(self, now_ns: int) -> None:
+        """Collapse to the minimum window after a timeout."""
         self.cwnd_bytes = self.min_cwnd_fraction * self.mss

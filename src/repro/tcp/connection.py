@@ -115,6 +115,13 @@ class TcpSender:
         self._timer = Timer(sim, self._on_rto)
         self.stats = SenderStats()
 
+        # Optional FEC encoder (see repro.tcp.fec); attached by a
+        # mitigation scheme, None on the default path.
+        self.fec = None
+        # Pulser-style explicit incast notification: resolved once here so
+        # the per-ACK dispatch is a cached attribute, not a getattr.
+        self._incast_signal = getattr(cca, "on_incast_signal", None)
+
         # Telemetry: locate the innermost CCA carrying DCTCP's alpha state
         # (unwrapping guardrail-style decorators) so window-completion
         # alpha updates can be emitted as flow.alpha events.
@@ -267,6 +274,8 @@ class TcpSender:
             self._highest_sent = seq + payload
         self._last_send_ns = now
         self._nic.send(packet)
+        if self.fec is not None and not is_retransmit:
+            self.fec.on_segment_sent(seq, payload, now)
         if not self._timer.armed:
             self._timer.start(self.current_rto_ns())
 
@@ -277,6 +286,9 @@ class TcpSender:
         if packet.is_ack:
             if packet.rwnd_bytes is not None:
                 self.peer_rwnd_bytes = packet.rwnd_bytes
+            if (packet.incast_degree is not None
+                    and self._incast_signal is not None):
+                self._incast_signal(packet.incast_degree, self._sim.now)
             self._on_ack(packet.ack_seq, packet.ece, packet.sack_blocks)
 
     def _on_ack(self, ack_seq: int, ece: bool,
@@ -471,6 +483,9 @@ class TcpReceiver:
         self.advertised_window_bytes = config.receiver_window_bytes
         self.stats = ReceiverStats()
         self._first_byte_emitted = False
+        # Optional FEC decoder (see repro.tcp.fec); attached by a
+        # mitigation scheme, None on the default path.
+        self.fec = None
 
         # Delayed-ACK state (DCTCP receiver state machine).
         self._pending_acks = 0
@@ -492,6 +507,10 @@ class TcpReceiver:
         """Process an arriving packet for this flow (data only)."""
         if packet.is_ack or packet.payload_bytes == 0:
             return
+        if packet.fec_block is not None:
+            if self.fec is not None:
+                self.fec.on_repair(packet)
+            return
         self.stats.data_packets += 1
         self.stats.bytes_received += packet.payload_bytes
         ce = packet.ecn == ECN.CE
@@ -511,6 +530,51 @@ class TcpReceiver:
                                          self._host.address, self._sim.now)
             for hook in self._hooks:
                 hook(self.rcv_nxt)
+
+    def missing_ranges(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Byte ranges within ``[start, end)`` not yet received, neither
+        contiguously nor in the out-of-order buffer (used by the FEC
+        decoder to decide what a repair packet can reconstruct)."""
+        cursor = max(start, self.rcv_nxt)
+        if cursor >= end:
+            return []
+        missing: list[tuple[int, int]] = []
+        for r_start, r_end in self._ooo:
+            if r_end <= cursor:
+                continue
+            if r_start >= end:
+                break
+            if r_start > cursor:
+                missing.append((cursor, min(r_start, end)))
+            cursor = max(cursor, r_end)
+            if cursor >= end:
+                break
+        if cursor < end:
+            missing.append((cursor, end))
+        return missing
+
+    def deliver_ranges(self, ranges: list[tuple[int, int]]) -> None:
+        """Deliver byte ranges recovered out-of-band (FEC repair).
+
+        Each range is merged into the receive state exactly as if the bytes
+        had arrived as ordinary segments; if contiguous delivery advances,
+        a recovery ACK is sent so the sender's cumulative state catches up
+        without waiting for an RTO, and the usual first-byte/delivery hooks
+        fire.
+        """
+        advanced = False
+        for start, end in ranges:
+            if end > start and self._accept(start, end):
+                advanced = True
+        if not advanced:
+            return
+        self._send_ack(False)
+        if not self._first_byte_emitted:
+            self._first_byte_emitted = True
+            self._hook_registry.emit("flow.first_byte", self.flow_id,
+                                     self._host.address, self._sim.now)
+        for hook in self._hooks:
+            hook(self.rcv_nxt)
 
     def _accept(self, start: int, end: int) -> bool:
         """Merge ``[start, end)`` into the receive state; returns whether

@@ -1,0 +1,179 @@
+"""Forward-error-correction shim for short flows.
+
+Models the proactive-redundancy mitigation of *Optimizing Tail Latency
+using Forward Error Correction*: senders emit one systematic repair packet
+per block of ``k`` data segments (plus one at each demand edge, so a
+burst's tail — the segments whose losses otherwise only an RTO can
+recover — is always covered). A repair packet carries enough redundancy to
+reconstruct one lost segment of its block; when it arrives at a receiver
+that is missing at most that much of the block, the hole is filled without
+waiting for retransmission.
+
+The encoding itself is not simulated — what matters for the congestion
+story is (a) the extra wire load repairs impose on the bottleneck and
+(b) which losses become recoverable without RTO. Repair packets are real
+:class:`~repro.netsim.packet.Packet` objects traversing the real queue
+(they can be dropped or CE-marked like any other segment), sent outside
+the congestion window: the redundancy budget is the scheme's cost, and the
+verdict campaign charges it.
+
+Wiring: a mitigation scheme attaches a :class:`FecEncoder` as
+``TcpSender.fec`` (tapped from ``_emit_segment`` for every fresh segment)
+and a :class:`FecDecoder` as ``TcpReceiver.fec`` (repair packets — those
+with a ``fec_block`` range — divert to it in ``handle_packet``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.packet import DEFAULT_MSS, ECN, Packet
+
+
+@dataclass(frozen=True)
+class FecConfig:
+    """Knobs of the FEC shim.
+
+    Attributes:
+        k_segments: Data segments covered per repair packet (the code
+            rate is ``k/(k+1)``). Smaller is more redundant.
+        mss_bytes: Segment size; one repair recovers at most this many
+            missing bytes of its block.
+    """
+
+    k_segments: int = 8
+    mss_bytes: int = DEFAULT_MSS
+
+    def __post_init__(self) -> None:
+        if self.k_segments <= 0:
+            raise ValueError("k_segments must be positive")
+        if self.mss_bytes <= 0:
+            raise ValueError("mss_bytes must be positive")
+
+    @property
+    def block_bytes(self) -> int:
+        """Bytes of fresh data per full block."""
+        return self.k_segments * self.mss_bytes
+
+
+class FecStats:
+    """Counters shared by one connection's encoder/decoder pair."""
+
+    __slots__ = ("repair_packets_sent", "repair_bytes_sent",
+                 "repairs_received", "blocks_recovered", "recovered_bytes",
+                 "repairs_wasted", "repairs_insufficient")
+
+    def __init__(self) -> None:
+        self.repair_packets_sent = 0
+        self.repair_bytes_sent = 0
+        self.repairs_received = 0
+        self.blocks_recovered = 0
+        self.recovered_bytes = 0
+        self.repairs_wasted = 0
+        self.repairs_insufficient = 0
+
+    def to_dict(self) -> dict:
+        """Counters as a plain dict (for scheme-stats export)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def add(self, other: "FecStats") -> None:
+        """Accumulate ``other`` into this instance (per-run aggregation)."""
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+class FecEncoder:
+    """Sender-side shim emitting one repair packet per block.
+
+    Attach as ``sender.fec``; :meth:`on_segment_sent` is then invoked for
+    every fresh (non-retransmitted) segment. Repairs bypass the congestion
+    window — they are injected straight at the NIC, which is exactly the
+    modeled cost of proactive redundancy.
+    """
+
+    def __init__(self, sender, config: FecConfig, stats: FecStats):
+        self._config = config
+        self.stats = stats
+        self._sender = sender
+        self._nic = sender._nic
+        self._src = sender._host.address
+        self._dst = sender._dst
+        self._flow_id = sender.flow_id
+        self._ecn_capable = sender.config.ecn_enabled
+        self._block_start = 0
+        self._high = 0
+
+    def on_segment_sent(self, seq: int, payload: int, now: int) -> None:
+        """Account a fresh segment; emit repairs at block/demand edges."""
+        end = seq + payload
+        if end <= self._high:
+            return
+        self._high = end
+        block = self._config.block_bytes
+        while self._high - self._block_start >= block:
+            self._emit_repair(self._block_start, self._block_start + block,
+                              now)
+            self._block_start += block
+        if self._high >= self._sender.demand_end:
+            self.flush(now)
+
+    def flush(self, now: int) -> None:
+        """Emit a repair for the current partial block, if any (demand
+        edges: a burst's tail segments must not go unprotected)."""
+        if self._high > self._block_start:
+            self._emit_repair(self._block_start, self._high, now)
+            self._block_start = self._high
+
+    def _emit_repair(self, start: int, end: int, now: int) -> None:
+        payload = min(self._config.mss_bytes, end - start)
+        packet = Packet(self._flow_id, self._src, self._dst, seq=start,
+                        payload_bytes=payload,
+                        ecn=ECN.ECT if self._ecn_capable else ECN.NOT_ECT,
+                        fec_block=(start, end))
+        packet.sent_time_ns = now
+        self.stats.repair_packets_sent += 1
+        self.stats.repair_bytes_sent += payload
+        self._nic.send(packet)
+
+
+class FecDecoder:
+    """Receiver-side shim reconstructing losses from repair packets.
+
+    Attach as ``receiver.fec``; repair packets divert to
+    :meth:`on_repair`. A repair reconstructs its block's missing bytes iff
+    they fit within the redundancy seen for that block (``repairs_seen *
+    repair_payload``); recovered ranges are delivered through
+    :meth:`TcpReceiver.deliver_ranges`, which ACKs them so the sender
+    advances without an RTO.
+    """
+
+    def __init__(self, receiver, config: FecConfig, stats: FecStats):
+        self._config = config
+        self.stats = stats
+        self._receiver = receiver
+        self._block_budget: dict[tuple[int, int], int] = {}
+
+    def on_repair(self, packet: Packet) -> None:
+        """Process one arriving repair packet."""
+        self.stats.repairs_received += 1
+        block = packet.fec_block
+        assert block is not None
+        start, end = block
+        missing = self._receiver.missing_ranges(start, end)
+        if not missing:
+            self.stats.repairs_wasted += 1
+            self._block_budget.pop(block, None)
+            return
+        budget = self._block_budget.get(block, 0) + packet.payload_bytes
+        missing_bytes = sum(e - s for s, e in missing)
+        if missing_bytes > budget:
+            # Not enough redundancy (multiple losses in the block): leave
+            # the budget around in case more repairs show up; ordinary
+            # retransmission recovers otherwise.
+            self._block_budget[block] = budget
+            self.stats.repairs_insufficient += 1
+            return
+        self._block_budget.pop(block, None)
+        self.stats.blocks_recovered += 1
+        self.stats.recovered_bytes += missing_bytes
+        self._receiver.deliver_ranges(missing)

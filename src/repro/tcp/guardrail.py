@@ -70,18 +70,22 @@ class CwndGuardrail(CongestionControl):
 
     @property
     def cwnd_bytes(self) -> float:  # type: ignore[override]
+        """The inner algorithm's congestion window."""
         return self._inner.cwnd_bytes
 
     @cwnd_bytes.setter
     def cwnd_bytes(self, value: float) -> None:
+        """Write through to the inner algorithm's window."""
         self._inner.cwnd_bytes = value
 
     @property
     def ssthresh_bytes(self) -> float:  # type: ignore[override]
+        """The inner algorithm's slow-start threshold."""
         return self._inner.ssthresh_bytes
 
     @ssthresh_bytes.setter
     def ssthresh_bytes(self, value: float) -> None:
+        """Write through to the inner algorithm's threshold."""
         self._inner.ssthresh_bytes = value
 
     @property
@@ -90,27 +94,34 @@ class CwndGuardrail(CongestionControl):
         return self._inner
 
     def effective_cwnd_bytes(self) -> float:
+        """The inner window, clamped to the guardrail cap."""
         capped = min(self._inner.effective_cwnd_bytes(),
                      float(max(self.cap_bytes, self.mss)))
         return capped
 
     def pacing_interval_ns(self, srtt_ns: Optional[float]) -> Optional[int]:
+        """Delegate pacing to the inner algorithm."""
         return self._inner.pacing_interval_ns(srtt_ns)
 
     def on_ack(self, bytes_acked: int, ece: bool, snd_una: int, snd_nxt: int,
                now_ns: int) -> None:
+        """Delegate to the inner algorithm."""
         self._inner.on_ack(bytes_acked, ece, snd_una, snd_nxt, now_ns)
 
     def on_loss(self, now_ns: int) -> None:
+        """Delegate to the inner algorithm."""
         self._inner.on_loss(now_ns)
 
     def on_rto(self, now_ns: int) -> None:
+        """Delegate to the inner algorithm."""
         self._inner.on_rto(now_ns)
 
     def on_rtt_sample(self, rtt_ns: int, now_ns: int) -> None:
+        """Delegate to the inner algorithm."""
         self._inner.on_rtt_sample(rtt_ns, now_ns)
 
     def on_restart_after_idle(self) -> None:
+        """Delegate to the inner algorithm."""
         self._inner.on_restart_after_idle()
 
     def __repr__(self) -> str:

@@ -67,6 +67,20 @@ class ReceiverWindowThrottle:
         self._apply(self._receivers)
         self._sim.schedule(self.period_ns, self._tick)
 
+    def add_connection(self, receiver: TcpReceiver) -> None:
+        """Register a connection that opened after construction.
+
+        The newcomer immediately gets the current active share (it is
+        about to transfer, so parking it at one MSS would just delay the
+        inevitable re-division at the next tick).
+        """
+        self._receivers.append(receiver)
+        self._last_delivered.append(receiver.delivered_bytes)
+        if self._running:
+            share = self.current_share_bytes()
+            receiver.advertised_window_bytes = (share if share is not None
+                                                else self.mss_bytes)
+
     def stop(self) -> None:
         """Stop updating and lift the advertised-window limits."""
         self._running = False

@@ -1,0 +1,79 @@
+"""The pluggable mitigation-scheme registry.
+
+``scheme`` is a config axis exactly like ``cca`` or ``backend``: a name
+looked up here, validated at config-construction time, installed into the
+live simulation by the experiment environments. The registry enforces the
+contract ``docs/MITIGATIONS.md`` documents — unique names, declared
+knobs, the :class:`~repro.tcp.schemes.base.MitigationScheme` lifecycle.
+
+Built-in zoo (registered on import):
+
+- ``dctcp`` — the baseline, no extra mechanism (default; elided from
+  cache keys and exports so pre-zoo artifacts stay byte-identical);
+- ``ictcp`` — receiver-window throttling (Wu et al., CoNEXT 2010);
+- ``pulser`` — explicit incast notifications piggybacked on ACKs, with
+  sender multiplicative backoff;
+- ``fec`` — proactive redundancy so short-flow losses recover without
+  RTO;
+- ``detect`` — online switch-side burst detection on the
+  ``queue.watermark`` channel (measurement-only).
+
+Third-party schemes register through :func:`register_scheme`; see the
+"writing a new scheme" guide in ``docs/MITIGATIONS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.schemes.base import (BaselineScheme, MitigationScheme,
+                                    SchemeContext, SchemeRuntime)
+from repro.tcp.schemes.detect import DetectScheme
+from repro.tcp.schemes.fec import FecScheme
+from repro.tcp.schemes.ictcp import IctcpScheme
+from repro.tcp.schemes.pulser import PulserScheme
+
+DEFAULT_SCHEME = "dctcp"
+"""The scheme every config defaults to; never cache-key-visible."""
+
+_REGISTRY: dict[str, MitigationScheme] = {}
+
+
+def register_scheme(scheme: MitigationScheme, *,
+                    replace: bool = False) -> MitigationScheme:
+    """Register ``scheme`` under its ``name``.
+
+    Raises ``ValueError`` on an empty name or (unless ``replace=True``) a
+    name already taken — a silent shadow would make two experiments with
+    the same config axis run different code.
+    """
+    if not scheme.name:
+        raise ValueError(f"{type(scheme).__name__} declares no name")
+    if scheme.name in _REGISTRY and not replace:
+        raise ValueError(f"scheme {scheme.name!r} is already registered "
+                         f"(by {type(_REGISTRY[scheme.name]).__name__}); "
+                         f"pass replace=True to override")
+    _REGISTRY[scheme.name] = scheme
+    return scheme
+
+
+def get_scheme(name: str) -> MitigationScheme:
+    """Look up a registered scheme; ``ValueError`` lists the choices."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown scheme {name!r}; "
+                         f"choose from {scheme_names()}") from None
+
+
+def scheme_names() -> list[str]:
+    """Sorted names of every registered scheme."""
+    return sorted(_REGISTRY)
+
+
+for _builtin in (BaselineScheme(), IctcpScheme(), PulserScheme(),
+                 FecScheme(), DetectScheme()):
+    register_scheme(_builtin)
+
+__all__ = ["DEFAULT_SCHEME", "MitigationScheme", "SchemeContext",
+           "SchemeRuntime", "register_scheme", "get_scheme",
+           "scheme_names", "BaselineScheme", "IctcpScheme",
+           "PulserScheme", "FecScheme", "DetectScheme"]

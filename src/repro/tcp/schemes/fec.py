@@ -1,0 +1,62 @@
+"""Registry wiring for the FEC shim (mechanism in :mod:`repro.tcp.fec`).
+
+Attaches a :class:`repro.tcp.fec.FecEncoder` to every sender and a
+:class:`repro.tcp.fec.FecDecoder` to every receiver, sharing one
+:class:`repro.tcp.fec.FecStats` per connection so the verdict campaign
+can report repair overhead against recovered losses.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.connection import TcpReceiver, TcpSender
+from repro.tcp.fec import FecConfig, FecDecoder, FecEncoder, FecStats
+from repro.tcp.schemes.base import (MitigationScheme, SchemeContext,
+                                    SchemeRuntime)
+
+
+class _FecRuntime(SchemeRuntime):
+    """Per-run FEC wiring: one encoder/decoder pair per connection."""
+
+    def __init__(self, ctx: SchemeContext, params: dict):
+        self._config = FecConfig(k_segments=params["k_segments"],
+                                 mss_bytes=ctx.tcp.mss_bytes)
+        self._stats: list[FecStats] = []
+
+    def on_connection(self, sender: TcpSender,
+                      receiver: TcpReceiver) -> None:
+        """Attach the shim to both halves of one connection."""
+        stats = FecStats()
+        self._stats.append(stats)
+        sender.fec = FecEncoder(sender, self._config, stats)
+        receiver.fec = FecDecoder(receiver, self._config, stats)
+
+    def finish(self, burst_starts_ns=None, burst_duration_ns=None) -> dict:
+        """Aggregate repair/recovery counters across connections."""
+        total = FecStats()
+        for stats in self._stats:
+            total.add(stats)
+        out = total.to_dict()
+        out["k_segments"] = self._config.k_segments
+        return out
+
+
+class FecScheme(MitigationScheme):
+    """Proactive redundancy so short-flow losses recover without RTO."""
+
+    name = "fec"
+    provenance = ("Optimizing Tail Latency using Forward Error "
+                  "Correction (see PAPERS.md)")
+    target_mode = ("Mode 3 (timeout): convert catastrophic-retransmit "
+                   "tail losses into in-band recoveries")
+    summary = ("one repair packet per k data segments; receiver fills "
+               "single-loss holes without waiting for RTO")
+    default_params = {"k_segments": 8}
+
+    def check_params(self, merged: dict) -> None:
+        """Reject a non-positive code-rate denominator."""
+        if merged["k_segments"] < 1:
+            raise ValueError("k_segments must be >= 1")
+
+    def install(self, ctx: SchemeContext, params: dict) -> SchemeRuntime:
+        """Build the per-run encoder/decoder factory."""
+        return _FecRuntime(ctx, self.validate_params(params))

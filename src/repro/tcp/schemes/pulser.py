@@ -1,0 +1,235 @@
+"""Pulser-style explicit incast notification.
+
+Pulser's idea: the congested switch port *knows* an incast is forming —
+it sees many distinct flows converge on one egress — and can tell the
+senders explicitly, before queue buildup turns into marks and drops. This
+scheme models the mechanism end to end inside the simulator:
+
+- an :class:`IncastDegreeEstimator` watches the bottleneck queue and
+  tracks how many distinct flows enqueued data within a sliding window
+  (the switch-side incast-degree counter);
+- a NIC egress hook at the incast destination stamps that degree onto
+  ACK-path packets (``Packet.incast_degree``) whenever it crosses the
+  notification threshold — the piggybacked switch→sender signal;
+- each sender's :class:`PulserBackoff` CCA decorator receives the signal
+  (``on_incast_signal``, dispatched by ``TcpSender.handle_packet``) and
+  multiplicatively backs its window off, at most once per guard interval,
+  *before* DCTCP's alpha would have reacted.
+
+Because the estimator attaches a queue watcher before any traffic, the
+switch serves the queue through its byte-identical legacy pump — the
+signal changes sender behaviour, never switch arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+from repro.simcore.kernel import Simulator
+from repro.tcp.cca.base import CongestionControl
+from repro.tcp.schemes.base import (MitigationScheme, SchemeContext,
+                                    SchemeRuntime)
+
+
+class IncastDegreeEstimator:
+    """Sliding-window count of distinct flows converging on one queue.
+
+    Installed as a queue watcher; every data-packet enqueue refreshes its
+    flow's timestamp, and :meth:`degree` reports how many flows were seen
+    within the last ``window_ns``.
+    """
+
+    def __init__(self, sim: Simulator, queue: DropTailQueue,
+                 window_ns: int):
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        self._sim = sim
+        self._window_ns = window_ns
+        self._seen: dict[int, int] = {}
+        queue.add_watcher(self._on_queue_event)
+
+    def _on_queue_event(self, event: str, queue: DropTailQueue,
+                        packet: Packet) -> None:
+        if event == "enqueue" and packet.payload_bytes > 0:
+            self._seen[packet.flow_id] = self._sim.now
+
+    def degree(self, now: int) -> int:
+        """Distinct flows seen within the window ending at ``now``."""
+        horizon = now - self._window_ns
+        stale = [fid for fid, t in self._seen.items() if t < horizon]
+        for fid in stale:
+            del self._seen[fid]
+        return len(self._seen)
+
+
+class PulserBackoff(CongestionControl):
+    """CCA decorator applying multiplicative backoff on incast signals.
+
+    Wraps any CCA (guardrail-style: the inner algorithm owns the real
+    window state) and adds :meth:`on_incast_signal`: when the stamped
+    degree reaches ``degree_threshold``, the inner window and ssthresh
+    are cut by ``beta``, at most once per ``min_gap_ns`` so one incast's
+    flurry of stamped ACKs triggers one backoff, not one per ACK.
+    """
+
+    name = "pulser"
+
+    def __init__(self, inner: CongestionControl, beta: float,
+                 degree_threshold: int, min_gap_ns: int):
+        self._inner = inner
+        self.beta = beta
+        self.degree_threshold = degree_threshold
+        self.min_gap_ns = min_gap_ns
+        self._last_backoff_ns: Optional[int] = None
+        self.signals_seen = 0
+        self.backoffs = 0
+        super().__init__(inner.config)
+
+    @property
+    def cwnd_bytes(self) -> float:  # type: ignore[override]
+        """The inner algorithm's congestion window."""
+        return self._inner.cwnd_bytes
+
+    @cwnd_bytes.setter
+    def cwnd_bytes(self, value: float) -> None:
+        """Write through to the inner algorithm's window."""
+        self._inner.cwnd_bytes = value
+
+    @property
+    def ssthresh_bytes(self) -> float:  # type: ignore[override]
+        """The inner algorithm's slow-start threshold."""
+        return self._inner.ssthresh_bytes
+
+    @ssthresh_bytes.setter
+    def ssthresh_bytes(self, value: float) -> None:
+        """Write through to the inner algorithm's threshold."""
+        self._inner.ssthresh_bytes = value
+
+    @property
+    def inner(self) -> CongestionControl:
+        """The wrapped algorithm."""
+        return self._inner
+
+    def on_incast_signal(self, degree: int, now_ns: int) -> None:
+        """React to a stamped incast-degree notification."""
+        self.signals_seen += 1
+        if degree < self.degree_threshold:
+            return
+        if (self._last_backoff_ns is not None
+                and now_ns - self._last_backoff_ns < self.min_gap_ns):
+            return
+        self._last_backoff_ns = now_ns
+        self.backoffs += 1
+        floor = float(self.mss)
+        reduced = max(floor, self._inner.cwnd_bytes * self.beta)
+        self._inner.cwnd_bytes = reduced
+        self._inner.ssthresh_bytes = max(floor, reduced)
+
+    def effective_cwnd_bytes(self) -> float:
+        """The inner window (the decorator never clamps, only cuts)."""
+        return self._inner.effective_cwnd_bytes()
+
+    def pacing_interval_ns(self, srtt_ns: Optional[float]) -> Optional[int]:
+        """Delegate pacing to the inner algorithm."""
+        return self._inner.pacing_interval_ns(srtt_ns)
+
+    def on_ack(self, bytes_acked: int, ece: bool, snd_una: int,
+               snd_nxt: int, now_ns: int) -> None:
+        """Delegate to the inner algorithm."""
+        self._inner.on_ack(bytes_acked, ece, snd_una, snd_nxt, now_ns)
+
+    def on_loss(self, now_ns: int) -> None:
+        """Delegate to the inner algorithm."""
+        self._inner.on_loss(now_ns)
+
+    def on_rto(self, now_ns: int) -> None:
+        """Delegate to the inner algorithm."""
+        self._inner.on_rto(now_ns)
+
+    def on_rtt_sample(self, rtt_ns: int, now_ns: int) -> None:
+        """Delegate to the inner algorithm."""
+        self._inner.on_rtt_sample(rtt_ns, now_ns)
+
+    def on_restart_after_idle(self) -> None:
+        """Delegate to the inner algorithm."""
+        self._inner.on_restart_after_idle()
+
+    def __repr__(self) -> str:
+        return (f"PulserBackoff(beta={self.beta}, "
+                f"thresh={self.degree_threshold}, inner={self._inner!r})")
+
+
+class _PulserRuntime(SchemeRuntime):
+    """Live Pulser wiring: estimator, ACK stamping, per-flow backoff."""
+
+    def __init__(self, ctx: SchemeContext, params: dict):
+        self._params = params
+        self._estimator = IncastDegreeEstimator(
+            ctx.sim, ctx.bottleneck_queue,
+            window_ns=params["window_ns"])
+        self._wrappers: list[PulserBackoff] = []
+        self._stamped = 0
+        threshold = params["degree_threshold"]
+        estimator = self._estimator
+
+        def stamp(packet: Packet, now: int) -> None:
+            if packet.is_ack:
+                degree = estimator.degree(now)
+                if degree >= threshold:
+                    packet.incast_degree = degree
+                    self._stamped += 1
+
+        ctx.receiver_host.nic.add_egress_hook(stamp)
+
+    def wrap_cca(self, cca: CongestionControl) -> CongestionControl:
+        """Give the connection an incast-signal-reactive window."""
+        wrapper = PulserBackoff(cca, beta=self._params["beta"],
+                                degree_threshold=self._params[
+                                    "degree_threshold"],
+                                min_gap_ns=self._params["min_gap_ns"])
+        self._wrappers.append(wrapper)
+        return wrapper
+
+    def finish(self, burst_starts_ns=None, burst_duration_ns=None) -> dict:
+        """Notification/backoff counters across all flows."""
+        return {
+            "acks_stamped": self._stamped,
+            "signals_seen": sum(w.signals_seen for w in self._wrappers),
+            "backoffs": sum(w.backoffs for w in self._wrappers),
+            "flows_backed_off": sum(1 for w in self._wrappers
+                                    if w.backoffs),
+        }
+
+
+class PulserScheme(MitigationScheme):
+    """Explicit incast notification with sender multiplicative backoff."""
+
+    name = "pulser"
+    provenance = "Pulser (explicit incast notifications; see PAPERS.md)"
+    target_mode = ("Mode 2/3 onset: shed window before the standing "
+                   "queue forms")
+    summary = ("switch-side incast degree piggybacked on ACKs; senders "
+               "multiplicatively back off")
+    default_params = {
+        "beta": 0.5,
+        "degree_threshold": 16,
+        "window_ns": units.usec(200.0),
+        "min_gap_ns": units.usec(100.0),
+    }
+
+    def check_params(self, merged: dict) -> None:
+        """Reject out-of-range knob values."""
+        if not 0.0 < merged["beta"] < 1.0:
+            raise ValueError("beta must be in (0, 1)")
+        if merged["degree_threshold"] < 1:
+            raise ValueError("degree_threshold must be >= 1")
+        if merged["window_ns"] <= 0 or merged["min_gap_ns"] < 0:
+            raise ValueError("window_ns must be positive and min_gap_ns "
+                             "non-negative")
+
+    def install(self, ctx: SchemeContext, params: dict) -> SchemeRuntime:
+        """Attach the estimator, the ACK stamper, and the wrappers."""
+        return _PulserRuntime(ctx, self.validate_params(params))

@@ -119,6 +119,35 @@ def golden_sweep_specs() -> dict:
     }
 
 
+def golden_verdict_grid():
+    """Tiny mitigation-verdict grid pinned through the engine path.
+
+    Three schemes (the baseline plus one receiver-side and one
+    sender-signal mitigation), two incast degrees straddling the
+    degenerate point, one burst length, plus the elephant/mice mix — 9
+    units, enough to exercise every verdict table while staying cheap.
+    The execution-path identity tests (``tests/test_verdict.py``)
+    additionally assert this grid is byte-identical serial vs ``jobs=4``
+    vs cached vs SIGTERM-interrupted-and-resumed.
+    """
+    from repro.experiments.verdict import VerdictGrid
+
+    return VerdictGrid(schemes=("dctcp", "ictcp", "pulser"),
+                       flow_counts=(40, 150), burst_ms=(2.0,))
+
+
+def _run_verdict_case() -> ExperimentResult:
+    """The golden verdict campaign (engine path, ``jobs=2``, no cache)."""
+    from repro.experiments.engine import run_experiments
+    from repro.experiments.verdict import make_experiment
+
+    adapter = make_experiment(golden_verdict_grid())
+    results, _report = run_experiments(
+        ["verdict"], scale=SCALE, seed=SEED, jobs=2,
+        extra_modules={"verdict": adapter})
+    return results["verdict"]
+
+
 def _run_sweep_case(case: str) -> ExperimentResult:
     """One golden sweep through the engine path (``jobs=2``, no cache)."""
     from repro.experiments.sweep import run_sweep
@@ -146,6 +175,7 @@ def golden_cases() -> dict[str, Callable[[], ExperimentResult]]:
             lambda n=name: _run_through_engine(n))
     for name in golden_sweep_specs():
         cases[name] = (lambda n=name: _run_sweep_case(n))
+    cases["verdict"] = _run_verdict_case
     return cases
 
 

@@ -130,7 +130,7 @@ class TestRunnerCli:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"table1", "fig1", "fig2", "fig3",
                                     "fig4", "fig5", "fig6", "fig7",
-                                    "ablations", "crossval"}
+                                    "ablations", "crossval", "verdict"}
 
     def test_list(self, capsys):
         assert main(["--list"]) == 0
