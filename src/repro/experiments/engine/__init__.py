@@ -48,19 +48,30 @@ serves units to ``python -m repro.tools.worker`` clients — same cache
 keys, journal records and payload bytes, so a fleet run is
 byte-identical to a laptop run.
 
+A fleet can also share results without a shared filesystem: point every
+campaign and worker at a :mod:`repro.tools.cacheserver` with
+``--cache-server HOST:PORT`` and the cache grows a read-through/
+write-behind :class:`RemoteCacheTier` — timeout budgets, jittered
+retries, a circuit breaker, and degrade-to-local semantics, reported in
+the run report's ``remote_cache`` section. The shared tier can change
+how often units recompute, never what they compute.
+
 Chaos testing hooks live in :mod:`repro.experiments.engine.faults`:
 deterministic crash/hang/flaky/signal/disk-full fault specs — plus
-distributed-fleet modes (worker crash/hang, connection drop) — off by
-default and invisible to cache keys.
+distributed-fleet modes (worker crash/hang, connection drop) and
+remote-cache modes (slow/error/corrupt/down) — off by default and
+invisible to cache keys.
 """
 
 from repro.experiments.engine.cache import (CorruptPayloadError, ResultCache,
-                                            seal_payload, unseal_payload)
+                                            seal_payload, unseal_payload,
+                                            verify_sealed)
 from repro.experiments.engine.core import (EXPERIMENT_MODULES,
                                            BackendContext, CampaignError,
                                            CampaignInterrupted,
                                            ExecutorBackend,
                                            LocalPoolBackend, SerialBackend,
+                                           jittered_backoff,
                                            run_experiment, run_experiments)
 from repro.experiments.engine.distributed import (DistributedBackend,
                                                   FrameDecoder,
@@ -75,6 +86,7 @@ from repro.experiments.engine.journal import (CampaignJournal, JournalError,
                                               campaign_identity,
                                               load_resume_state,
                                               replay_journal)
+from repro.experiments.engine.remote_cache import RemoteCacheTier
 from repro.experiments.engine.report import (FailureRecord, RunReport,
                                              UnitReport)
 from repro.experiments.engine.spec import WorkUnit
@@ -96,6 +108,7 @@ __all__ = [
     "JournalReplay",
     "LocalPoolBackend",
     "ProtocolError",
+    "RemoteCacheTier",
     "ResultCache",
     "ResumeMismatchError",
     "RunReport",
@@ -105,6 +118,7 @@ __all__ = [
     "campaign_identity",
     "encode_frame",
     "faults_from_env",
+    "jittered_backoff",
     "load_resume_state",
     "parse_faults",
     "parse_hostport",
@@ -113,4 +127,5 @@ __all__ = [
     "run_experiments",
     "seal_payload",
     "unseal_payload",
+    "verify_sealed",
 ]

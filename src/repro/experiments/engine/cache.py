@@ -65,6 +65,25 @@ def seal_payload(payload: Any) -> bytes:
     return blob + _FOOTER_MAGIC + hashlib.sha256(blob).digest()
 
 
+def verify_sealed(blob: bytes) -> None:
+    """Verify a sealed blob's checksum footer without unpickling it.
+
+    This is the cheap half of :func:`unseal_payload` — enough for a
+    party that only *moves* blobs (the cache server, the remote tier)
+    to reject truncation and bit rot without importing whatever the
+    payload pickles to.
+
+    Raises:
+        CorruptPayloadError: The footer is absent or the checksum does
+            not match.
+    """
+    if (len(blob) <= _FOOTER_LEN
+            or blob[-_FOOTER_LEN:-32] != _FOOTER_MAGIC):
+        raise CorruptPayloadError("payload blob has no checksum footer")
+    if hashlib.sha256(blob[:-_FOOTER_LEN]).digest() != blob[-32:]:
+        raise CorruptPayloadError("payload blob failed its checksum")
+
+
 def unseal_payload(blob: bytes) -> Any:
     """Verify a sealed blob's footer and unpickle the payload.
 
@@ -74,14 +93,9 @@ def unseal_payload(blob: bytes) -> Any:
             network transfer), or the checksum-valid pickle fails to
             load (written by an incompatible code state).
     """
-    if (len(blob) <= _FOOTER_LEN
-            or blob[-_FOOTER_LEN:-32] != _FOOTER_MAGIC):
-        raise CorruptPayloadError("payload blob has no checksum footer")
-    payload_bytes = blob[:-_FOOTER_LEN]
-    if hashlib.sha256(payload_bytes).digest() != blob[-32:]:
-        raise CorruptPayloadError("payload blob failed its checksum")
+    verify_sealed(blob)
     try:
-        return pickle.loads(payload_bytes)
+        return pickle.loads(blob[:-_FOOTER_LEN])
     except Exception as exc:
         raise CorruptPayloadError(
             f"checksum-valid payload failed to unpickle: {exc}") from exc
@@ -154,12 +168,21 @@ class ResultCache:
             never reap a live remote writer's temp files —
             :meth:`sweep_stale` only removes worker-token spills whose
             token the caller explicitly names as dead.
+        remote: Optional shared-cache tier (duck-typed to
+            :class:`repro.experiments.engine.remote_cache
+            .RemoteCacheTier`: ``get_blob``/``put_blob``/
+            ``stats_section``). :meth:`get` reads through it on a local
+            miss (adopting hits into the local tier) and :meth:`put`
+            writes behind to it; every remote failure degrades to
+            local-only behaviour, so the tier can never change what a
+            campaign computes — only how often it recomputes.
     """
 
     def __init__(self, directory: Union[str, Path, None] = None,
                  enabled: bool = True,
                  quota_bytes: Optional[int] = None,
-                 worker_token: Optional[str] = None):
+                 worker_token: Optional[str] = None,
+                 remote: Optional[Any] = None):
         if quota_bytes is not None and quota_bytes <= 0:
             raise ValueError(f"quota_bytes must be positive, "
                              f"got {quota_bytes}")
@@ -173,6 +196,8 @@ class ResultCache:
                           else default_cache_dir())
         self.quota_bytes = quota_bytes
         self.worker_token = worker_token
+        #: Read-through/write-behind shared tier (``None`` = local only).
+        self.remote = remote
         #: Failed :meth:`put` calls (payload computed but not persisted).
         self.put_errors = 0
         #: Summary of the first :meth:`put` failure, for the run report.
@@ -237,26 +262,49 @@ class ResultCache:
         ``None`` is unambiguous. An entry whose checksum footer is absent
         (pre-footer format), wrong (bit rot, truncation) or whose pickle
         fails to load is dropped and reported as a miss. A hit refreshes
-        the entry's mtime, which is what the quota eviction orders by.
+        the entry's mtime, which is what the quota eviction orders by —
+        but an ``os.utime`` failure (read-only cache dir, a concurrent
+        eviction racing the refresh) never fails the read: the payload
+        is simply returned without refreshing its LRU position.
+
+        With a :attr:`remote` tier configured, a local miss reads
+        through it: a checksum-valid remote blob is adopted into the
+        local tier (best-effort) and returned; a corrupt or failed
+        remote answer stays a miss.
         """
         if not self.enabled:
             return None
         path = self.path_for(key)
+        blob: Optional[bytes]
         try:
             blob = path.read_bytes()
         except FileNotFoundError:
-            return None
+            blob = None
         except OSError:
+            blob = None
+        if blob is not None:
+            try:
+                payload = unseal_payload(blob)
+            except CorruptPayloadError:
+                self._drop_corrupt(path)
+                return None
+            try:
+                os.utime(path)  # LRU clock for quota eviction
+            except OSError:
+                pass  # a hit without refresh beats a failed read
+            return payload
+        if self.remote is None:
+            return None
+        blob = self.remote.get_blob(key)
+        if blob is None:
             return None
         try:
             payload = unseal_payload(blob)
         except CorruptPayloadError:
-            self._drop_corrupt(path)
+            # The tier verifies checksums itself, so this only catches a
+            # checksum-valid pickle from an incompatible code state.
             return None
-        try:
-            os.utime(path)  # LRU clock for quota eviction
-        except OSError:
-            pass
+        self.put_blob(key, blob)  # adopt: next read is local
         return payload
 
     def _evict_for(self, incoming: int) -> bool:
@@ -295,14 +343,52 @@ class ResultCache:
             total -= size
         return True
 
-    def put(self, key: str, payload: Any) -> bool:
-        """Store ``payload`` under ``key``; returns whether it persisted.
+    def _note_put_failure(self, exc: Exception) -> None:
+        """Count a persist failure and warn once (shared by the payload
+        and blob write paths so local and remote degradation report
+        through one set of counters)."""
+        self.put_errors += 1
+        if self.first_put_error is None:
+            self.first_put_error = f"{type(exc).__name__}: {exc}"
+        if not self._warned_put:
+            self._warned_put = True
+            warnings.warn(
+                f"result cache degraded — could not persist a payload "
+                f"({exc}); continuing uncached", RuntimeWarning,
+                stacklevel=3)
 
-        Atomic (temp file + rename) and checksummed. Never raises for
-        storage problems: ``ENOSPC``, permission errors, or an
-        unpicklable payload degrade to an uncached-but-successful unit —
-        a one-time warning is emitted and the failure is counted for the
-        run report's ``cache_degraded`` section. No-op when disabled.
+    def get_blob(self, key: str) -> Optional[bytes]:
+        """The raw sealed blob for ``key``, checksum-verified, or
+        ``None`` on a miss. Corrupt entries are dropped and reported as
+        misses, exactly like :meth:`get` — but the payload is never
+        unpickled, so blob movers (the cache server) stay agnostic of
+        payload types. Does not consult the remote tier."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            verify_sealed(blob)
+        except CorruptPayloadError:
+            self._drop_corrupt(path)
+            return None
+        try:
+            os.utime(path)  # LRU clock for quota eviction
+        except OSError:
+            pass
+        return blob
+
+    def put_blob(self, key: str, blob: bytes) -> bool:
+        """Store an already-sealed blob under ``key`` atomically.
+
+        The write half of :meth:`put` without the sealing: quota
+        eviction, temp-file + rename, and the same never-raise
+        degradation counters. The blob is *not* re-verified here —
+        callers hold either a blob they just sealed or one
+        :func:`verify_sealed` already passed. No-op when disabled.
         """
         if not self.enabled:
             return False
@@ -311,9 +397,6 @@ class ResultCache:
                   if self.worker_token is not None else str(os.getpid()))
         tmp = path.with_name(f".{path.name}.{writer}.tmp")
         try:
-            if self.put_fault is not None:
-                self.put_fault(key)
-            blob = seal_payload(payload)
             if not self._evict_for(len(blob)):
                 return False
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -321,20 +404,8 @@ class ResultCache:
                 handle.write(blob)
             os.replace(tmp, path)
             return True
-        except (OSError, pickle.PickleError, AttributeError,
-                TypeError) as exc:
-            # OSError covers the disk (ENOSPC, permissions); the rest are
-            # how CPython reports an unpicklable payload (PicklingError,
-            # or Attribute/TypeError for local/exotic objects).
-            self.put_errors += 1
-            if self.first_put_error is None:
-                self.first_put_error = f"{type(exc).__name__}: {exc}"
-            if not self._warned_put:
-                self._warned_put = True
-                warnings.warn(
-                    f"result cache degraded — could not persist a payload "
-                    f"({exc}); continuing uncached", RuntimeWarning,
-                    stacklevel=2)
+        except OSError as exc:
+            self._note_put_failure(exc)
             return False
         finally:
             # Single unlink, racing cleanly with a concurrent
@@ -347,6 +418,39 @@ class ResultCache:
                 pass
             except OSError:
                 pass
+
+    def put(self, key: str, payload: Any) -> bool:
+        """Store ``payload`` under ``key``; returns whether it persisted
+        locally.
+
+        Atomic (temp file + rename) and checksummed. Never raises for
+        storage problems: ``ENOSPC``, permission errors, or an
+        unpicklable payload degrade to an uncached-but-successful unit —
+        a one-time warning is emitted and the failure is counted for the
+        run report's ``cache_degraded`` section. No-op when disabled.
+
+        With a :attr:`remote` tier configured, any payload that seals
+        successfully is also offered to the shared server (write-behind,
+        best-effort, after the local write) — remote refusal never
+        affects the return value or raises.
+        """
+        if not self.enabled:
+            return False
+        try:
+            if self.put_fault is not None:
+                self.put_fault(key)
+            blob = seal_payload(payload)
+        except (OSError, pickle.PickleError, AttributeError,
+                TypeError) as exc:
+            # OSError covers injected disk faults; the rest are how
+            # CPython reports an unpicklable payload (PicklingError, or
+            # Attribute/TypeError for local/exotic objects).
+            self._note_put_failure(exc)
+            return False
+        persisted = self.put_blob(key, blob)
+        if self.remote is not None:
+            self.remote.put_blob(key, blob)
+        return persisted
 
     def clear(self) -> int:
         """Delete every entry for the current version — including stale

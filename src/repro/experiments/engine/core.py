@@ -62,6 +62,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import os
+import random
 import signal as signal_module
 import threading
 import time
@@ -111,7 +112,31 @@ DEFAULT_TELEMETRY_INTERVAL_NS = 1_000_000
 """Millisampler's 1 ms sampling interval."""
 
 DEFAULT_RETRY_BACKOFF_S = 0.05
-"""Base delay before retry ``k`` (scaled by ``2**(k-1)``)."""
+"""Base delay before retry ``k`` (scaled by ``2**(k-1)``, jittered)."""
+
+#: Timing-only RNG for backoff jitter. Deliberately *not* seeded from the
+#: campaign seed: jitter must never be correlated across a fleet (that
+#: correlation is the thundering herd), and sleep durations can never
+#: reach payload bytes — every payload RNG derives from ``(seed, name)``.
+_BACKOFF_RNG = random.Random()
+
+
+def jittered_backoff(base_s: float, attempt: int, *, cap_s: float = 30.0,
+                     rng: Optional[random.Random] = None) -> float:
+    """Equal-jitter exponential backoff delay for retry ``attempt``.
+
+    Attempt ``k`` (1-based) draws uniformly from
+    ``[u/2, u]`` where ``u = min(cap_s, base_s * 2**(k-1))`` — the
+    "equal jitter" scheme: the exponential floor keeps retries from
+    hammering a struggling peer, the random half decorrelates a fleet
+    of clients so a restarted coordinator or cache server never takes a
+    synchronized thundering herd. ``base_s <= 0`` returns 0.0 exactly
+    (tests that disable backoff must not accrue random sleeps).
+    """
+    if base_s <= 0:
+        return 0.0
+    upper = min(cap_s, base_s * (2 ** max(attempt - 1, 0)))
+    return (rng or _BACKOFF_RNG).uniform(upper / 2.0, upper)
 
 
 class CampaignError(RuntimeError):
@@ -315,8 +340,8 @@ class BackendContext:
 
     Attributes:
         max_attempts: Charged attempts allowed per unit (``retries + 1``).
-        backoff_s: Base retry delay; attempt ``k`` waits
-            ``backoff_s * 2**(k-1)``.
+        backoff_s: Base retry delay; attempt ``k`` waits a jittered
+            ``backoff_s * 2**(k-1)`` (see :func:`jittered_backoff`).
         unit_timeout_s: Per-unit wall-clock budget (``None`` = unlimited);
             pool backends respawn past it, the distributed backend expires
             the unit's lease.
@@ -366,8 +391,8 @@ class BackendContext:
         if task.attempts >= self.max_attempts:
             self.on_permanent_failure(task)  # may raise _CampaignAbort
             return False
-        backoff = self.backoff_s * (2 ** (task.attempts - 1))
-        task.next_eligible = time.monotonic() + backoff
+        task.next_eligible = time.monotonic() + jittered_backoff(
+            self.backoff_s, task.attempts)
         return True
 
     def record_requeue(self, task: "_Task", reason: str,
@@ -700,8 +725,9 @@ def run_experiments(
             unit; failures land in the report's ``failures`` section.
             When ``False`` (default) the first permanent failure raises
             :class:`CampaignError`.
-        retry_backoff_s: Base retry delay; attempt ``k`` waits
-            ``retry_backoff_s * 2**(k-1)``. Pass 0 for immediate retries
+        retry_backoff_s: Base retry delay; attempt ``k`` waits a
+            jittered ``retry_backoff_s * 2**(k-1)`` (equal-jitter, so a
+            fleet's retries decorrelate). Pass 0 for immediate retries
             (tests).
         faults: :class:`FaultSpec` chaos hooks; deterministic, off by
             default, and invisible to cache keys. Worker-side modes
@@ -988,6 +1014,11 @@ def run_experiments(
                     failed_carried=len(carried_failed))
         report.cache_degraded = cache.degradation_since(
             degradation_snapshot)
+        remote = getattr(cache, "remote", None)
+        if remote is not None:
+            # Always present when a shared tier was configured — an
+            # all-degraded campaign must still report honestly.
+            report.remote_cache = remote.stats_section()
         return report
 
     def finish_report() -> RunReport:

@@ -413,6 +413,11 @@ class DistributedBackend(ExecutorBackend):
                "--worker-id", worker_id]
         if context.cache.enabled:
             cmd += ["--cache-dir", str(context.cache.directory)]
+            remote = getattr(context.cache, "remote", None)
+            if remote is not None:
+                # Spawned workers share the campaign's cache tier stack:
+                # local directory plus the same shared cache server.
+                cmd += ["--cache-server", remote.address_str]
         else:
             cmd += ["--no-cache"]
         env = {**os.environ, **self.worker_env}

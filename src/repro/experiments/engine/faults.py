@@ -56,8 +56,14 @@ MODE_DISK_FULL = "disk_full"  # ENOSPC out of the result cache's put()
 MODE_WORKER_CRASH = "worker_crash"  # SIGKILL-style death of a remote worker
 MODE_WORKER_HANG = "worker_hang"    # remote executor hangs, heartbeats live
 MODE_CONN_DROP = "conn_drop"        # remote worker drops its TCP connection
+MODE_CACHE_SLOW = "cache_slow"        # remote cache request stalls/times out
+MODE_CACHE_ERROR = "cache_error"      # remote cache answers a server error
+MODE_CACHE_CORRUPT = "cache_corrupt"  # remote cache blob arrives bit-flipped
+MODE_CACHE_DOWN = "cache_down"        # remote cache connection refused
 MODES = (MODE_ERROR, MODE_CRASH, MODE_HANG, MODE_SIGNAL, MODE_DISK_FULL,
-         MODE_WORKER_CRASH, MODE_WORKER_HANG, MODE_CONN_DROP)
+         MODE_WORKER_CRASH, MODE_WORKER_HANG, MODE_CONN_DROP,
+         MODE_CACHE_SLOW, MODE_CACHE_ERROR, MODE_CACHE_CORRUPT,
+         MODE_CACHE_DOWN)
 
 #: Modes that execute inside a *worker*, threaded through
 #: :func:`repro.experiments.engine.core.execute_unit`.
@@ -76,6 +82,22 @@ WORKER_MODES = (MODE_ERROR, MODE_CRASH, MODE_HANG)
 #: re-dispatches the same attempt and an attempt-scoped spec would
 #: otherwise re-fire forever.
 DISTRIBUTED_MODES = (MODE_WORKER_CRASH, MODE_WORKER_HANG, MODE_CONN_DROP)
+
+#: Modes handled by the *remote cache tier*
+#: (:mod:`repro.experiments.engine.remote_cache`) around its HTTP
+#: requests, never inside unit execution. Because a cache request is a
+#: property of the network — not of any one work unit — these specs are
+#: scoped differently from every other mode: the ``unit`` glob matches
+#: the request tag ``"get:<cache-key>"`` / ``"put:<cache-key>"`` (so
+#: ``"*"`` faults every request and ``"get:*"`` only reads), and
+#: ``times`` counts *requests affected* per spec (negative = all —
+#: a permanently dead server). ``cache_slow`` sleeps ``hang_s``
+#: (capped at the tier's per-request timeout budget) and then fails
+#: like a timeout; ``cache_error`` fails like an HTTP 5xx;
+#: ``cache_corrupt`` flips a bit in the blob so checksum verification
+#: must catch it; ``cache_down`` fails like a refused connection.
+REMOTE_CACHE_MODES = (MODE_CACHE_SLOW, MODE_CACHE_ERROR,
+                      MODE_CACHE_CORRUPT, MODE_CACHE_DOWN)
 
 #: Modes the engine fires in the *campaign parent*: ``signal`` when a
 #: matching unit completes (deterministic preemption — "SIGTERM after the
@@ -157,6 +179,12 @@ class FaultSpec:
             # handles it in-line and never routes it through fire().
             raise FaultInjected(detail + " (conn_drop is handled by the "
                                          "distributed worker client)")
+        if self.mode in REMOTE_CACHE_MODES:
+            # Remote-cache faults need the tier's request machinery; the
+            # tier handles them in-line and never routes them through
+            # fire().
+            raise FaultInjected(detail + f" ({self.mode} is handled by "
+                                         f"the remote cache tier)")
         if self.mode == MODE_SIGNAL:
             # A real preemption: the campaign process receives the signal
             # exactly as a job scheduler would deliver it.

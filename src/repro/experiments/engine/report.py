@@ -131,6 +131,15 @@ class RunReport:
     #: failures recomputed), ``evictions`` / ``quota_skips`` (quota
     #: pressure), plus ``first_put_error``.
     cache_degraded: Optional[dict] = None
+    #: Remote-cache section, present whenever a shared cache tier was
+    #: configured (``--cache-server``), honest even when everything
+    #: degraded: ``server``, ``hits`` / ``misses`` / ``puts``,
+    #: ``get_failures`` / ``put_failures`` (operations that degraded to
+    #: local), ``errors`` / ``timeouts`` / ``corrupt_blobs`` (failed
+    #: request attempts by kind), ``short_circuited`` /
+    #: ``breaker_trips`` / ``state`` (circuit breaker), ``degraded``
+    #: (bool), and ``rtt`` round-trip stats.
+    remote_cache: Optional[dict] = None
 
     @property
     def n_units(self) -> int:
@@ -253,6 +262,13 @@ class RunReport:
                           for k, v in self.cache_degraded.items()
                           if k != "first_put_error" and v)]]
               if self.cache_degraded else []),
+            *([["remote cache",
+                f"{self.remote_cache.get('server', '-')}: "
+                f"{self.remote_cache.get('hits', 0)} hit(s), "
+                f"{self.remote_cache.get('puts', 0)} put(s)"
+                + (", DEGRADED" if self.remote_cache.get("degraded")
+                   else "")]]
+              if self.remote_cache else []),
             ["cache", ("on" if self.cache_enabled else "off")
              + (f" ({self.cache_dir})" if self.cache_dir else "")],
             ["worker processes", max(self.workers_used, 1)],
@@ -293,4 +309,6 @@ class RunReport:
             **({"resume": self.resume} if self.resume else {}),
             **({"cache_degraded": self.cache_degraded}
                if self.cache_degraded else {}),
+            **({"remote_cache": self.remote_cache}
+               if self.remote_cache else {}),
         }

@@ -173,6 +173,14 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                         help="evict least-recently-used result-cache "
                              "entries to keep the stored total under SIZE "
                              "(e.g. 512M, 2G; binary units)")
+    parser.add_argument("--cache-server", type=str, default=None,
+                        metavar="HOST:PORT",
+                        help="also read through / write behind to a "
+                             "shared cache server (python -m "
+                             "repro.tools.cacheserver) so fleet members "
+                             "share finished units; an unreachable, "
+                             "slow or corrupt server degrades to the "
+                             "local cache without changing results")
     parser.add_argument("--journal", type=str, default=None, metavar="PATH",
                         help="append every unit state transition to a "
                              "crash-safe fsynced JSONL journal at PATH; "
@@ -264,6 +272,15 @@ def _validate_engine_args(parser: argparse.ArgumentParser,
             and Path(args.cache_dir).exists()
             and not Path(args.cache_dir).is_dir()):
         parser.error(f"--cache-dir {args.cache_dir} is not a directory")
+    if args.cache_server is not None:
+        if args.no_cache:
+            parser.error("--cache-server needs the result cache (the "
+                         "shared tier reads through and writes behind "
+                         "the local one); drop --no-cache")
+        try:
+            parse_hostport(args.cache_server)
+        except ValueError as exc:
+            parser.error(f"--cache-server: {exc}")
     if args.resume and args.no_cache:
         parser.error("--resume needs the result cache (it is the durable "
                      "store completed units reload from); drop --no-cache")
@@ -299,6 +316,22 @@ def _build_backend(args: argparse.Namespace
                                                             0),
         spawn_workers=args.workers,
         on_listening=announce)
+
+
+def _build_cache(args: argparse.Namespace, quota_bytes: Optional[int],
+                 faults) -> ResultCache:
+    """The result cache the flags ask for, with the shared remote tier
+    attached when ``--cache-server`` was given (remote-cache chaos specs
+    from ``$REPRO_FAULTS`` are threaded into the tier)."""
+    remote = None
+    if args.cache_server is not None:
+        from repro.experiments.engine.remote_cache import RemoteCacheTier
+        remote = RemoteCacheTier(parse_hostport(args.cache_server),
+                                 faults=faults)
+    return ResultCache(
+        directory=Path(args.cache_dir) if args.cache_dir else None,
+        enabled=not args.no_cache, quota_bytes=quota_bytes,
+        remote=remote)
 
 
 def _parse_faults(parser: argparse.ArgumentParser):
@@ -364,9 +397,7 @@ def main(argv: list[str] | None = None) -> int:
     elif resume_state is not None and resume_state.telemetry:
         interval_ns = resume_state.telemetry.get("interval_ns")
 
-    cache = ResultCache(
-        directory=Path(args.cache_dir) if args.cache_dir else None,
-        enabled=not args.no_cache, quota_bytes=quota_bytes)
+    cache = _build_cache(args, quota_bytes, faults)
     try:
         results, report = run_experiments(
             names, scale=scale, seed=seed, jobs=args.jobs,
@@ -506,9 +537,7 @@ def _sweep_run(parser: argparse.ArgumentParser,
     elif resume_state is not None and resume_state.telemetry:
         interval_ns = resume_state.telemetry.get("interval_ns")
 
-    cache = ResultCache(
-        directory=Path(args.cache_dir) if args.cache_dir else None,
-        enabled=not args.no_cache, quota_bytes=quota_bytes)
+    cache = _build_cache(args, quota_bytes, faults)
     try:
         result, report = sweep_mod.run_sweep(
             spec, scale=scale, seed=seed, jobs=args.jobs,
@@ -678,9 +707,7 @@ def verdict_main(argv: list[str]) -> int:
     elif resume_state is not None and resume_state.telemetry:
         interval_ns = resume_state.telemetry.get("interval_ns")
 
-    cache = ResultCache(
-        directory=Path(args.cache_dir) if args.cache_dir else None,
-        enabled=not args.no_cache, quota_bytes=quota_bytes)
+    cache = _build_cache(args, quota_bytes, faults)
     adapter = verdict_mod.make_experiment(grid)
     try:
         results, report = run_experiments(

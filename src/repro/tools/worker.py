@@ -49,7 +49,8 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments.engine.cache import ResultCache
-from repro.experiments.engine.core import _describe_exception, execute_unit
+from repro.experiments.engine.core import (_describe_exception, execute_unit,
+                                           jittered_backoff)
 from repro.experiments.engine.distributed import (MSG_ERROR, MSG_HEARTBEAT,
                                                   MSG_HELLO, MSG_REJECT,
                                                   MSG_REQUEST, MSG_RESULT,
@@ -77,10 +78,20 @@ EXIT_CONNECTION = 4
 #: Default seconds between heartbeat frames.
 DEFAULT_HEARTBEAT_INTERVAL_S = 2.0
 
-#: How long (and how often) to retry the initial TCP connect — covers
-#: the two-terminal quickstart where the worker starts first.
+#: How long (and at what base delay) to retry the initial TCP connect —
+#: covers the two-terminal quickstart where the worker starts first.
+#: Actual sleeps are jittered-exponential on the base delay (capped at
+#: :data:`RETRY_DELAY_CAP_S`), so a whole fleet restarting at once never
+#: hammers a recovering coordinator in lockstep.
 CONNECT_RETRY_WINDOW_S = 15.0
 CONNECT_RETRY_DELAY_S = 0.25
+RETRY_DELAY_CAP_S = 2.0
+
+#: Longest worker token stamped into cache spill-file names; ids beyond
+#: it are truncated (tokens only need to be *distinguishable to their
+#: owner* for sweep_stale, not globally unique, and file-name length
+#: limits are real).
+MAX_WORKER_TOKEN_LEN = 64
 
 
 class WorkerRejected(RuntimeError):
@@ -101,10 +112,12 @@ def sanitize_worker_token(worker_id: str) -> str:
 
     :class:`ResultCache` tokens must be dot-free and filesystem-safe
     (``[A-Za-z0-9][A-Za-z0-9_-]*``), but worker ids default to
-    ``<hostname>-<pid>`` and hostnames may carry dots.
+    ``<hostname>-<pid>`` and hostnames may carry dots. Over-long ids are
+    truncated to :data:`MAX_WORKER_TOKEN_LEN` so spill-file names stay
+    under filesystem name limits.
     """
     token = re.sub(r"[^A-Za-z0-9_-]", "-", worker_id).lstrip("-_")
-    return token or "worker"
+    return token[:MAX_WORKER_TOKEN_LEN] or "worker"
 
 
 class _Connection:
@@ -172,6 +185,7 @@ def connect(address: tuple[str, int], worker_id: str, *,
     """
     deadline = time.monotonic() + retry_window_s
     sock: Optional[socket.socket] = None
+    attempt = 0
     while sock is None:
         try:
             sock = socket.create_connection(address, timeout=timeout_s)
@@ -180,7 +194,9 @@ def connect(address: tuple[str, int], worker_id: str, *,
                 raise ConnectionLost(
                     f"could not connect to coordinator at "
                     f"{address[0]}:{address[1]}: {exc}") from exc
-            time.sleep(CONNECT_RETRY_DELAY_S)
+            attempt += 1
+            time.sleep(jittered_backoff(CONNECT_RETRY_DELAY_S, attempt,
+                                        cap_s=RETRY_DELAY_CAP_S))
     sock.settimeout(timeout_s)
     conn = _Connection(sock)
     conn.send({"type": MSG_HELLO, "protocol": PROTOCOL_NAME,
@@ -341,7 +357,12 @@ def run_worker(address: tuple[str, int], *,
             if reconnects_left <= 0:
                 raise
             reconnects_left -= 1
-            time.sleep(CONNECT_RETRY_DELAY_S)
+            # Jittered by how deep into the budget we are: a coordinator
+            # restart must not see the whole fleet redial in lockstep.
+            time.sleep(jittered_backoff(
+                CONNECT_RETRY_DELAY_S,
+                reconnect_attempts - reconnects_left,
+                cap_s=RETRY_DELAY_CAP_S))
             continue
         finally:
             stop.set()
@@ -364,6 +385,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "the coordinator's --cache-dir)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not write payloads to any result cache")
+    parser.add_argument("--cache-server", default=None,
+                        metavar="HOST:PORT",
+                        help="shared cache server (python -m "
+                             "repro.tools.cacheserver) to read through "
+                             "and write behind; requires --cache-dir, "
+                             "degrades to local-only when unreachable")
     parser.add_argument("--heartbeat-interval", type=float,
                         default=DEFAULT_HEARTBEAT_INTERVAL_S,
                         metavar="SECONDS",
@@ -394,10 +421,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("error: --reconnect-attempts must be >= 0", file=sys.stderr)
         return EXIT_USAGE
     worker_id = args.worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    remote = None
+    if args.cache_server is not None:
+        if args.no_cache:
+            print("error: --cache-server needs the local result cache "
+                  "(drop --no-cache)", file=sys.stderr)
+            return EXIT_USAGE
+        if not args.cache_dir:
+            print("error: --cache-server requires --cache-dir (the "
+                  "remote tier layers over a local one)", file=sys.stderr)
+            return EXIT_USAGE
+        from repro.experiments.engine.remote_cache import RemoteCacheTier
+        try:
+            remote = RemoteCacheTier(parse_hostport(args.cache_server))
+        except ValueError as exc:
+            print(f"error: --cache-server: {exc}", file=sys.stderr)
+            return EXIT_USAGE
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = ResultCache(directory=args.cache_dir,
-                            worker_token=sanitize_worker_token(worker_id))
+                            worker_token=sanitize_worker_token(worker_id),
+                            remote=remote)
     try:
         executed = run_worker(
             address, worker_id=worker_id, cache=cache,

@@ -311,3 +311,87 @@ class TestWorkerTokenSpills:
             with pytest.raises(ValueError, match="worker_token"):
                 make_cache(tmp_path, worker_token=bad)
         make_cache(tmp_path, worker_token="ok-token_1")
+
+    def test_unknown_token_survives_a_named_sweep(self, tmp_path):
+        """Naming some tokens dead says nothing about the others: a
+        spill whose token is not on the list must be left untouched."""
+        cache = make_cache(tmp_path)
+        unknown = cache.version_dir / f".{KEY}.pkl.w-mystery-9.tmp"
+        unknown.parent.mkdir(parents=True, exist_ok=True)
+        unknown.write_bytes(b"partial")
+        assert cache.sweep_stale(tokens=["someone-else"]) == 0
+        assert unknown.exists()
+
+
+class TestSanitizeWorkerToken:
+    """``sanitize_worker_token`` must map *any* worker id onto the
+    ``_WORKER_TOKEN_RE`` grammar (the spill-file name contract)."""
+
+    def _accepts(self, token: str) -> bool:
+        from repro.experiments.engine.cache import _WORKER_TOKEN_RE
+        return bool(_WORKER_TOKEN_RE.match(token))
+
+    @pytest.mark.parametrize("worker_id", [
+        "", ".", "-", "_", "...", "---", ".hidden", "-leading",
+        "host.domain.example-123", "sp ace/slash\\back", "ünïcode",
+        "a" * 500,
+    ])
+    def test_output_always_satisfies_the_token_grammar(self, worker_id):
+        from repro.tools.worker import sanitize_worker_token
+        token = sanitize_worker_token(worker_id)
+        assert self._accepts(token), (worker_id, token)
+        # And it must round-trip into a real cache without raising.
+        ResultCache(enabled=False, worker_token=token)
+
+    def test_empty_and_separator_only_ids_fall_back(self):
+        from repro.tools.worker import sanitize_worker_token
+        assert sanitize_worker_token("") == "worker"
+        assert sanitize_worker_token("...") == "worker"
+        assert sanitize_worker_token("-_-_") == "worker"
+
+    def test_leading_dot_and_dash_are_stripped_not_kept(self):
+        from repro.tools.worker import sanitize_worker_token
+        assert sanitize_worker_token(".hidden-host-1") == "hidden-host-1"
+        assert sanitize_worker_token("--node-2") == "node-2"
+
+    def test_over_long_ids_are_truncated(self):
+        from repro.tools.worker import (MAX_WORKER_TOKEN_LEN,
+                                        sanitize_worker_token)
+        token = sanitize_worker_token("x" * 1000)
+        assert len(token) == MAX_WORKER_TOKEN_LEN
+        assert self._accepts(token)
+
+    def test_hostname_dots_become_dashes(self):
+        from repro.tools.worker import sanitize_worker_token
+        assert sanitize_worker_token("db.internal-4242") \
+            == "db-internal-4242"
+
+
+class TestGetUtimeHardening:
+    """A failed LRU mtime refresh must never fail a read (satellite:
+    read-only cache dirs, concurrently-evicted entries)."""
+
+    def test_read_only_cache_dir_still_serves_hits(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert cache.put(KEY, {"v": 1})
+        entry_dir = cache.path_for(KEY).parent
+        os.chmod(entry_dir, 0o500)  # utime on the entry now fails EACCES
+        try:
+            if os.access(entry_dir / f"{KEY}.pkl", os.W_OK):
+                pytest.skip("running privileged; chmod cannot revoke")
+            assert cache.get(KEY) == {"v": 1}
+        finally:
+            os.chmod(entry_dir, 0o700)
+
+    def test_utime_oserror_is_swallowed(self, tmp_path, monkeypatch):
+        """Belt and braces for the root-CI case: any OSError out of
+        os.utime — not just EACCES — reads through."""
+        cache = make_cache(tmp_path)
+        assert cache.put(KEY, {"v": 2})
+
+        def broken_utime(*args, **kwargs):
+            raise OSError(errno.EACCES, "refresh refused")
+
+        monkeypatch.setattr(os, "utime", broken_utime)
+        assert cache.get(KEY) == {"v": 2}
+        assert cache.get_blob(KEY) is not None

@@ -1,0 +1,367 @@
+"""Shared cache service + remote tier: wire contract, failure semantics.
+
+The server (:mod:`repro.tools.cacheserver`) and the client tier
+(:class:`repro.experiments.engine.remote_cache.RemoteCacheTier`) share
+one contract: bodies are sealed checksum-footer blobs, verified on both
+ends. This file pins that contract (round trips, corrupt rejection,
+version fencing, quota behaviour) and the tier's production failure
+semantics — timeout budgets, bounded jittered retries, the circuit
+breaker's closed/open/half-open life cycle, and degrade-to-local (a
+failing server costs recomputes, never an exception, never a wrong
+payload). The campaign-level byte-identity proof lives in
+``test_remote_cache_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments.engine.cache import (CorruptPayloadError, ResultCache,
+                                            seal_payload, unseal_payload,
+                                            verify_sealed)
+from repro.experiments.engine.faults import FaultSpec
+from repro.experiments.engine.remote_cache import (STATE_CLOSED, STATE_OPEN,
+                                                   RemoteCacheTier)
+from repro.tools.cacheserver import CacheServer, build_parser, main
+
+KEY = "ab" * 20  # a well-formed lowercase-hex cache key
+FAST = dict(timeout_s=1.0, retries=1, backoff_s=0.0,
+            breaker_threshold=2, probe_interval_s=0.05)
+
+
+@pytest.fixture()
+def server(tmp_path: Path):
+    """An in-process cache server on an ephemeral port."""
+    srv = CacheServer(("127.0.0.1", 0), store=tmp_path / "store").start()
+    yield srv
+    srv.stop()
+
+
+def request(server: CacheServer, method: str, path: str,
+            body: bytes = None, version: str = None):
+    """One raw HTTP request against ``server``; returns (status, body)."""
+    conn = http.client.HTTPConnection(*server.address, timeout=5.0)
+    headers = {}
+    if version is not None:
+        headers["X-Repro-Version"] = version
+    try:
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestVerifySealed:
+    def test_round_trip(self):
+        blob = seal_payload({"x": 1})
+        verify_sealed(blob)  # no raise
+        assert unseal_payload(blob) == {"x": 1}
+
+    @pytest.mark.parametrize("mutate", [
+        lambda b: b[:-1],                               # truncated
+        lambda b: b[:-1] + bytes([b[-1] ^ 1]),          # bit-flipped
+        lambda b: b"short",                             # no footer
+        lambda b: b"",                                  # empty
+    ])
+    def test_corrupt_raises(self, mutate):
+        with pytest.raises(CorruptPayloadError):
+            verify_sealed(mutate(seal_payload({"x": 1})))
+
+
+class TestServer:
+    def test_put_get_round_trip_preserves_bytes(self, server):
+        blob = seal_payload({"answer": 42})
+        status, _ = request(server, "PUT", f"/blob/{KEY}", body=blob)
+        assert status == 204
+        status, body = request(server, "GET", f"/blob/{KEY}")
+        assert status == 200 and body == blob
+
+    def test_get_miss_is_404(self, server):
+        status, _ = request(server, "GET", f"/blob/{'cd' * 20}")
+        assert status == 404
+
+    def test_corrupt_put_rejected_and_not_stored(self, server):
+        status, body = request(server, "PUT", f"/blob/{KEY}",
+                               body=b"not a sealed blob")
+        assert status == 400 and b"checksum" in body
+        status, _ = request(server, "GET", f"/blob/{KEY}")
+        assert status == 404
+        assert server.stats_document()["rejected_corrupt"] == 1
+
+    def test_version_mismatch_is_409(self, server):
+        blob = seal_payload(1)
+        status, body = request(server, "PUT", f"/blob/{KEY}", body=blob,
+                               version="0.0.0-other")
+        assert status == 409 and b"version" in body
+        status, _ = request(server, "GET", f"/blob/{KEY}",
+                            version="0.0.0-other")
+        assert status == 409
+        assert server.stats_document()["rejected_version"] == 2
+
+    def test_matching_version_passes(self, server):
+        status, _ = request(server, "PUT", f"/blob/{KEY}",
+                            body=seal_payload(1),
+                            version=repro.__version__)
+        assert status == 204
+
+    @pytest.mark.parametrize("path", [
+        "/blob/UPPERCASE",          # not lowercase hex
+        "/blob/abc",                # too short
+        "/blob/../../etc/passwd",   # traversal attempt
+        "/somewhere/else",
+    ])
+    def test_malformed_keys_rejected(self, server, path):
+        status, _ = request(server, "PUT", path, body=seal_payload(1))
+        assert status == 400
+        status, _ = request(server, "GET", path)
+        assert status == 404
+
+    def test_healthz_reports_counters(self, server):
+        request(server, "PUT", f"/blob/{KEY}", body=seal_payload(1))
+        request(server, "GET", f"/blob/{KEY}")
+        status, body = request(server, "GET", "/healthz")
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["version"] == repro.__version__
+        assert doc["put_stored"] == 1 and doc["get_hits"] == 1
+        assert doc["bytes_in"] > 0 and doc["bytes_out"] > 0
+
+    def test_storage_is_a_result_cache(self, server):
+        """Entries land in the version-namespaced ResultCache layout, so
+        quota/sweep/eviction machinery applies verbatim."""
+        blob = seal_payload({"a": 1})
+        request(server, "PUT", f"/blob/{KEY}", body=blob)
+        assert server.cache.path_for(KEY).read_bytes() == blob
+
+    def test_quota_evicts_lru(self, tmp_path: Path):
+        srv = CacheServer(("127.0.0.1", 0), store=tmp_path / "q",
+                          quota_bytes=100).start()
+        try:
+            keys = [f"{i:02x}" * 20 for i in range(4)]
+            for i, key in enumerate(keys):
+                status, _ = request(srv, "PUT", f"/blob/{key}",
+                                    body=seal_payload(i))
+                assert status == 204
+                time.sleep(0.01)  # distinct mtimes for the LRU clock
+            stored = [k for k in keys
+                      if request(srv, "GET", f"/blob/{k}")[0] == 200]
+            assert stored and len(stored) < len(keys)
+            assert keys[-1] in stored  # newest survives
+            assert srv.stats_document()["evictions"] > 0
+        finally:
+            srv.stop()
+
+    def test_cli_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.listen == "127.0.0.1:8750" and args.quota is None
+
+    def test_cli_rejects_bad_listen(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--listen", "no-port-here"])
+        assert excinfo.value.code == 2
+
+
+class TestTierAgainstLiveServer:
+    def test_read_through_and_write_behind(self, server, tmp_path):
+        writer = ResultCache(tmp_path / "w",
+                             remote=RemoteCacheTier(server.address, **FAST))
+        reader = ResultCache(tmp_path / "r",
+                             remote=RemoteCacheTier(server.address, **FAST))
+        assert writer.put(KEY, {"v": 7})
+        assert reader.get(KEY) == {"v": 7}        # remote hit
+        assert reader.remote.hits == 1
+        assert reader.get(KEY) == {"v": 7}        # adopted: local hit now
+        assert reader.remote.hits == 1            # no second remote trip
+        assert writer.remote.stats_section()["puts"] == 1
+
+    def test_honest_miss_is_not_degradation(self, server, tmp_path):
+        tier = RemoteCacheTier(server.address, **FAST)
+        cache = ResultCache(tmp_path / "c", remote=tier)
+        assert cache.get(KEY) is None
+        assert tier.misses == 1 and not tier.degraded
+        assert tier.state == STATE_CLOSED
+
+    def test_disabled_cache_never_touches_remote(self, server, tmp_path):
+        tier = RemoteCacheTier(server.address, **FAST)
+        cache = ResultCache(tmp_path / "c", enabled=False, remote=tier)
+        assert cache.get(KEY) is None and not cache.put(KEY, 1)
+        assert tier.stats_section()["rtt"]["count"] == 0
+
+    def test_version_drift_degrades_without_retry_storm(
+            self, server, tmp_path, monkeypatch):
+        """A 409 (version fence) is permanent: one attempt, no retries,
+        degrade for the campaign. (An in-process server shares this
+        interpreter's ``repro.__version__``, so the 409 is stubbed at
+        the tier's HTTP layer.)"""
+        tier = RemoteCacheTier(server.address, **{**FAST, "retries": 3})
+        monkeypatch.setattr(tier, "_http",
+                            lambda *a, **k: (409, b"version mismatch"))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert tier.get_blob(KEY) is None
+        assert tier.get_failures == 1
+        assert tier.errors == 1  # permanent: no retry burned the budget
+        assert any("degraded" in str(w.message) for w in caught)
+
+
+class TestTierFailureSemantics:
+    def dead_tier(self, **overrides):
+        """A tier pointed at a port nothing listens on."""
+        params = {**FAST, **overrides}
+        return RemoteCacheTier(("127.0.0.1", 1), **params)
+
+    def test_down_server_degrades_to_miss_with_one_warning(self):
+        tier = self.dead_tier()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert tier.get_blob(KEY) is None
+            assert tier.put_blob(KEY, seal_payload(1)) is False
+        runtime = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1  # warned exactly once
+        assert tier.degraded
+
+    def test_retries_are_bounded(self):
+        tier = self.dead_tier(retries=2, breaker_threshold=100)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert tier.get_blob(KEY) is None
+        assert tier.errors == 3  # 1 attempt + 2 retries, then give up
+
+    def test_breaker_trips_then_short_circuits(self):
+        tier = self.dead_tier(retries=0, breaker_threshold=2,
+                              probe_interval_s=60.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            tier.get_blob(KEY)
+            tier.get_blob(KEY)
+            assert tier.state == STATE_OPEN and tier.breaker_trips == 1
+            errors_before = tier.errors
+            tier.get_blob(KEY)  # while open: no network attempt at all
+        assert tier.errors == errors_before
+        assert tier.short_circuited == 1
+
+    def test_half_open_probe_recovers(self, tmp_path):
+        """Breaker opens against a dead port; the server then starts on
+        that port and the post-interval probe closes the breaker."""
+        import socket
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+        tier = RemoteCacheTier(("127.0.0.1", port), **{
+            **FAST, "retries": 0, "probe_interval_s": 0.05})
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            tier.get_blob(KEY)
+            tier.get_blob(KEY)
+        assert tier.state == STATE_OPEN
+        srv = CacheServer(("127.0.0.1", port),
+                          store=tmp_path / "late").start()
+        try:
+            time.sleep(0.06)  # past the probe interval
+            assert tier.get_blob(KEY) is None  # probe: honest miss
+            assert tier.state == STATE_CLOSED
+            assert tier.misses == 1
+        finally:
+            srv.stop()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RemoteCacheTier(("h", 1), timeout_s=0)
+        with pytest.raises(ValueError):
+            RemoteCacheTier(("h", 1), retries=-1)
+        with pytest.raises(ValueError):
+            RemoteCacheTier(("h", 1), breaker_threshold=0)
+        with pytest.raises(ValueError):
+            RemoteCacheTier("not-an-address")
+
+    def test_address_string_form(self):
+        tier = RemoteCacheTier("127.0.0.1:9999", **FAST)
+        assert tier.address == ("127.0.0.1", 9999)
+        assert tier.address_str == "127.0.0.1:9999"
+
+
+class TestTierFaultInjection:
+    def test_cache_down_fault_fails_requests(self, server, tmp_path):
+        tier = RemoteCacheTier(server.address, **FAST, faults=[
+            FaultSpec(unit="*", mode="cache_down", times=-1)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert tier.get_blob(KEY) is None
+        assert tier.errors > 0 and tier.degraded
+        assert server.stats_document()["gets"] == 0  # never reached it
+
+    def test_cache_error_respects_times_budget(self, server):
+        request(server, "PUT", f"/blob/{KEY}", body=seal_payload(5))
+        tier = RemoteCacheTier(server.address, **{**FAST, "retries": 1},
+                               faults=[FaultSpec(unit=f"get:{KEY}",
+                                                 mode="cache_error",
+                                                 times=1)])
+        # First attempt eats the injected 500, the retry succeeds.
+        blob = tier.get_blob(KEY)
+        assert blob is not None and unseal_payload(blob) == 5
+        assert tier.errors == 1 and tier.hits == 1 and not tier.degraded
+
+    def test_cache_corrupt_get_is_caught_by_checksum(self, server):
+        request(server, "PUT", f"/blob/{KEY}", body=seal_payload(5))
+        tier = RemoteCacheTier(server.address, **{**FAST, "retries": 0},
+                               faults=[FaultSpec(unit="get:*",
+                                                 mode="cache_corrupt",
+                                                 times=-1)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert tier.get_blob(KEY) is None  # never a wrong payload
+        assert tier.corrupt_blobs > 0
+
+    def test_cache_corrupt_put_is_rejected_by_server(self, server):
+        tier = RemoteCacheTier(server.address, **{**FAST, "retries": 0},
+                               faults=[FaultSpec(unit="put:*",
+                                                 mode="cache_corrupt",
+                                                 times=-1)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert tier.put_blob(KEY, seal_payload(5)) is False
+        assert server.stats_document()["rejected_corrupt"] > 0
+        # The corrupt blob must not have been stored.
+        assert request(server, "GET", f"/blob/{KEY}")[0] == 404
+
+    def test_cache_slow_counts_as_timeout(self, server):
+        tier = RemoteCacheTier(server.address,
+                               **{**FAST, "retries": 0, "timeout_s": 0.05},
+                               faults=[FaultSpec(unit="*",
+                                                 mode="cache_slow",
+                                                 times=1, hang_s=0.2)])
+        started = time.monotonic()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert tier.get_blob(KEY) is None
+        assert time.monotonic() - started < 0.15  # capped at timeout_s
+        assert tier.timeouts == 1
+
+    def test_scoping_glob_leaves_other_requests_alone(self, server):
+        other = "cd" * 20
+        request(server, "PUT", f"/blob/{other}", body=seal_payload(9))
+        tier = RemoteCacheTier(server.address, **FAST, faults=[
+            FaultSpec(unit=f"get:{KEY}", mode="cache_down", times=-1)])
+        blob = tier.get_blob(other)  # unaffected key
+        assert blob is not None and unseal_payload(blob) == 9
+        assert tier.errors == 0
+
+    def test_fault_marker_is_touched(self, server, tmp_path):
+        marker = tmp_path / "fired"
+        tier = RemoteCacheTier(server.address, **FAST, faults=[
+            FaultSpec(unit="*", mode="cache_down", times=1,
+                      marker=str(marker))])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            tier.get_blob(KEY)
+        assert marker.exists()

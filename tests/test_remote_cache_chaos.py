@@ -1,0 +1,262 @@
+"""Remote-cache chaos suite: a misbehaving shared cache never changes a
+single output byte.
+
+The standing engine invariant — payloads derive every RNG stream from
+``(seed, name)``, so recovery paths change how often units compute,
+never what they compute — must extend across the network: fig5 run
+against a slow, erroring, bit-flipping, flapping, or SIGKILLed cache
+server is byte-identical to a serial no-cache run, exits cleanly, and
+files an honest ``remote_cache`` section in the run report. Warm reruns
+against a healthy server serve units from remote hits without
+recompute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.export import result_to_dict
+from repro.experiments.engine import (RemoteCacheTier, ResultCache,
+                                      run_experiments)
+from repro.experiments.engine.faults import FaultSpec
+from repro.tools.cacheserver import CacheServer
+
+SCALE = 0.05
+SEED = 11
+
+#: Immediate retries: chaos tests should not spend wall time backing off.
+FAST = {"retry_backoff_s": 0.0}
+
+#: Tier settings that keep every degradation path fast under test.
+TIER = dict(timeout_s=1.0, retries=1, backoff_s=0.0,
+            breaker_threshold=2, probe_interval_s=0.05)
+
+
+def doc(result) -> str:
+    """Canonical JSON form of a result for byte-identity comparison."""
+    return json.dumps(result_to_dict(result), sort_keys=True,
+                      allow_nan=False,
+                      default=lambda o: f"<{type(o).__name__}>")
+
+
+@pytest.fixture(scope="module")
+def serial_no_cache_fig5() -> str:
+    """The anchor: serial fig5 with no cache anywhere near it."""
+    results, report = run_experiments(
+        ["fig5"], scale=SCALE, seed=SEED, jobs=1,
+        cache=ResultCache(enabled=False))
+    assert not report.failures
+    return doc(results["fig5"])
+
+
+def run_fig5(tmp_path: Path, tier: RemoteCacheTier, subdir: str = "local",
+             **engine_kwargs):
+    """fig5 through the engine with a fresh local dir over ``tier``."""
+    cache = ResultCache(tmp_path / subdir, remote=tier)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        results, report = run_experiments(
+            ["fig5"], scale=SCALE, seed=SEED, jobs=1, cache=cache,
+            **{**FAST, **engine_kwargs})
+    return results["fig5"], report
+
+
+class TestFaultModesNeverChangeBytes:
+    @pytest.mark.parametrize("mode,extra", [
+        ("cache_down", {}),
+        ("cache_error", {}),
+        ("cache_corrupt", {}),
+        ("cache_slow", {"hang_s": 0.2}),
+    ])
+    def test_every_mode_against_live_server(self, tmp_path, mode, extra,
+                                            serial_no_cache_fig5):
+        """Each fault mode, firing on every request of a real server
+        round trip: byte-identical output, zero failures, honest
+        report."""
+        srv = CacheServer(("127.0.0.1", 0),
+                          store=tmp_path / "store").start()
+        try:
+            tier_kwargs = dict(TIER)
+            if mode == "cache_slow":
+                tier_kwargs["timeout_s"] = 0.1
+            tier = RemoteCacheTier(srv.address, **tier_kwargs, faults=[
+                FaultSpec(unit="*", mode=mode, times=-1, **extra)])
+            result, report = run_fig5(tmp_path, tier)
+        finally:
+            srv.stop()
+        assert doc(result) == serial_no_cache_fig5
+        assert not report.failures
+        section = report.remote_cache
+        assert section is not None and section["degraded"]
+        assert section["hits"] == 0 and section["puts"] == 0
+        # Round-trip the report like run_report.json does.
+        assert json.loads(json.dumps(report.to_dict()))[
+            "remote_cache"]["degraded"] is True
+
+    def test_corrupt_server_blob_costs_recompute_not_wrongness(
+            self, tmp_path, serial_no_cache_fig5):
+        """Poison the server's stored bytes directly: the checksum
+        catches it at GET time and units recompute."""
+        srv = CacheServer(("127.0.0.1", 0),
+                          store=tmp_path / "store").start()
+        try:
+            warm = RemoteCacheTier(srv.address, **TIER)
+            run_fig5(tmp_path, warm, subdir="warm")  # populate the server
+            poisoned = 0
+            for entry in srv.cache.directory.rglob("*.pkl"):
+                raw = bytearray(entry.read_bytes())
+                raw[len(raw) // 2] ^= 0xFF
+                entry.write_bytes(bytes(raw))
+                poisoned += 1
+            assert poisoned > 0
+            tier = RemoteCacheTier(srv.address, **TIER)
+            result, report = run_fig5(tmp_path, tier, subdir="cold")
+        finally:
+            srv.stop()
+        assert doc(result) == serial_no_cache_fig5
+        assert report.remote_cache["hits"] == 0
+        assert report.executed == report.n_units  # all recomputed
+        assert not report.failures
+
+
+class TestHealthyAndWarmPaths:
+    def test_warm_rerun_serves_remote_hits_without_recompute(
+            self, tmp_path, serial_no_cache_fig5):
+        srv = CacheServer(("127.0.0.1", 0),
+                          store=tmp_path / "store").start()
+        try:
+            first = RemoteCacheTier(srv.address, **TIER)
+            result1, report1 = run_fig5(tmp_path, first, subdir="a")
+            assert report1.remote_cache["puts"] == report1.executed > 0
+            assert not report1.remote_cache["degraded"]
+            # Fresh local dir: every unit must come from the server.
+            second = RemoteCacheTier(srv.address, **TIER)
+            result2, report2 = run_fig5(tmp_path, second, subdir="b")
+        finally:
+            srv.stop()
+        assert doc(result1) == serial_no_cache_fig5
+        assert doc(result2) == serial_no_cache_fig5
+        assert report2.executed == 0
+        assert report2.remote_cache["hits"] == report2.n_units
+        assert not report2.remote_cache["degraded"]
+
+    def test_remote_hits_are_adopted_locally(self, tmp_path):
+        srv = CacheServer(("127.0.0.1", 0),
+                          store=tmp_path / "store").start()
+        try:
+            run_fig5(tmp_path, RemoteCacheTier(srv.address, **TIER),
+                     subdir="a")
+            tier = RemoteCacheTier(srv.address, **TIER)
+            run_fig5(tmp_path, tier, subdir="b")
+            assert tier.hits > 0
+            # Third run on dir "b": all local now, no remote traffic.
+            tier3 = RemoteCacheTier(srv.address, **TIER)
+            _, report3 = run_fig5(tmp_path, tier3, subdir="b")
+        finally:
+            srv.stop()
+        assert report3.cache_hits == report3.n_units
+        assert tier3.stats_section()["rtt"]["count"] == 0
+
+
+class TestServerProcessChaos:
+    def _spawn_server(self, store: Path, port: int) -> subprocess.Popen:
+        """A real ``python -m repro.tools.cacheserver`` subprocess."""
+        src_root = str(Path(__file__).resolve().parents[1] / "src")
+        env = {**os.environ}
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root, env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.tools.cacheserver",
+             "--listen", f"127.0.0.1:{port}", "--store", str(store)],
+            env=env, stderr=subprocess.PIPE, text=True)
+        # The banner prints after the socket is bound and serving.
+        line = proc.stderr.readline()
+        assert "listening" in line, line
+        return proc
+
+    def _free_port(self) -> int:
+        import socket
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        return port
+
+    def test_sigkilled_server_mid_campaign_is_byte_identical(
+            self, tmp_path, serial_no_cache_fig5):
+        """The acceptance scenario: the server dies by SIGKILL between
+        units; the campaign degrades to local and finishes identically."""
+        port = self._free_port()
+        proc = self._spawn_server(tmp_path / "store", port)
+        tier = RemoteCacheTier(("127.0.0.1", port), **TIER)
+        killed = {"done": False}
+        original_put = tier.put_blob
+
+        def put_then_kill(key, blob):
+            ok = original_put(key, blob)
+            if not killed["done"]:
+                killed["done"] = True
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=10)
+            return ok
+
+        tier.put_blob = put_then_kill
+        try:
+            result, report = run_fig5(tmp_path, tier)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert killed["done"]
+        assert doc(result) == serial_no_cache_fig5
+        assert not report.failures
+        section = report.remote_cache
+        assert section["puts"] >= 1       # reached the server once
+        assert section["degraded"]        # and honestly reports the loss
+        assert section["put_failures"] >= 1
+
+    def test_flapping_server_recovers_via_half_open_probe(
+            self, tmp_path, serial_no_cache_fig5):
+        """Kill the server, let the breaker open, restart it on the same
+        port and store: a later campaign leg gets remote hits again."""
+        port = self._free_port()
+        store = tmp_path / "store"
+        proc = self._spawn_server(store, port)
+        try:
+            warm = RemoteCacheTier(("127.0.0.1", port), **TIER)
+            run_fig5(tmp_path, warm, subdir="a")  # populate
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+        tier = RemoteCacheTier(("127.0.0.1", port), **TIER)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert tier.get_blob("ab" * 20) is None  # dead: trips breaker
+            assert tier.get_blob("ab" * 20) is None
+        assert tier.state == "open"
+        proc = self._spawn_server(store, port)  # same store: entries live
+        try:
+            time.sleep(0.06)  # past the probe interval
+            result, report = run_fig5(tmp_path, tier, subdir="b")
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+        assert doc(result) == serial_no_cache_fig5
+        assert report.executed == 0               # all served remotely
+        assert report.remote_cache["hits"] == report.n_units
+        assert report.remote_cache["breaker_trips"] >= 1
+
+    def test_sigterm_shuts_the_cli_down_cleanly(self, tmp_path):
+        port = self._free_port()
+        proc = self._spawn_server(tmp_path / "store", port)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=10) == 0
+        assert "stopped" in proc.stderr.read()

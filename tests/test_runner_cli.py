@@ -413,3 +413,56 @@ class TestSweepCli:
             main(["sweep", "plan", str(tmp_path / "absent.yaml")])
         assert excinfo.value.code == 2
         assert "cannot read sweep spec" in capsys.readouterr().err
+
+
+class TestCacheServerFlag:
+    """``--cache-server`` validation: parse like ``--listen``, reject
+    the ``--no-cache`` combination eagerly (before any campaign work)."""
+
+    def test_flag_parses(self):
+        args = build_parser().parse_args(
+            ["--cache-server", "cachehost:8750"])
+        assert args.cache_server == "cachehost:8750"
+        assert build_parser().parse_args([]).cache_server is None
+
+    @pytest.mark.parametrize("address", ["nope:", "host:banana",
+                                         "host:99999", ":::"])
+    def test_unparseable_address_rejected(self, address, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--cache-server", address])
+        assert excinfo.value.code == 2
+        assert "--cache-server" in capsys.readouterr().err
+
+    def test_no_cache_combination_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-e", "fig1", "--no-cache",
+                  "--cache-server", "127.0.0.1:8750"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--cache-server" in err and "--no-cache" in err
+
+    def test_sweep_and_verdict_share_the_validation(self, tmp_path,
+                                                    capsys):
+        spec = tmp_path / "s.yaml"
+        spec.write_text("name: x\nscenario: leafspine_mix\n"
+                        "axes:\n  flows: [10]\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "run", str(spec), "--no-cache",
+                  "--cache-server", "127.0.0.1:8750"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verdict", "--cache-server", "not an address"])
+        assert excinfo.value.code == 2
+
+    def test_worker_cli_needs_cache_dir_for_cache_server(self, capsys):
+        from repro.tools.worker import EXIT_USAGE
+        from repro.tools.worker import main as worker_main
+        assert worker_main(["--connect", "127.0.0.1:1",
+                            "--cache-server", "127.0.0.1:2"]) \
+            == EXIT_USAGE
+        assert "--cache-dir" in capsys.readouterr().err
+        assert worker_main(["--connect", "127.0.0.1:1", "--no-cache",
+                            "--cache-dir", "/tmp/x",
+                            "--cache-server", "127.0.0.1:2"]) \
+            == EXIT_USAGE
+        assert "--no-cache" in capsys.readouterr().err
